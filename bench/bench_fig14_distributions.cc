@@ -1,0 +1,71 @@
+// Fig. 14: dataset distributions — time-range CDFs of both datasets and
+// the TShape resolution histograms with alpha=beta=5.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "index/tshape_index.h"
+#include "traj/generator.h"
+
+namespace tman::bench {
+namespace {
+
+void TimeRangeCDF(const char* name, const std::vector<traj::Trajectory>& data) {
+  printf("\nFig 14 — time-range CDF (%s, %zu trajectories)\n", name,
+         data.size());
+  PrintHeader({"duration<=", "fraction"});
+  const int hours[] = {1, 2, 4, 6, 10, 14, 18, 24, 48};
+  for (int h : hours) {
+    size_t count = 0;
+    for (const auto& t : data) {
+      if (t.duration() <= h * 3600) count++;
+    }
+    PrintCell(std::to_string(h) + "h");
+    PrintCell(static_cast<double>(count) / static_cast<double>(data.size()));
+    EndRow();
+  }
+}
+
+void ResolutionHistogram(const char* name, const traj::DatasetSpec& spec,
+                         const std::vector<traj::Trajectory>& data) {
+  index::TShapeIndex tshape(index::TShapeConfig{5, 5, 16});
+  std::map<int, size_t> histogram;
+  for (const auto& t : data) {
+    std::vector<geo::TimedPoint> norm;
+    norm.reserve(t.points.size());
+    for (const auto& p : t.points) {
+      const geo::Point np = spec.bounds.Normalize(geo::Point{p.x, p.y});
+      norm.push_back(geo::TimedPoint{np.x, np.y, p.t});
+    }
+    histogram[tshape.Resolution(geo::ComputeMBR(norm))]++;
+  }
+  printf("\nFig 14 — TShape resolution histogram (%s, alpha=beta=5)\n", name);
+  PrintHeader({"resolution", "fraction"});
+  for (const auto& [r, count] : histogram) {
+    PrintCell(std::to_string(r));
+    PrintCell(static_cast<double>(count) / static_cast<double>(data.size()));
+    EndRow();
+  }
+}
+
+void Run() {
+  const traj::DatasetSpec tdrive = traj::TDriveLikeSpec();
+  const traj::DatasetSpec lorry = traj::LorryLikeSpec();
+  const auto tdrive_data = traj::Generate(tdrive, TDriveCount(), 1);
+  const auto lorry_data = traj::Generate(lorry, LorryCount(), 2);
+
+  TimeRangeCDF("TDrive-like", tdrive_data);
+  TimeRangeCDF("Lorry-like", lorry_data);
+  ResolutionHistogram("TDrive-like", tdrive, tdrive_data);
+  ResolutionHistogram("Lorry-like", lorry, lorry_data);
+}
+
+}  // namespace
+}  // namespace tman::bench
+
+int main() {
+  printf("=== Fig. 14: distributions of the datasets ===\n");
+  tman::bench::Run();
+  return 0;
+}

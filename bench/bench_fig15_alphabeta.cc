@@ -1,0 +1,64 @@
+// Fig. 15: effect of alpha x beta (2x2 .. 5x5) on spatial range queries
+// (1.5 km x 1.5 km windows, Lorry-like workload): candidates and time.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/tman.h"
+#include "traj/generator.h"
+
+namespace tman::bench {
+namespace {
+
+void Run() {
+  const traj::DatasetSpec spec = traj::LorryLikeSpec();
+  const auto data = traj::Generate(spec, LorryCount(), 15);
+  const auto queries =
+      traj::RandomSpaceWindows(spec, QueriesPerPoint(), 1500, 777);
+
+  const std::pair<int, int> sizes[] = {{2, 2}, {2, 3}, {3, 3}, {3, 4},
+                                       {4, 4}, {4, 5}, {5, 5}};
+
+  printf("Fig 15 — effect of alpha*beta (Lorry-like, %zu trajectories, "
+         "1.5km x 1.5km SRQ)\n",
+         data.size());
+  PrintHeader({"alpha*beta", "time_ms", "candidates", "index_values"});
+
+  for (const auto& [alpha, beta] : sizes) {
+    core::TManOptions options = DefaultOptions(spec);
+    options.tshape = index::TShapeConfig{alpha, beta, 15};
+    std::unique_ptr<core::TMan> tman;
+    const std::string dir =
+        BenchDir("fig15_" + std::to_string(alpha) + "x" + std::to_string(beta));
+    Status s = core::TMan::Open(options, dir, &tman);
+    if (!s.ok() || !(s = tman->BulkLoad(data)).ok() ||
+        !(s = tman->Flush()).ok()) {
+      fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+      return;
+    }
+    std::vector<double> times, candidates, values;
+    for (const auto& q : queries) {
+      std::vector<traj::Trajectory> out;
+      core::QueryStats stats;
+      tman->SpatialRangeQuery(q.rect, &out, &stats);
+      times.push_back(stats.execution_ms);
+      candidates.push_back(static_cast<double>(stats.candidates));
+      values.push_back(static_cast<double>(stats.index_values));
+    }
+    PrintCell(std::to_string(alpha) + "x" + std::to_string(beta));
+    PrintCell(Median(times));
+    PrintCell(static_cast<uint64_t>(Median(candidates)));
+    PrintCell(static_cast<uint64_t>(Median(values)));
+    EndRow();
+  }
+}
+
+}  // namespace
+}  // namespace tman::bench
+
+int main() {
+  printf("=== Fig. 15: effect of alpha and beta ===\n");
+  tman::bench::Run();
+  return 0;
+}

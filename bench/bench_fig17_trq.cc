@@ -1,0 +1,115 @@
+// Fig. 17: temporal range queries on both datasets — TMan (TR index),
+// TMan-XZT (TMan framework with the XZT index), TrajMesa (XZT, no
+// push-down), ST-Hadoop (per-point time slices). Query time (a) and
+// candidate counts (b); STH candidates are points.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/sthadoop.h"
+#include "baselines/trajmesa.h"
+#include "bench/bench_util.h"
+#include "core/tman.h"
+#include "traj/generator.h"
+
+namespace tman::bench {
+namespace {
+
+constexpr int64_t kWindows[] = {5 * 60,   30 * 60,  3600,
+                                6 * 3600, 12 * 3600, 24 * 3600};
+
+void RunDataset(const char* name, const traj::DatasetSpec& spec,
+                size_t count, uint64_t seed) {
+  const auto data = traj::Generate(spec, count, seed);
+  printf("\nFig 17 — TRQ on %s (%zu trajectories)\n", name, data.size());
+
+  // TMan with the TR index as temporal primary.
+  core::TManOptions tr_options = DefaultOptions(spec);
+  tr_options.primary = core::PrimaryIndexKind::kTemporal;
+  std::unique_ptr<core::TMan> tman_tr;
+  core::TMan::Open(tr_options, BenchDir(std::string("fig17_tr_") + name),
+                   &tman_tr);
+  tman_tr->BulkLoad(data);
+  tman_tr->Flush();
+
+  // TMan-XZT: identical framework (push-down, storage), XZT index.
+  core::TManOptions xzt_options = DefaultOptions(spec);
+  xzt_options.primary = core::PrimaryIndexKind::kTemporal;
+  xzt_options.temporal = core::TemporalIndexKind::kXZT;
+  std::unique_ptr<core::TMan> tman_xzt;
+  core::TMan::Open(xzt_options, BenchDir(std::string("fig17_xzt_") + name),
+                   &tman_xzt);
+  tman_xzt->BulkLoad(data);
+  tman_xzt->Flush();
+
+  // TrajMesa.
+  baselines::TrajMesa::Options tm_options;
+  tm_options.bounds = spec.bounds;
+  std::unique_ptr<baselines::TrajMesa> trajmesa;
+  baselines::TrajMesa::Open(tm_options,
+                            BenchDir(std::string("fig17_tm_") + name),
+                            &trajmesa);
+  trajmesa->Load(data);
+  trajmesa->Flush();
+
+  // ST-Hadoop.
+  baselines::STHadoop::Options sth_options;
+  sth_options.bounds = spec.bounds;
+  std::unique_ptr<baselines::STHadoop> sth;
+  baselines::STHadoop::Open(sth_options,
+                            BenchDir(std::string("fig17_sth_") + name), &sth);
+  sth->Load(data);
+  sth->Flush();
+
+  PrintHeader({"system", "window", "time_ms", "candidates"});
+  for (int64_t window : kWindows) {
+    const auto queries =
+        traj::RandomTimeWindows(spec, QueriesPerPoint(), window, 4242);
+
+    auto report = [&](const std::string& system, auto&& run) {
+      std::vector<double> times, candidates;
+      for (const auto& q : queries) {
+        core::QueryStats stats;
+        run(q, &stats);
+        times.push_back(stats.execution_ms);
+        candidates.push_back(static_cast<double>(stats.candidates));
+      }
+      PrintCell(system);
+      PrintCell(HumanDuration(window));
+      PrintCell(Median(times));
+      PrintCell(static_cast<uint64_t>(Median(candidates)));
+      EndRow();
+    };
+
+    report("TMan", [&](const traj::TimeWindow& q, core::QueryStats* stats) {
+      std::vector<traj::Trajectory> out;
+      tman_tr->TemporalRangeQuery(q.ts, q.te, &out, stats);
+    });
+    report("TMan-XZT",
+           [&](const traj::TimeWindow& q, core::QueryStats* stats) {
+             std::vector<traj::Trajectory> out;
+             tman_xzt->TemporalRangeQuery(q.ts, q.te, &out, stats);
+           });
+    report("TrajMesa",
+           [&](const traj::TimeWindow& q, core::QueryStats* stats) {
+             std::vector<traj::Trajectory> out;
+             trajmesa->TemporalRangeQuery(q.ts, q.te, &out, stats);
+           });
+    report("STH", [&](const traj::TimeWindow& q, core::QueryStats* stats) {
+      std::vector<std::string> tids;
+      sth->TemporalRangeQuery(q.ts, q.te, &tids, stats);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace tman::bench
+
+int main() {
+  printf("=== Fig. 17: temporal range queries ===\n");
+  tman::bench::RunDataset("TDrive-like", tman::traj::TDriveLikeSpec(),
+                          tman::bench::TDriveCount(), 17);
+  tman::bench::RunDataset("Lorry-like", tman::traj::LorryLikeSpec(),
+                          tman::bench::LorryCount(), 18);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Fig. 18: spatial range queries on both datasets — TMan (TShape), TMan-XZ
+// (TMan framework with XZ-Ordering), TrajMesa (XZ2, no push-down),
+// ST-Hadoop (per-point grid). Windows 100m .. 2500m.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/sthadoop.h"
+#include "baselines/trajmesa.h"
+#include "bench/bench_util.h"
+#include "core/tman.h"
+#include "traj/generator.h"
+
+namespace tman::bench {
+namespace {
+
+constexpr double kWindowsMeters[] = {100, 500, 1000, 1500, 2000, 2500};
+
+void RunDataset(const char* name, const traj::DatasetSpec& spec,
+                size_t count, uint64_t seed) {
+  const auto data = traj::Generate(spec, count, seed);
+  printf("\nFig 18 — SRQ on %s (%zu trajectories)\n", name, data.size());
+
+  core::TManOptions tshape_options = DefaultOptions(spec);
+  std::unique_ptr<core::TMan> tman_tshape;
+  core::TMan::Open(tshape_options,
+                   BenchDir(std::string("fig18_tshape_") + name),
+                   &tman_tshape);
+  tman_tshape->BulkLoad(data);
+  tman_tshape->Flush();
+
+  core::TManOptions xz_options = DefaultOptions(spec);
+  xz_options.spatial = core::SpatialIndexKind::kXZ2;
+  std::unique_ptr<core::TMan> tman_xz;
+  core::TMan::Open(xz_options, BenchDir(std::string("fig18_xz_") + name),
+                   &tman_xz);
+  tman_xz->BulkLoad(data);
+  tman_xz->Flush();
+
+  baselines::TrajMesa::Options tm_options;
+  tm_options.bounds = spec.bounds;
+  std::unique_ptr<baselines::TrajMesa> trajmesa;
+  baselines::TrajMesa::Open(tm_options,
+                            BenchDir(std::string("fig18_tm_") + name),
+                            &trajmesa);
+  trajmesa->Load(data);
+  trajmesa->Flush();
+
+  baselines::STHadoop::Options sth_options;
+  sth_options.bounds = spec.bounds;
+  std::unique_ptr<baselines::STHadoop> sth;
+  baselines::STHadoop::Open(sth_options,
+                            BenchDir(std::string("fig18_sth_") + name), &sth);
+  sth->Load(data);
+  sth->Flush();
+
+  PrintHeader({"system", "window_m", "time_ms", "candidates"});
+  for (double side : kWindowsMeters) {
+    const auto queries =
+        traj::RandomSpaceWindows(spec, QueriesPerPoint(), side, 4242);
+
+    auto report = [&](const std::string& system, auto&& run) {
+      std::vector<double> times, candidates;
+      for (const auto& q : queries) {
+        core::QueryStats stats;
+        run(q, &stats);
+        times.push_back(stats.execution_ms);
+        candidates.push_back(static_cast<double>(stats.candidates));
+      }
+      PrintCell(system);
+      PrintCell(static_cast<uint64_t>(side));
+      PrintCell(Median(times));
+      PrintCell(static_cast<uint64_t>(Median(candidates)));
+      EndRow();
+    };
+
+    report("TMan", [&](const traj::SpaceWindow& q, core::QueryStats* stats) {
+      std::vector<traj::Trajectory> out;
+      tman_tshape->SpatialRangeQuery(q.rect, &out, stats);
+    });
+    report("TMan-XZ",
+           [&](const traj::SpaceWindow& q, core::QueryStats* stats) {
+             std::vector<traj::Trajectory> out;
+             tman_xz->SpatialRangeQuery(q.rect, &out, stats);
+           });
+    report("TrajMesa",
+           [&](const traj::SpaceWindow& q, core::QueryStats* stats) {
+             std::vector<traj::Trajectory> out;
+             trajmesa->SpatialRangeQuery(q.rect, &out, stats);
+           });
+    report("STH", [&](const traj::SpaceWindow& q, core::QueryStats* stats) {
+      std::vector<std::string> tids;
+      sth->SpatialRangeQuery(q.rect, &tids, stats);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace tman::bench
+
+int main() {
+  printf("=== Fig. 18: spatial range queries ===\n");
+  tman::bench::RunDataset("TDrive-like", tman::traj::TDriveLikeSpec(),
+                          tman::bench::TDriveCount(), 27);
+  tman::bench::RunDataset("Lorry-like", tman::traj::LorryLikeSpec(),
+                          tman::bench::LorryCount(), 28);
+  return 0;
+}

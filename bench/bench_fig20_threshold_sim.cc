@@ -1,0 +1,134 @@
+// Fig. 20: threshold similarity queries (Fréchet, DTW, Hausdorff) on the
+// Lorry-like workload with theta = 0.015 (normalized-degree units):
+// TMan, TraSS (XZ* + no index cache inside the same framework), DFT, DITA.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/similarity_baselines.h"
+#include "bench/bench_util.h"
+#include "core/tman.h"
+#include "geo/similarity.h"
+#include "traj/generator.h"
+
+namespace tman::bench {
+namespace {
+
+void Run() {
+  const traj::DatasetSpec spec = traj::LorryLikeSpec();
+  const auto data = traj::Generate(spec, LorryCount(), 20);
+  const double theta = 0.015;
+
+  // TMan: TShape + index cache.
+  core::TManOptions options = DefaultOptions(spec);
+  std::unique_ptr<core::TMan> tman;
+  core::TMan::Open(options, BenchDir("fig20_tman"), &tman);
+  tman->BulkLoad(data);
+  tman->Flush();
+
+  // TraSS: same framework, XZ* spatial index, no index cache (paper §V-F:
+  // TShape with alpha=beta=2 and no cache is XZ*).
+  core::TManOptions trass_options = DefaultOptions(spec);
+  trass_options.spatial = core::SpatialIndexKind::kXZStar;
+  trass_options.use_index_cache = false;
+  std::unique_ptr<core::TMan> trass;
+  core::TMan::Open(trass_options, BenchDir("fig20_trass"), &trass);
+  trass->BulkLoad(data);
+  trass->Flush();
+
+  baselines::DFT::Options dft_options;
+  dft_options.bounds = spec.bounds;
+  baselines::DFT dft(dft_options);
+  dft.Load(data);
+
+  baselines::DITA::Options dita_options;
+  dita_options.bounds = spec.bounds;
+  baselines::DITA dita(dita_options);
+  dita.Load(data);
+
+  // Query trajectories sampled from the dataset.
+  std::vector<size_t> query_ids;
+  for (size_t i = 0; i < QueriesPerPoint(); i++) {
+    query_ids.push_back((i * 37) % data.size());
+  }
+
+  const struct {
+    const char* name;
+    geo::SimilarityMeasure measure;
+  } measures[] = {
+      {"Frechet", geo::SimilarityMeasure::kFrechet},
+      {"DTW", geo::SimilarityMeasure::kDTW},
+      {"Hausdorff", geo::SimilarityMeasure::kHausdorff},
+  };
+
+  printf("Fig 20 — threshold similarity (Lorry-like, %zu trajectories, "
+         "theta=%.3f)\n",
+         data.size(), theta);
+  PrintHeader({"measure", "system", "time_ms", "exact_dists"});
+
+  for (const auto& m : measures) {
+    {
+      std::vector<double> times, exact;
+      for (size_t id : query_ids) {
+        std::vector<traj::Trajectory> out;
+        core::QueryStats stats;
+        tman->ThresholdSimilarityQuery(data[id], m.measure, theta, &out,
+                                       &stats);
+        times.push_back(stats.execution_ms);
+        exact.push_back(static_cast<double>(stats.exact_distance_computations));
+      }
+      PrintCell(std::string(m.name));
+      PrintCell(std::string("TMan"));
+      PrintCell(Median(times));
+      PrintCell(static_cast<uint64_t>(Median(exact)));
+      EndRow();
+    }
+    {
+      std::vector<double> times, exact;
+      for (size_t id : query_ids) {
+        std::vector<traj::Trajectory> out;
+        core::QueryStats stats;
+        trass->ThresholdSimilarityQuery(data[id], m.measure, theta, &out,
+                                        &stats);
+        times.push_back(stats.execution_ms);
+        exact.push_back(static_cast<double>(stats.exact_distance_computations));
+      }
+      PrintCell(std::string(m.name));
+      PrintCell(std::string("TraSS"));
+      PrintCell(Median(times));
+      PrintCell(static_cast<uint64_t>(Median(exact)));
+      EndRow();
+    }
+    auto report_mem = [&](const std::string& system, auto&& run) {
+      std::vector<double> times, exact;
+      for (size_t id : query_ids) {
+        baselines::SimilarityStats stats;
+        run(data[id], &stats);
+        times.push_back(stats.execution_ms);
+        exact.push_back(static_cast<double>(stats.exact_distance_computations));
+      }
+      PrintCell(std::string(m.name));
+      PrintCell(system);
+      PrintCell(Median(times));
+      PrintCell(static_cast<uint64_t>(Median(exact)));
+      EndRow();
+    };
+    report_mem("DFT", [&](const traj::Trajectory& q,
+                          baselines::SimilarityStats* stats) {
+      dft.Threshold(q, m.measure, theta, stats);
+    });
+    report_mem("DITA", [&](const traj::Trajectory& q,
+                           baselines::SimilarityStats* stats) {
+      dita.Threshold(q, m.measure, theta, stats);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace tman::bench
+
+int main() {
+  printf("=== Fig. 20: threshold similarity queries ===\n");
+  tman::bench::Run();
+  return 0;
+}

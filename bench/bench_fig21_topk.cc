@@ -1,0 +1,127 @@
+// Fig. 21: top-k similarity search (Fréchet) on the Lorry-like workload
+// for k in {1, 10, 20, 50}: TMan, TraSS, DFT, DITA, REPOSE.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/similarity_baselines.h"
+#include "bench/bench_util.h"
+#include "core/tman.h"
+#include "geo/similarity.h"
+#include "traj/generator.h"
+
+namespace tman::bench {
+namespace {
+
+void Run() {
+  const traj::DatasetSpec spec = traj::LorryLikeSpec();
+  const auto data = traj::Generate(spec, LorryCount(), 21);
+  const auto measure = geo::SimilarityMeasure::kFrechet;
+
+  core::TManOptions options = DefaultOptions(spec);
+  std::unique_ptr<core::TMan> tman;
+  core::TMan::Open(options, BenchDir("fig21_tman"), &tman);
+  tman->BulkLoad(data);
+  tman->Flush();
+
+  core::TManOptions trass_options = DefaultOptions(spec);
+  trass_options.spatial = core::SpatialIndexKind::kXZStar;
+  trass_options.use_index_cache = false;
+  std::unique_ptr<core::TMan> trass;
+  core::TMan::Open(trass_options, BenchDir("fig21_trass"), &trass);
+  trass->BulkLoad(data);
+  trass->Flush();
+
+  baselines::DFT::Options dft_options;
+  dft_options.bounds = spec.bounds;
+  baselines::DFT dft(dft_options);
+  dft.Load(data);
+
+  baselines::DITA::Options dita_options;
+  dita_options.bounds = spec.bounds;
+  baselines::DITA dita(dita_options);
+  dita.Load(data);
+
+  baselines::REPOSE::Options repose_options;
+  repose_options.bounds = spec.bounds;
+  baselines::REPOSE repose(repose_options);
+  repose.Load(data);
+
+  std::vector<size_t> query_ids;
+  for (size_t i = 0; i < QueriesPerPoint(); i++) {
+    query_ids.push_back((i * 53) % data.size());
+  }
+
+  printf("Fig 21 — top-k similarity (Lorry-like, %zu trajectories, "
+         "Frechet)\n",
+         data.size());
+  PrintHeader({"k", "system", "time_ms", "exact_dists"});
+
+  for (size_t k : {1u, 10u, 20u, 50u}) {
+    {
+      std::vector<double> times, exact;
+      for (size_t id : query_ids) {
+        std::vector<traj::Trajectory> out;
+        core::QueryStats stats;
+        tman->TopKSimilarityQuery(data[id], measure, k, &out, &stats);
+        times.push_back(stats.execution_ms);
+        exact.push_back(static_cast<double>(stats.exact_distance_computations));
+      }
+      PrintCell(static_cast<uint64_t>(k));
+      PrintCell(std::string("TMan"));
+      PrintCell(Median(times));
+      PrintCell(static_cast<uint64_t>(Median(exact)));
+      EndRow();
+    }
+    {
+      std::vector<double> times, exact;
+      for (size_t id : query_ids) {
+        std::vector<traj::Trajectory> out;
+        core::QueryStats stats;
+        trass->TopKSimilarityQuery(data[id], measure, k, &out, &stats);
+        times.push_back(stats.execution_ms);
+        exact.push_back(static_cast<double>(stats.exact_distance_computations));
+      }
+      PrintCell(static_cast<uint64_t>(k));
+      PrintCell(std::string("TraSS"));
+      PrintCell(Median(times));
+      PrintCell(static_cast<uint64_t>(Median(exact)));
+      EndRow();
+    }
+    auto report_mem = [&](const std::string& system, auto&& run) {
+      std::vector<double> times, exact;
+      for (size_t id : query_ids) {
+        baselines::SimilarityStats stats;
+        run(data[id], &stats);
+        times.push_back(stats.execution_ms);
+        exact.push_back(static_cast<double>(stats.exact_distance_computations));
+      }
+      PrintCell(static_cast<uint64_t>(k));
+      PrintCell(system);
+      PrintCell(Median(times));
+      PrintCell(static_cast<uint64_t>(Median(exact)));
+      EndRow();
+    };
+    report_mem("DFT", [&](const traj::Trajectory& q,
+                          baselines::SimilarityStats* stats) {
+      dft.TopK(q, measure, k, stats);
+    });
+    report_mem("DITA", [&](const traj::Trajectory& q,
+                           baselines::SimilarityStats* stats) {
+      dita.TopK(q, measure, k, stats);
+    });
+    report_mem("REPOSE", [&](const traj::Trajectory& q,
+                             baselines::SimilarityStats* stats) {
+      repose.TopK(q, measure, k, stats);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace tman::bench
+
+int main() {
+  printf("=== Fig. 21: top-k similarity queries ===\n");
+  tman::bench::Run();
+  return 0;
+}

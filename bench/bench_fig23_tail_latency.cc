@@ -1,0 +1,112 @@
+// Fig. 23: tail latency of TRQ and SRQ (P50/P70/P80/P90/P100) on the
+// Lorry-like workload for TMan, TrajMesa, and ST-Hadoop.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/sthadoop.h"
+#include "baselines/trajmesa.h"
+#include "bench/bench_util.h"
+#include "core/tman.h"
+#include "traj/generator.h"
+
+namespace tman::bench {
+namespace {
+
+const double kPercentiles[] = {50, 70, 80, 90, 100};
+
+void PrintPercentiles(const std::string& system, const std::string& query,
+                      std::vector<double> times) {
+  PrintCell(system);
+  PrintCell(query);
+  for (double p : kPercentiles) {
+    PrintCell(Percentile(times, p));
+  }
+  EndRow();
+}
+
+void Run() {
+  const traj::DatasetSpec spec = traj::LorryLikeSpec();
+  const auto data = traj::Generate(spec, LorryCount(), 23);
+  const size_t num_queries = std::max<size_t>(30, QueriesPerPoint() * 2);
+
+  core::TManOptions options = DefaultOptions(spec);
+  std::unique_ptr<core::TMan> tman;
+  core::TMan::Open(options, BenchDir("fig23_tman"), &tman);
+  tman->BulkLoad(data);
+  tman->Flush();
+
+  baselines::TrajMesa::Options tm_options;
+  tm_options.bounds = spec.bounds;
+  std::unique_ptr<baselines::TrajMesa> trajmesa;
+  baselines::TrajMesa::Open(tm_options, BenchDir("fig23_tm"), &trajmesa);
+  trajmesa->Load(data);
+  trajmesa->Flush();
+
+  baselines::STHadoop::Options sth_options;
+  sth_options.bounds = spec.bounds;
+  std::unique_ptr<baselines::STHadoop> sth;
+  baselines::STHadoop::Open(sth_options, BenchDir("fig23_sth"), &sth);
+  sth->Load(data);
+  sth->Flush();
+
+  const auto tws = traj::RandomTimeWindows(spec, num_queries, 6 * 3600, 616);
+  const auto sws = traj::RandomSpaceWindows(spec, num_queries, 1500, 616);
+
+  printf("Fig 23 — tail latency (Lorry-like, %zu trajectories, %zu "
+         "queries)\n",
+         data.size(), num_queries);
+  PrintHeader({"system", "query", "p50_ms", "p70_ms", "p80_ms", "p90_ms",
+               "p100_ms"});
+
+  // TRQ latencies.
+  std::vector<double> tman_trq, tm_trq, sth_trq;
+  std::vector<double> tman_srq, tm_srq, sth_srq;
+  for (size_t i = 0; i < num_queries; i++) {
+    core::QueryStats stats;
+    std::vector<traj::Trajectory> out;
+    tman->TemporalRangeQuery(tws[i].ts, tws[i].te, &out, &stats);
+    tman_trq.push_back(stats.execution_ms);
+
+    out.clear();
+    core::QueryStats stats2;
+    tman->SpatialRangeQuery(sws[i].rect, &out, &stats2);
+    tman_srq.push_back(stats2.execution_ms);
+
+    out.clear();
+    core::QueryStats stats3;
+    trajmesa->TemporalRangeQuery(tws[i].ts, tws[i].te, &out, &stats3);
+    tm_trq.push_back(stats3.execution_ms);
+
+    out.clear();
+    core::QueryStats stats4;
+    trajmesa->SpatialRangeQuery(sws[i].rect, &out, &stats4);
+    tm_srq.push_back(stats4.execution_ms);
+
+    std::vector<std::string> tids;
+    core::QueryStats stats5;
+    sth->TemporalRangeQuery(tws[i].ts, tws[i].te, &tids, &stats5);
+    sth_trq.push_back(stats5.execution_ms);
+
+    tids.clear();
+    core::QueryStats stats6;
+    sth->SpatialRangeQuery(sws[i].rect, &tids, &stats6);
+    sth_srq.push_back(stats6.execution_ms);
+  }
+
+  PrintPercentiles("TMan", "TRQ", tman_trq);
+  PrintPercentiles("TrajMesa", "TRQ", tm_trq);
+  PrintPercentiles("STH", "TRQ", sth_trq);
+  PrintPercentiles("TMan", "SRQ", tman_srq);
+  PrintPercentiles("TrajMesa", "SRQ", tm_srq);
+  PrintPercentiles("STH", "SRQ", sth_srq);
+}
+
+}  // namespace
+}  // namespace tman::bench
+
+int main() {
+  printf("=== Fig. 23: tail latency ===\n");
+  tman::bench::Run();
+  return 0;
+}

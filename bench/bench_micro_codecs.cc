@@ -1,0 +1,113 @@
+// Micro-benchmarks of the compression substrate: simple8b, Gorilla, and
+// the full trajectory point codec.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "compress/gorilla.h"
+#include "compress/simple8b.h"
+#include "compress/traj_codec.h"
+
+namespace tman::compress {
+namespace {
+
+std::vector<uint64_t> SmallValues(size_t n) {
+  Random rnd(1);
+  std::vector<uint64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; i++) values.push_back(rnd.Uniform(64));
+  return values;
+}
+
+void BM_Simple8bEncode(benchmark::State& state) {
+  const auto values = SmallValues(10000);
+  for (auto _ : state) {
+    std::string blob;
+    Simple8bEncode(values, &blob);
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_Simple8bEncode);
+
+void BM_Simple8bDecode(benchmark::State& state) {
+  const auto values = SmallValues(10000);
+  std::string blob;
+  Simple8bEncode(values, &blob);
+  for (auto _ : state) {
+    std::vector<uint64_t> decoded;
+    Simple8bDecode(blob.data(), blob.size(), values.size(), &decoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_Simple8bDecode);
+
+std::vector<double> GPSSeries(size_t n) {
+  Random rnd(2);
+  std::vector<double> values;
+  double lon = 113.3;
+  for (size_t i = 0; i < n; i++) {
+    lon += rnd.UniformDouble(-0.0005, 0.0005);
+    values.push_back(lon);
+  }
+  return values;
+}
+
+void BM_GorillaEncode(benchmark::State& state) {
+  const auto values = GPSSeries(10000);
+  for (auto _ : state) {
+    GorillaEncoder enc;
+    for (double v : values) enc.Add(v);
+    std::string blob = enc.Finish();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_GorillaEncode);
+
+void BM_GorillaDecode(benchmark::State& state) {
+  const auto values = GPSSeries(10000);
+  GorillaEncoder enc;
+  for (double v : values) enc.Add(v);
+  const std::string blob = enc.Finish();
+  for (auto _ : state) {
+    GorillaDecoder dec(blob.data(), blob.size());
+    std::vector<double> decoded;
+    dec.Decode(values.size(), &decoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_GorillaDecode);
+
+void BM_TrajCodecRoundTrip(benchmark::State& state) {
+  Random rnd(3);
+  PointColumns columns;
+  double lon = 113.3, lat = 23.1;
+  int64_t t = 1393632000;
+  for (int i = 0; i < 500; i++) {
+    lon += rnd.UniformDouble(-0.0004, 0.0004);
+    lat += rnd.UniformDouble(-0.0004, 0.0004);
+    t += 30;
+    columns.lons.push_back(lon);
+    columns.lats.push_back(lat);
+    columns.timestamps.push_back(t);
+  }
+  for (auto _ : state) {
+    std::string blob;
+    EncodePoints(columns, &blob);
+    PointColumns decoded;
+    DecodePoints(blob.data(), blob.size(), &decoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_TrajCodecRoundTrip);
+
+}  // namespace
+}  // namespace tman::compress
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Micro-benchmarks of the index layer: TR/XZT encodings and query-range
+// generation, TShape encoding, and the shape-order optimisers.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "index/shape_encoding.h"
+#include "index/tr_index.h"
+#include "index/tshape_index.h"
+#include "index/xzt_index.h"
+
+namespace tman::index {
+namespace {
+
+void BM_TREncode(benchmark::State& state) {
+  TRIndex idx(TRConfig{0, 1800, 48});
+  Random rnd(1);
+  for (auto _ : state) {
+    const int64_t ts = static_cast<int64_t>(rnd.Uniform(1u << 30));
+    benchmark::DoNotOptimize(idx.Encode(ts, ts + 7200));
+  }
+}
+BENCHMARK(BM_TREncode);
+
+void BM_TRQueryRanges(benchmark::State& state) {
+  TRIndex idx(TRConfig{0, 1800, 48});
+  Random rnd(2);
+  for (auto _ : state) {
+    const int64_t ts = static_cast<int64_t>(rnd.Uniform(1u << 30));
+    benchmark::DoNotOptimize(idx.QueryRanges(ts, ts + 6 * 3600));
+  }
+}
+BENCHMARK(BM_TRQueryRanges);
+
+void BM_XZTEncode(benchmark::State& state) {
+  XZTIndex idx(XZTConfig{0, 7 * 24 * 3600, 16});
+  Random rnd(3);
+  for (auto _ : state) {
+    const int64_t ts = static_cast<int64_t>(rnd.Uniform(1u << 30));
+    benchmark::DoNotOptimize(idx.Encode(ts, ts + 7200));
+  }
+}
+BENCHMARK(BM_XZTEncode);
+
+void BM_XZTQueryRanges(benchmark::State& state) {
+  XZTIndex idx(XZTConfig{0, 7 * 24 * 3600, 16});
+  Random rnd(4);
+  for (auto _ : state) {
+    const int64_t ts = static_cast<int64_t>(rnd.Uniform(1u << 30));
+    benchmark::DoNotOptimize(idx.QueryRanges(ts, ts + 6 * 3600));
+  }
+}
+BENCHMARK(BM_XZTQueryRanges);
+
+std::vector<geo::TimedPoint> RandomWalkPoints(Random* rnd, int n) {
+  std::vector<geo::TimedPoint> points;
+  double x = rnd->UniformDouble(0.2, 0.8);
+  double y = rnd->UniformDouble(0.2, 0.8);
+  for (int i = 0; i < n; i++) {
+    x += rnd->UniformDouble(-0.001, 0.001);
+    y += rnd->UniformDouble(-0.001, 0.001);
+    points.push_back(geo::TimedPoint{x, y, i * 30});
+  }
+  return points;
+}
+
+void BM_TShapeEncode(benchmark::State& state) {
+  TShapeIndex idx(TShapeConfig{3, 3, 15});
+  Random rnd(5);
+  const auto points = RandomWalkPoints(&rnd, 120);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Encode(points));
+  }
+}
+BENCHMARK(BM_TShapeEncode);
+
+void BM_ShapeOrderOptimise(benchmark::State& state) {
+  const auto method = static_cast<ShapeOrderMethod>(state.range(0));
+  Random rnd(6);
+  std::set<uint32_t> unique;
+  while (unique.size() < 64) {
+    unique.insert(static_cast<uint32_t>(rnd.Uniform(1u << 25)) | 1u);
+  }
+  const std::vector<uint32_t> shapes(unique.begin(), unique.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OptimizeShapeOrder(shapes, method));
+  }
+}
+BENCHMARK(BM_ShapeOrderOptimise)
+    ->Arg(static_cast<int>(ShapeOrderMethod::kBitmap))
+    ->Arg(static_cast<int>(ShapeOrderMethod::kGreedy))
+    ->Arg(static_cast<int>(ShapeOrderMethod::kGenetic));
+
+}  // namespace
+}  // namespace tman::index
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Micro-benchmarks of the LSM key-value substrate (google-benchmark):
+// sequential/random writes, point lookups, range scans, batched writes.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "common/random.h"
+#include "kvstore/db.h"
+
+namespace tman::kv {
+namespace {
+
+std::unique_ptr<DB> OpenFresh(const std::string& name) {
+  const std::string dir = "/tmp/tman_bench/micro_kv_" + name;
+  std::filesystem::remove_all(dir);
+  std::unique_ptr<DB> db;
+  Options options;
+  DB::Open(options, dir, &db);
+  return db;
+}
+
+std::string KeyOf(uint64_t i) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "key%016llx", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_SequentialPut(benchmark::State& state) {
+  auto db = OpenFresh("seqput");
+  const std::string value(100, 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    db->Put(WriteOptions(), KeyOf(i++), value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialPut);
+
+void BM_RandomPut(benchmark::State& state) {
+  auto db = OpenFresh("randput");
+  const std::string value(100, 'v');
+  Random rnd(1);
+  for (auto _ : state) {
+    db->Put(WriteOptions(), KeyOf(rnd.Next()), value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomPut);
+
+void BM_BatchedPut(benchmark::State& state) {
+  auto db = OpenFresh("batchput");
+  const std::string value(100, 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    WriteBatch batch;
+    for (int j = 0; j < 100; j++) {
+      batch.Put(KeyOf(i++), value);
+    }
+    db->Write(WriteOptions(), &batch);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_BatchedPut);
+
+void BM_Get(benchmark::State& state) {
+  auto db = OpenFresh("get");
+  const std::string value(100, 'v');
+  const uint64_t n = 100000;
+  for (uint64_t i = 0; i < n; i++) {
+    db->Put(WriteOptions(), KeyOf(i), value);
+  }
+  db->CompactAll();
+  Random rnd(2);
+  std::string result;
+  for (auto _ : state) {
+    db->Get(ReadOptions(), KeyOf(rnd.Uniform(n)), &result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Get);
+
+void BM_Scan100(benchmark::State& state) {
+  auto db = OpenFresh("scan");
+  const std::string value(100, 'v');
+  const uint64_t n = 100000;
+  for (uint64_t i = 0; i < n; i++) {
+    db->Put(WriteOptions(), KeyOf(i), value);
+  }
+  db->CompactAll();
+  Random rnd(3);
+  for (auto _ : state) {
+    const uint64_t start = rnd.Uniform(n - 200);
+    std::vector<std::pair<std::string, std::string>> rows;
+    db->Scan(ReadOptions(), KeyOf(start), KeyOf(start + 100), nullptr, 0,
+             &rows, nullptr);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_Scan100);
+
+}  // namespace
+}  // namespace tman::kv
+
+BENCHMARK_MAIN();

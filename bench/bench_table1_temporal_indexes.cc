@@ -1,0 +1,92 @@
+// Table I: performance of temporal indexes on the Lorry workload — XZT vs
+// TR with periods of 10m/30m/1h/2h/4h/6h/8h, query windows 5m..24h.
+// Reports the median query time and the median candidate count.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/tman.h"
+#include "traj/generator.h"
+
+namespace tman::bench {
+namespace {
+
+struct IndexConfig {
+  std::string name;
+  core::TemporalIndexKind kind;
+  int64_t period_seconds;  // for TR only
+};
+
+constexpr int64_t kWindowSeconds[] = {5 * 60,     10 * 60,    30 * 60,
+                                      3600,       6 * 3600,   12 * 3600,
+                                      24 * 3600};
+
+void Run() {
+  const traj::DatasetSpec spec = traj::LorryLikeSpec();
+  const auto data = traj::Generate(spec, LorryCount(), 10);
+  // Longest Lorry trip is ~14h; N covers it for every period length.
+  const int64_t max_duration = 14 * 3600;
+
+  std::vector<IndexConfig> configs = {
+      {"XZT", core::TemporalIndexKind::kXZT, 0},
+      {"TR-10M", core::TemporalIndexKind::kTR, 10 * 60},
+      {"TR-30M", core::TemporalIndexKind::kTR, 30 * 60},
+      {"TR-1H", core::TemporalIndexKind::kTR, 3600},
+      {"TR-2H", core::TemporalIndexKind::kTR, 2 * 3600},
+      {"TR-4H", core::TemporalIndexKind::kTR, 4 * 3600},
+      {"TR-6H", core::TemporalIndexKind::kTR, 6 * 3600},
+      {"TR-8H", core::TemporalIndexKind::kTR, 8 * 3600},
+  };
+
+  printf("Table I — temporal indexes (Lorry-like, %zu trajectories)\n",
+         data.size());
+  PrintHeader({"index", "window", "time_ms", "candidates"});
+
+  for (const IndexConfig& config : configs) {
+    core::TManOptions options = DefaultOptions(spec);
+    options.primary = core::PrimaryIndexKind::kTemporal;
+    options.temporal = config.kind;
+    if (config.kind == core::TemporalIndexKind::kTR) {
+      options.tr.period_seconds = config.period_seconds;
+      options.tr.max_periods =
+          max_duration / config.period_seconds + 2;
+    }
+    std::unique_ptr<core::TMan> tman;
+    Status s = core::TMan::Open(options, BenchDir("table1_" + config.name),
+                                &tman);
+    if (!s.ok() || !(s = tman->BulkLoad(data)).ok() ||
+        !(s = tman->Flush()).ok()) {
+      fprintf(stderr, "setup failed for %s: %s\n", config.name.c_str(),
+              s.ToString().c_str());
+      return;
+    }
+
+    for (int64_t window : kWindowSeconds) {
+      const auto queries =
+          traj::RandomTimeWindows(spec, QueriesPerPoint(), window, 1234);
+      std::vector<double> times, candidates;
+      for (const auto& q : queries) {
+        std::vector<traj::Trajectory> out;
+        core::QueryStats stats;
+        tman->TemporalRangeQuery(q.ts, q.te, &out, &stats);
+        times.push_back(stats.execution_ms);
+        candidates.push_back(static_cast<double>(stats.candidates));
+      }
+      PrintCell(config.name);
+      PrintCell(HumanDuration(window));
+      PrintCell(Median(times));
+      PrintCell(static_cast<uint64_t>(Median(candidates)));
+      EndRow();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tman::bench
+
+int main() {
+  printf("=== Table I: performance of temporal indexes ===\n");
+  tman::bench::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+#ifndef TMAN_BENCH_BENCH_UTIL_H_
+#define TMAN_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/tman.h"
+#include "traj/generator.h"
+
+namespace tman::bench {
+
+// All benchmark binaries scale with TMAN_SCALE (default 1). The paper's
+// datasets are ~100x larger; shapes of the comparisons are preserved at
+// laptop scale.
+inline int Scale() {
+  const char* s = getenv("TMAN_SCALE");
+  if (s == nullptr) return 1;
+  const int v = atoi(s);
+  return v < 1 ? 1 : v;
+}
+
+inline size_t TDriveCount() { return 2500 * static_cast<size_t>(Scale()); }
+inline size_t LorryCount() { return 4000 * static_cast<size_t>(Scale()); }
+inline size_t QueriesPerPoint() {
+  return std::min<size_t>(100, 12 * static_cast<size_t>(Scale()));
+}
+
+inline std::string BenchDir(const std::string& name) {
+  std::string dir = "/tmp/tman_bench/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// p in [0, 100]; the paper reports the 50th percentile of query times.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+inline double Median(std::vector<double> values) {
+  return Percentile(std::move(values), 50);
+}
+
+// Baseline TMan configuration for a dataset spec; callers override the
+// index kinds per experiment.
+inline core::TManOptions DefaultOptions(const traj::DatasetSpec& spec) {
+  core::TManOptions options;
+  options.bounds = spec.bounds;
+  options.tr.origin = 0;
+  options.tr.period_seconds = 1800;
+  // N sized to the dataset's longest trajectory (the paper's user knob).
+  options.tr.max_periods = spec.long_max / options.tr.period_seconds + 2;
+  options.xzt.origin = 0;
+  options.xzt.period_seconds = 7LL * 24 * 3600;
+  options.xzt.max_resolution = 14;
+  options.tshape = index::TShapeConfig{3, 3, 15};
+  options.xz2 = index::XZ2Config{15};
+  options.num_shards = 4;
+  options.num_servers = 5;
+  options.genetic.generations = 25;
+  options.kv.write_buffer_size = 2 * 1024 * 1024;
+  return options;
+}
+
+// Fixed-width table row helpers so bench output reads like the paper's
+// tables.
+inline void PrintHeader(const std::vector<std::string>& columns) {
+  for (const auto& c : columns) {
+    printf("%-14s", c.c_str());
+  }
+  printf("\n");
+  for (size_t i = 0; i < columns.size(); i++) {
+    printf("%-14s", "---------");
+  }
+  printf("\n");
+}
+
+inline void PrintCell(const std::string& v) { printf("%-14s", v.c_str()); }
+inline void PrintCell(double v) { printf("%-14.2f", v); }
+inline void PrintCell(uint64_t v) {
+  printf("%-14llu", static_cast<unsigned long long>(v));
+}
+inline void EndRow() { printf("\n"); }
+
+inline std::string HumanDuration(int64_t seconds) {
+  if (seconds % 3600 == 0) return std::to_string(seconds / 3600) + "h";
+  if (seconds % 60 == 0) return std::to_string(seconds / 60) + "m";
+  return std::to_string(seconds) + "s";
+}
+
+}  // namespace tman::bench
+
+#endif  // TMAN_BENCH_BENCH_UTIL_H_

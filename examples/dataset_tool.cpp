@@ -1,0 +1,121 @@
+// Dataset utility: generate synthetic workloads, convert between CSV and
+// the compact binary format, and print dataset statistics. Useful for
+// preparing inputs to the benchmarks or for loading your own fleet logs.
+//
+//   dataset_tool generate <tdrive|lorry> <count> <out.csv|out.bin>
+//   dataset_tool convert  <in.csv|in.bin> <out.csv|out.bin>
+//   dataset_tool stats    <in.csv|in.bin>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "traj/generator.h"
+#include "traj/io.h"
+
+namespace {
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const size_t n = strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+tman::Status Read(const std::string& path,
+                  std::vector<tman::traj::Trajectory>* out) {
+  if (HasSuffix(path, ".bin")) return tman::traj::ReadBinary(path, out);
+  return tman::traj::ReadCsv(path, out);
+}
+
+tman::Status Write(const std::string& path,
+                   const std::vector<tman::traj::Trajectory>& data) {
+  if (HasSuffix(path, ".bin")) return tman::traj::WriteBinary(path, data);
+  return tman::traj::WriteCsv(path, data);
+}
+
+int Usage() {
+  fprintf(stderr,
+          "usage:\n"
+          "  dataset_tool generate <tdrive|lorry> <count> <out.{csv,bin}>\n"
+          "  dataset_tool convert  <in.{csv,bin}> <out.{csv,bin}>\n"
+          "  dataset_tool stats    <in.{csv,bin}>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+
+  if (command == "generate") {
+    if (argc != 5) return Usage();
+    const std::string kind = argv[2];
+    const size_t count = strtoull(argv[3], nullptr, 10);
+    const tman::traj::DatasetSpec spec = kind == "lorry"
+                                             ? tman::traj::LorryLikeSpec()
+                                             : tman::traj::TDriveLikeSpec();
+    const auto data = tman::traj::Generate(spec, count, 4242);
+    const tman::Status s = Write(argv[4], data);
+    if (!s.ok()) {
+      fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    printf("wrote %zu %s-like trajectories to %s\n", data.size(),
+           spec.name.c_str(), argv[4]);
+    return 0;
+  }
+
+  if (command == "convert") {
+    if (argc != 4) return Usage();
+    std::vector<tman::traj::Trajectory> data;
+    tman::Status s = Read(argv[2], &data);
+    if (!s.ok()) {
+      fprintf(stderr, "read failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    s = Write(argv[3], data);
+    if (!s.ok()) {
+      fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    printf("converted %zu trajectories: %s -> %s\n", data.size(), argv[2],
+           argv[3]);
+    return 0;
+  }
+
+  if (command == "stats") {
+    std::vector<tman::traj::Trajectory> data;
+    const tman::Status s = Read(argv[2], &data);
+    if (!s.ok()) {
+      fprintf(stderr, "read failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    size_t points = 0;
+    int64_t min_t = INT64_MAX, max_t = INT64_MIN;
+    tman::geo::MBR bounds = tman::geo::MBR::Empty();
+    std::map<std::string, int> objects;
+    for (const auto& t : data) {
+      points += t.points.size();
+      objects[t.oid]++;
+      if (!t.points.empty()) {
+        min_t = std::min(min_t, t.start_time());
+        max_t = std::max(max_t, t.end_time());
+        bounds.Merge(t.ComputeMBR());
+      }
+    }
+    printf("trajectories: %zu\n", data.size());
+    printf("objects:      %zu\n", objects.size());
+    printf("points:       %zu (avg %.1f per trajectory)\n", points,
+           data.empty() ? 0.0
+                        : static_cast<double>(points) /
+                              static_cast<double>(data.size()));
+    printf("time span:    [%lld, %lld] (%.1f days)\n",
+           static_cast<long long>(min_t), static_cast<long long>(max_t),
+           static_cast<double>(max_t - min_t) / 86400.0);
+    printf("bounds:       (%.4f, %.4f) .. (%.4f, %.4f)\n", bounds.min_x,
+           bounds.min_y, bounds.max_x, bounds.max_y);
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,108 @@
+// Storage-layer walkthrough: uses the embedded LSM key-value store
+// directly (the substrate beneath TMan) to show the write path, flushes,
+// compaction, push-down filters, and crash recovery via the WAL.
+//
+//   ./build/examples/kv_inspect [data_dir]
+
+#include <cstdio>
+#include <memory>
+
+#include "kvstore/db.h"
+
+using tman::Slice;
+using tman::kv::DB;
+using tman::kv::Options;
+using tman::kv::ReadOptions;
+using tman::kv::ScanFilter;
+using tman::kv::ScanStats;
+using tman::kv::WriteBatch;
+using tman::kv::WriteOptions;
+
+namespace {
+
+void PrintStats(const char* label, DB* db) {
+  DB::Stats stats = db->GetStats();
+  printf("%s: memtable=%llu bytes, levels=[", label,
+         static_cast<unsigned long long>(stats.memtable_bytes));
+  for (size_t i = 0; i < stats.files_per_level.size(); i++) {
+    printf("%s%d", i == 0 ? "" : " ", stats.files_per_level[i]);
+  }
+  printf("], cache hits=%llu misses=%llu\n",
+         static_cast<unsigned long long>(stats.block_cache_hits),
+         static_cast<unsigned long long>(stats.block_cache_misses));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/tman_kv_inspect";
+
+  Options options;
+  options.write_buffer_size = 64 * 1024;  // small so flushes are visible
+  options.l0_compaction_trigger = 4;
+
+  std::unique_ptr<DB> db;
+  tman::Status s = DB::Open(options, dir, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Write enough rows to trigger several memtable flushes and an L0->L1
+  // compaction.
+  WriteOptions wo;
+  for (int i = 0; i < 5000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "vehicle%05d", i % 1000);
+    s = db->Put(wo, key, "position-update-" + std::to_string(i));
+    if (!s.ok()) {
+      fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  PrintStats("after 5000 puts", db.get());
+
+  // Atomic multi-row updates via a write batch.
+  WriteBatch batch;
+  batch.Put("vehicle00042", "reassigned");
+  batch.Delete("vehicle00043");
+  batch.Put("vehicle00044", "maintenance");
+  db->Write(wo, &batch);
+
+  std::string value;
+  db->Get(ReadOptions(), "vehicle00042", &value);
+  printf("vehicle00042 -> %s\n", value.c_str());
+  printf("vehicle00043 -> %s\n",
+         db->Get(ReadOptions(), "vehicle00043", &value).ToString().c_str());
+
+  // Push-down filtered scan: the predicate runs inside the storage layer.
+  struct MaintenanceFilter : public ScanFilter {
+    bool Matches(const Slice&, const Slice& value) const override {
+      return value == Slice("maintenance");
+    }
+  } filter;
+  std::vector<std::pair<std::string, std::string>> rows;
+  ScanStats stats;
+  db->Scan(ReadOptions(), "vehicle00000", "vehicle01000", &filter, 0, &rows,
+           &stats);
+  printf("filtered scan: %llu rows scanned in storage, %llu matched\n",
+         static_cast<unsigned long long>(stats.scanned),
+         static_cast<unsigned long long>(stats.matched));
+
+  // Manual full compaction and its effect on the level shape.
+  db->CompactAll();
+  PrintStats("after CompactAll", db.get());
+
+  // Crash recovery: reopen and verify the batch survived (WAL replay for
+  // anything unflushed, SSTables for the rest).
+  db.reset();
+  s = DB::Open(options, dir, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "reopen failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  db->Get(ReadOptions(), "vehicle00044", &value);
+  printf("after reopen: vehicle00044 -> %s\n", value.c_str());
+  PrintStats("after reopen", db.get());
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Quickstart: open a TMan instance, load a small synthetic taxi workload,
+// and run each of the fundamental query types once.
+//
+//   ./build/examples/quickstart [data_dir]
+
+#include <cstdio>
+#include <memory>
+
+#include "core/tman.h"
+#include "geo/similarity.h"
+#include "traj/generator.h"
+
+using tman::core::QueryStats;
+using tman::core::TMan;
+using tman::core::TManOptions;
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/tman_quickstart";
+
+  // 1. Describe the dataset and open the store. The spatial boundary is
+  //    required: trajectories are normalized against it for indexing.
+  const tman::traj::DatasetSpec spec = tman::traj::TDriveLikeSpec();
+  TManOptions options;
+  options.bounds = spec.bounds;
+  options.tr.period_seconds = 1800;              // 30-minute time periods
+  options.tr.max_periods = 48;                   // bins up to 24 hours
+  options.tshape = tman::index::TShapeConfig{3, 3, 15};  // 3x3 shapes
+
+  std::unique_ptr<TMan> db;
+  tman::Status s = TMan::Open(options, dir, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Load trajectories. BulkLoad jointly optimizes the shape codes of
+  //    each enlarged element before writing.
+  const auto data = tman::traj::Generate(spec, 2000, /*seed=*/7);
+  s = db->BulkLoad(data);
+  if (!s.ok()) {
+    fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("loaded %zu trajectories (%llu bytes on disk after flush)\n",
+         data.size(),
+         (db->Flush(), static_cast<unsigned long long>(db->StorageBytes())));
+
+  // 3. Temporal range query: everything moving in a 2-hour window.
+  {
+    const int64_t ts = spec.t0 + 24 * 3600;
+    std::vector<tman::traj::Trajectory> results;
+    QueryStats stats;
+    db->TemporalRangeQuery(ts, ts + 2 * 3600, &results, &stats);
+    printf("TRQ: %zu trajectories, %llu candidates, %.2f ms (plan %s)\n",
+           results.size(), static_cast<unsigned long long>(stats.candidates),
+           stats.execution_ms, stats.plan.c_str());
+  }
+
+  // 4. Spatial range query: a ~2km window in central Beijing.
+  {
+    const tman::geo::MBR window{116.39, 39.90, 116.41, 39.92};
+    std::vector<tman::traj::Trajectory> results;
+    QueryStats stats;
+    db->SpatialRangeQuery(window, &results, &stats);
+    printf("SRQ: %zu trajectories, %llu candidates, %.2f ms\n", results.size(),
+           static_cast<unsigned long long>(stats.candidates),
+           stats.execution_ms);
+  }
+
+  // 5. Spatio-temporal range query.
+  {
+    const tman::geo::MBR window{116.3, 39.85, 116.5, 39.95};
+    const int64_t ts = spec.t0 + 2 * 24 * 3600;
+    std::vector<tman::traj::Trajectory> results;
+    QueryStats stats;
+    db->SpatioTemporalRangeQuery(window, ts, ts + 6 * 3600, &results, &stats);
+    printf("STRQ: %zu trajectories, %llu candidates, %.2f ms (plan %s)\n",
+           results.size(), static_cast<unsigned long long>(stats.candidates),
+           stats.execution_ms, stats.plan.c_str());
+  }
+
+  // 6. ID-temporal query: one vehicle's trips over half the week.
+  {
+    std::vector<tman::traj::Trajectory> results;
+    QueryStats stats;
+    db->IDTemporalQuery(data[0].oid, spec.t0,
+                        spec.t0 + spec.horizon_seconds / 2, &results, &stats);
+    printf("IDT(%s): %zu trips, %.2f ms\n", data[0].oid.c_str(),
+           results.size(), stats.execution_ms);
+  }
+
+  // 7. Similarity queries against one of the loaded trajectories.
+  {
+    std::vector<tman::traj::Trajectory> results;
+    QueryStats stats;
+    db->ThresholdSimilarityQuery(data[10],
+                                 tman::geo::SimilarityMeasure::kFrechet,
+                                 /*threshold=*/0.02, &results, &stats);
+    printf("threshold similarity: %zu matches, %llu exact distances, "
+           "%.2f ms\n",
+           results.size(),
+           static_cast<unsigned long long>(stats.exact_distance_computations),
+           stats.execution_ms);
+
+    results.clear();
+    QueryStats topk_stats;
+    db->TopKSimilarityQuery(data[10], tman::geo::SimilarityMeasure::kFrechet,
+                            5, &results, &topk_stats);
+    printf("top-5 similar to %s:\n", data[10].tid.c_str());
+    for (const auto& t : results) {
+      printf("  %s (%zu points)\n", t.tid.c_str(), t.points.size());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+#ifndef TMAN_BASELINES_SIMILARITY_BASELINES_H_
+#define TMAN_BASELINES_SIMILARITY_BASELINES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/similarity.h"
+#include "traj/trajectory.h"
+
+namespace tman::baselines {
+
+struct SimilarityStats {
+  uint64_t candidates = 0;
+  uint64_t exact_distance_computations = 0;
+  double execution_ms = 0;
+};
+
+struct SimilarityResult {
+  std::string tid;
+  double distance;
+};
+
+// DFT (VLDB'17): distributed trajectory similarity search over segments.
+// Reproduced at the algorithmic level: space is grid-partitioned; every
+// trajectory is registered in each partition its segments cross. A top-k
+// query samples c*k trajectories from partitions intersecting the query's
+// extent to obtain a pruning threshold, then verifies candidates. As the
+// paper observes, trajectories with large MBRs inflate the threshold and
+// the candidate set.
+class DFT {
+ public:
+  struct Options {
+    traj::SpatialBounds bounds;
+    int grid_bits = 5;  // 32x32 partitions
+    int c = 2;          // threshold-seeding multiplier
+  };
+
+  explicit DFT(const Options& options) : options_(options) {}
+
+  void Load(const std::vector<traj::Trajectory>& trajectories);
+
+  std::vector<SimilarityResult> Threshold(const traj::Trajectory& query,
+                                          geo::SimilarityMeasure measure,
+                                          double threshold,
+                                          SimilarityStats* stats);
+
+  std::vector<SimilarityResult> TopK(const traj::Trajectory& query,
+                                     geo::SimilarityMeasure measure, size_t k,
+                                     SimilarityStats* stats);
+
+ private:
+  uint32_t PartitionOf(double lon, double lat) const;
+  std::vector<uint32_t> PartitionsOf(const geo::MBR& rect) const;
+
+  Options options_;
+  std::vector<traj::Trajectory> data_;
+  std::vector<geo::MBR> mbrs_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> partitions_;
+};
+
+// DITA (SIGMOD'18): in-memory trie over pivot points. Reproduced as a
+// two-level pivot index over the (first, last) points of each trajectory;
+// queries probe all pivot cells within the current distance bound. Large
+// datasets with wide spatial spans make the trie coarse and expensive to
+// probe, matching the paper's observation.
+class DITA {
+ public:
+  struct Options {
+    traj::SpatialBounds bounds;
+    int pivot_bits = 6;  // pivot grid resolution
+  };
+
+  explicit DITA(const Options& options) : options_(options) {}
+
+  void Load(const std::vector<traj::Trajectory>& trajectories);
+
+  std::vector<SimilarityResult> Threshold(const traj::Trajectory& query,
+                                          geo::SimilarityMeasure measure,
+                                          double threshold,
+                                          SimilarityStats* stats);
+
+  std::vector<SimilarityResult> TopK(const traj::Trajectory& query,
+                                     geo::SimilarityMeasure measure, size_t k,
+                                     SimilarityStats* stats);
+
+ private:
+  uint64_t PivotKey(const geo::TimedPoint& first,
+                    const geo::TimedPoint& last) const;
+  uint32_t CellOf(double lon, double lat) const;
+  // All trajectories whose (first, last) pivot cells are within `bound`
+  // (in cells) of the query's pivot cells.
+  std::vector<uint32_t> Probe(const traj::Trajectory& query,
+                              double bound) const;
+
+  Options options_;
+  std::vector<traj::Trajectory> data_;
+  std::vector<geo::MBR> mbrs_;
+  std::map<uint64_t, std::vector<uint32_t>> trie_;
+};
+
+// REPOSE (ICDE'21): reference-point trie. Each trajectory is summarized by
+// the sequence of its nearest reference points; a trie over the summaries
+// drives filtering. With a large spatial span the reference set must be
+// coarse, which weakens pruning (paper §VI-E).
+class REPOSE {
+ public:
+  struct Options {
+    traj::SpatialBounds bounds;
+    int num_reference_points = 64;
+    int signature_length = 8;
+  };
+
+  explicit REPOSE(const Options& options) : options_(options) {}
+
+  void Load(const std::vector<traj::Trajectory>& trajectories);
+
+  std::vector<SimilarityResult> Threshold(const traj::Trajectory& query,
+                                          geo::SimilarityMeasure measure,
+                                          double threshold,
+                                          SimilarityStats* stats);
+
+  std::vector<SimilarityResult> TopK(const traj::Trajectory& query,
+                                     geo::SimilarityMeasure measure, size_t k,
+                                     SimilarityStats* stats);
+
+ private:
+  std::vector<int> SignatureOf(const traj::Trajectory& t) const;
+
+  Options options_;
+  std::vector<geo::Point> references_;
+  std::vector<traj::Trajectory> data_;
+  std::vector<geo::MBR> mbrs_;
+  std::vector<std::vector<int>> signatures_;
+};
+
+}  // namespace tman::baselines
+
+#endif  // TMAN_BASELINES_SIMILARITY_BASELINES_H_

@@ -1,0 +1,137 @@
+#ifndef TMAN_CACHESTORE_LFU_CACHE_H_
+#define TMAN_CACHESTORE_LFU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace tman::cache {
+
+// O(1) LFU cache (frequency-bucket list design). Ties inside a frequency
+// bucket break LRU. TMan's index cache uses this policy to keep hot
+// enlarged-element shape maps in memory (paper §IV-B(3)).
+template <typename K, typename V>
+class LFUCache {
+ public:
+  explicit LFUCache(size_t capacity) : capacity_(capacity) {}
+
+  LFUCache(const LFUCache&) = delete;
+  LFUCache& operator=(const LFUCache&) = delete;
+
+  // Returns true and sets *value if present (bumps frequency).
+  bool Get(const K& key, V* value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      misses_++;
+      return false;
+    }
+    hits_++;
+    Touch(it);
+    *value = it->second.value;
+    return true;
+  }
+
+  // Inserts or overwrites. Evicts the least frequently used entry if full.
+  void Put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.value = std::move(value);
+      Touch(it);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      EvictOne();
+    }
+    auto& bucket = buckets_[1];
+    bucket.push_front(key);
+    entries_.emplace(key, Entry{std::move(value), 1, bucket.begin()});
+    if (min_freq_ == 0 || min_freq_ > 1) min_freq_ = 1;
+  }
+
+  bool Erase(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    RemoveFromBucket(it);
+    entries_.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    buckets_.clear();
+    min_freq_ = 0;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    V value;
+    uint64_t freq;
+    typename std::list<K>::iterator pos;
+  };
+
+  using EntryMap = std::unordered_map<K, Entry>;
+
+  void Touch(typename EntryMap::iterator it) {
+    const uint64_t old_freq = it->second.freq;
+    auto& old_bucket = buckets_[old_freq];
+    old_bucket.erase(it->second.pos);
+    if (old_bucket.empty()) {
+      buckets_.erase(old_freq);
+      if (min_freq_ == old_freq) min_freq_ = old_freq + 1;
+    }
+    const uint64_t new_freq = old_freq + 1;
+    auto& bucket = buckets_[new_freq];
+    bucket.push_front(it->first);
+    it->second.freq = new_freq;
+    it->second.pos = bucket.begin();
+  }
+
+  void RemoveFromBucket(typename EntryMap::iterator it) {
+    auto& bucket = buckets_[it->second.freq];
+    bucket.erase(it->second.pos);
+    if (bucket.empty()) buckets_.erase(it->second.freq);
+  }
+
+  void EvictOne() {
+    auto bit = buckets_.find(min_freq_);
+    if (bit == buckets_.end()) {
+      // min_freq_ is stale; find the smallest occupied bucket.
+      if (buckets_.empty()) return;
+      bit = buckets_.begin();
+      for (auto i = buckets_.begin(); i != buckets_.end(); ++i) {
+        if (i->first < bit->first) bit = i;
+      }
+    }
+    const K victim = bit->second.back();
+    bit->second.pop_back();
+    if (bit->second.empty()) buckets_.erase(bit);
+    entries_.erase(victim);
+    evictions_++;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  EntryMap entries_;
+  std::unordered_map<uint64_t, std::list<K>> buckets_;
+  uint64_t min_freq_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace tman::cache
+
+#endif  // TMAN_CACHESTORE_LFU_CACHE_H_

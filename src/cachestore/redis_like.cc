@@ -1,0 +1,71 @@
+#include "cachestore/redis_like.h"
+
+namespace tman::cache {
+
+bool RedisLikeStore::HSet(const std::string& key, const std::string& field,
+                          const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_++;
+  auto& hash = data_[key];
+  auto [it, inserted] = hash.insert_or_assign(field, value);
+  (void)it;
+  return inserted;
+}
+
+bool RedisLikeStore::HGet(const std::string& key, const std::string& field,
+                          std::string* value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_++;
+  auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  auto fit = it->second.find(field);
+  if (fit == it->second.end()) return false;
+  *value = fit->second;
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>> RedisLikeStore::HGetAll(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_++;
+  std::vector<std::pair<std::string, std::string>> result;
+  auto it = data_.find(key);
+  if (it == data_.end()) return result;
+  result.reserve(it->second.size());
+  for (const auto& [field, value] : it->second) {
+    result.emplace_back(field, value);
+  }
+  return result;
+}
+
+bool RedisLikeStore::HDel(const std::string& key, const std::string& field) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_++;
+  auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  return it->second.erase(field) > 0;
+}
+
+bool RedisLikeStore::Del(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_++;
+  return data_.erase(key) > 0;
+}
+
+bool RedisLikeStore::Exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.count(key) > 0;
+}
+
+size_t RedisLikeStore::HLen(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  return it == data_.end() ? 0 : it->second.size();
+}
+
+size_t RedisLikeStore::KeyCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.size();
+}
+
+}  // namespace tman::cache

@@ -1,0 +1,57 @@
+#ifndef TMAN_CACHESTORE_REDIS_LIKE_H_
+#define TMAN_CACHESTORE_REDIS_LIKE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tman::cache {
+
+// In-process stand-in for the Redis instance TMan uses as the durable
+// backing store of the index cache. Supports the hash-structure subset TMan
+// needs: HSET / HGET / HGETALL / HDEL / DEL, binary-safe keys and values.
+// Thread-safe. Operation counters let benchmarks account for round trips.
+class RedisLikeStore {
+ public:
+  RedisLikeStore() = default;
+
+  RedisLikeStore(const RedisLikeStore&) = delete;
+  RedisLikeStore& operator=(const RedisLikeStore&) = delete;
+
+  // Sets field in the hash at key. Returns true if the field is new.
+  bool HSet(const std::string& key, const std::string& field,
+            const std::string& value);
+
+  // Reads hash field; returns false if key or field is absent.
+  bool HGet(const std::string& key, const std::string& field,
+            std::string* value) const;
+
+  // All (field, value) pairs of the hash at key (empty if absent).
+  std::vector<std::pair<std::string, std::string>> HGetAll(
+      const std::string& key) const;
+
+  // Removes a field; returns true if it existed.
+  bool HDel(const std::string& key, const std::string& field);
+
+  // Removes an entire key; returns true if it existed.
+  bool Del(const std::string& key);
+
+  bool Exists(const std::string& key) const;
+  size_t HLen(const std::string& key) const;
+  size_t KeyCount() const;
+
+  uint64_t ops() const { return ops_; }
+  void ResetOps() { ops_ = 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::map<std::string, std::string>> data_;
+  mutable uint64_t ops_ = 0;
+};
+
+}  // namespace tman::cache
+
+#endif  // TMAN_CACHESTORE_REDIS_LIKE_H_

@@ -1,0 +1,234 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "kvstore/write_batch.h"
+
+namespace tman::cluster {
+
+// ---------------------------------------------------------------------------
+// Region
+
+Status Region::Scan(const KeyRange& range, const kv::ScanFilter* filter,
+                    size_t limit, std::vector<Row>* out,
+                    kv::ScanStats* stats) {
+  std::vector<std::pair<std::string, std::string>> rows;
+  Status s = db_->Scan(kv::ReadOptions(), range.start, range.end, filter,
+                       limit, &rows, stats);
+  if (!s.ok()) return s;
+  out->reserve(out->size() + rows.size());
+  for (auto& [k, v] : rows) {
+    out->push_back(Row{std::move(k), std::move(v)});
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ClusterTable
+
+ClusterTable::ClusterTable(std::string name,
+                           std::vector<std::unique_ptr<Region>> regions,
+                           ThreadPool* pool)
+    : name_(std::move(name)), regions_(std::move(regions)), pool_(pool) {}
+
+namespace {
+
+// Shard byte of a rowkey; keys are always at least one byte in TMan tables.
+uint8_t ShardOf(const Slice& key) {
+  return key.empty() ? 0 : static_cast<uint8_t>(key[0]);
+}
+
+}  // namespace
+
+Status ClusterTable::Put(const Slice& key, const Slice& value) {
+  const int shard = ShardOf(key) % num_shards();
+  return regions_[shard]->db()->Put(kv::WriteOptions(), key, value);
+}
+
+Status ClusterTable::Delete(const Slice& key) {
+  const int shard = ShardOf(key) % num_shards();
+  return regions_[shard]->db()->Delete(kv::WriteOptions(), key);
+}
+
+Status ClusterTable::Get(const Slice& key, std::string* value) {
+  const int shard = ShardOf(key) % num_shards();
+  return regions_[shard]->db()->Get(kv::ReadOptions(), key, value);
+}
+
+Status ClusterTable::BatchPut(const std::vector<Row>& rows) {
+  std::vector<kv::WriteBatch> batches(regions_.size());
+  for (const Row& row : rows) {
+    batches[ShardOf(row.key) % num_shards()].Put(row.key, row.value);
+  }
+  for (size_t i = 0; i < regions_.size(); i++) {
+    if (batches[i].Count() == 0) continue;
+    Status s = regions_[i]->db()->Write(kv::WriteOptions(), &batches[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+std::vector<Region*> ClusterTable::RoutingRegions(const KeyRange& range) {
+  // The shard byte is the routing dimension: a range [start, end) touches
+  // shard s iff s is in [start[0], end[0]] (end exclusive unless more key
+  // bytes follow). Empty start means shard 0; empty end means the last one.
+  std::vector<Region*> result;
+  unsigned first = range.start.empty()
+                       ? 0u
+                       : static_cast<uint8_t>(range.start[0]) %
+                             static_cast<unsigned>(num_shards());
+  unsigned first_raw =
+      range.start.empty() ? 0u : static_cast<uint8_t>(range.start[0]);
+  unsigned last_raw = range.end.empty()
+                          ? 255u
+                          : static_cast<uint8_t>(range.end[0]);
+  if (!range.end.empty() && range.end.size() == 1 && last_raw > 0) {
+    last_raw--;  // end is exclusive and has no further bytes
+  }
+  (void)first;
+  std::vector<bool> seen(regions_.size(), false);
+  for (unsigned b = first_raw; b <= last_raw; b++) {
+    unsigned shard = b % static_cast<unsigned>(num_shards());
+    if (!seen[shard]) {
+      seen[shard] = true;
+      result.push_back(regions_[shard].get());
+    }
+    if (result.size() == regions_.size()) break;
+  }
+  return result;
+}
+
+Status ClusterTable::ParallelScan(const std::vector<KeyRange>& ranges,
+                                  const kv::ScanFilter* filter, size_t limit,
+                                  std::vector<Row>* out,
+                                  kv::ScanStats* stats) {
+  struct Task {
+    Region* region;
+    const KeyRange* range;
+    std::vector<Row> rows;
+    kv::ScanStats stats;
+    Status status;
+  };
+  std::vector<Task> tasks;
+  for (const KeyRange& range : ranges) {
+    for (Region* region : RoutingRegions(range)) {
+      tasks.push_back(Task{region, &range, {}, {}, Status::OK()});
+    }
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  for (Task& task : tasks) {
+    futures.push_back(pool_->Submit([&task, filter, limit] {
+      task.status = task.region->Scan(*task.range, filter, limit, &task.rows,
+                                      &task.stats);
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  for (Task& task : tasks) {
+    if (!task.status.ok()) return task.status;
+    if (stats != nullptr) *stats += task.stats;
+    out->insert(out->end(), std::make_move_iterator(task.rows.begin()),
+                std::make_move_iterator(task.rows.end()));
+  }
+  return Status::OK();
+}
+
+Status ClusterTable::ScanWithoutPushdown(const std::vector<KeyRange>& ranges,
+                                         const kv::ScanFilter* filter,
+                                         std::vector<Row>* out,
+                                         kv::ScanStats* stats) {
+  // Ship every row in the windows to the "client", then filter there.
+  std::vector<Row> shipped;
+  kv::ScanStats shipping_stats;
+  Status s = ParallelScan(ranges, nullptr, 0, &shipped, &shipping_stats);
+  if (!s.ok()) return s;
+  if (stats != nullptr) {
+    stats->scanned += shipping_stats.scanned;
+  }
+  for (Row& row : shipped) {
+    if (filter == nullptr || filter->Matches(row.key, row.value)) {
+      if (stats != nullptr) stats->matched++;
+      out->push_back(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterTable::Flush() {
+  for (auto& region : regions_) {
+    Status s = region->db()->Flush();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ClusterTable::CompactAll() {
+  for (auto& region : regions_) {
+    Status s = region->db()->CompactAll();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+uint64_t ClusterTable::TotalBytes() {
+  uint64_t total = 0;
+  for (auto& region : regions_) {
+    kv::DB::Stats stats = region->db()->GetStats();
+    for (uint64_t b : stats.bytes_per_level) total += b;
+    total += stats.memtable_bytes;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+
+Cluster::Cluster(std::string base_dir, int num_servers, kv::Options options)
+    : base_dir_(std::move(base_dir)),
+      num_servers_(num_servers),
+      options_(options),
+      pool_(static_cast<size_t>(num_servers)) {
+  std::filesystem::create_directories(base_dir_);
+}
+
+Status Cluster::CreateTable(const std::string& name, int num_shards) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("table exists: " + name);
+  }
+  const std::string table_dir = base_dir_ + "/" + name;
+  std::filesystem::create_directories(table_dir);
+  std::vector<std::unique_ptr<Region>> regions;
+  regions.reserve(num_shards);
+  for (int i = 0; i < num_shards; i++) {
+    std::unique_ptr<kv::DB> db;
+    Status s = kv::DB::Open(options_, table_dir + "/shard" + std::to_string(i),
+                            &db);
+    if (!s.ok()) return s;
+    regions.push_back(
+        std::make_unique<Region>(static_cast<uint8_t>(i), std::move(db)));
+  }
+  tables_[name] =
+      std::make_unique<ClusterTable>(name, std::move(regions), &pool_);
+  return Status::OK();
+}
+
+Status Cluster::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  tables_.erase(it);
+  std::filesystem::remove_all(base_dir_ + "/" + name);
+  return Status::OK();
+}
+
+ClusterTable* Cluster::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace tman::cluster

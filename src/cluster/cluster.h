@@ -1,0 +1,131 @@
+#ifndef TMAN_CLUSTER_CLUSTER_H_
+#define TMAN_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "kvstore/db.h"
+#include "kvstore/options.h"
+#include "kvstore/scan_filter.h"
+
+namespace tman::cluster {
+
+struct Row {
+  std::string key;
+  std::string value;
+};
+
+// Half-open rowkey interval [start, end); empty end means "to infinity".
+struct KeyRange {
+  std::string start;
+  std::string end;
+};
+
+// A region hosts one contiguous rowkey range of a table, backed by its own
+// LSM store (the HBase region analogue). TMan rowkeys start with a one-byte
+// shard prefix, and each shard value maps to exactly one region, so region
+// routing is the first key byte.
+class Region {
+ public:
+  Region(uint8_t shard, std::unique_ptr<kv::DB> db)
+      : shard_(shard), db_(std::move(db)) {}
+
+  uint8_t shard() const { return shard_; }
+  kv::DB* db() { return db_.get(); }
+
+  // Executes a filtered scan inside the region (push-down execution).
+  Status Scan(const KeyRange& range, const kv::ScanFilter* filter,
+              size_t limit, std::vector<Row>* out, kv::ScanStats* stats);
+
+ private:
+  uint8_t shard_;
+  std::unique_ptr<kv::DB> db_;
+};
+
+// A distributed sorted table: `num_shards` regions spread over the cluster's
+// region servers. Writes route by the shard byte; scans fan out to every
+// region whose range intersects the query window and run in parallel on the
+// cluster thread pool.
+class ClusterTable {
+ public:
+  ClusterTable(std::string name, std::vector<std::unique_ptr<Region>> regions,
+               ThreadPool* pool);
+
+  const std::string& name() const { return name_; }
+  int num_shards() const { return static_cast<int>(regions_.size()); }
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  Status Get(const Slice& key, std::string* value);
+
+  // Groups the batch rows by shard and writes one batch per region.
+  Status BatchPut(const std::vector<Row>& rows);
+
+  // Scans all `ranges` in parallel with the filter pushed down to the
+  // regions. Results are concatenated (callers needing global key order
+  // sort afterwards). limit==0 means unlimited; a non-zero limit applies
+  // per range.
+  Status ParallelScan(const std::vector<KeyRange>& ranges,
+                      const kv::ScanFilter* filter, size_t limit,
+                      std::vector<Row>* out, kv::ScanStats* stats);
+
+  // Same windows, but without push-down: all rows in the ranges are
+  // shipped back and the filter is applied caller-side. Models systems that
+  // cannot execute filters in the storage layer; stats count every shipped
+  // row as scanned.
+  Status ScanWithoutPushdown(const std::vector<KeyRange>& ranges,
+                             const kv::ScanFilter* filter,
+                             std::vector<Row>* out, kv::ScanStats* stats);
+
+  Status Flush();
+  Status CompactAll();
+
+  // Total SSTable bytes across regions (storage-cost accounting).
+  uint64_t TotalBytes();
+
+ private:
+  // Regions whose shard range intersects [range.start, range.end).
+  std::vector<Region*> RoutingRegions(const KeyRange& range);
+
+  std::string name_;
+  std::vector<std::unique_ptr<Region>> regions_;
+  ThreadPool* pool_;
+};
+
+// A simulated cluster: `num_servers` logical region servers sharing a
+// thread pool with one thread per server. Tables are created with a shard
+// count; shard i is hosted by server (i % num_servers).
+class Cluster {
+ public:
+  // base_dir is created if missing; each table gets a subdirectory.
+  Cluster(std::string base_dir, int num_servers, kv::Options options);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Status CreateTable(const std::string& name, int num_shards);
+  Status DropTable(const std::string& name);
+  ClusterTable* GetTable(const std::string& name);
+
+  int num_servers() const { return num_servers_; }
+  ThreadPool* pool() { return &pool_; }
+
+ private:
+  std::string base_dir_;
+  int num_servers_;
+  kv::Options options_;
+  ThreadPool pool_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<ClusterTable>> tables_;
+};
+
+}  // namespace tman::cluster
+
+#endif  // TMAN_CLUSTER_CLUSTER_H_

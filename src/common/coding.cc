@@ -1,0 +1,160 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace tman {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  memcpy(buf, &value, sizeof(value));
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  memcpy(buf, &value, sizeof(value));
+  dst->append(buf, sizeof(buf));
+}
+
+uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+void PutBigEndian32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value >> 24);
+  buf[1] = static_cast<char>(value >> 16);
+  buf[2] = static_cast<char>(value >> 8);
+  buf[3] = static_cast<char>(value);
+  dst->append(buf, 4);
+}
+
+void PutBigEndian64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; i++) {
+    buf[i] = static_cast<char>(value >> (56 - 8 * i));
+  }
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeBigEndian32(const char* ptr) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(ptr);
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+uint64_t DecodeBigEndian64(const char* ptr) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(ptr);
+  uint64_t result = 0;
+  for (int i = 0; i < 8; i++) {
+    result = (result << 8) | p[i];
+  }
+  return result;
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  unsigned char buf[5];
+  int i = 0;
+  while (v >= 0x80) {
+    buf[i++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[i++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), i);
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int i = 0;
+  while (v >= 0x80) {
+    buf[i++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[i++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), i);
+}
+
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && p < limit; shift += 7) {
+    uint32_t byte = static_cast<unsigned char>(*p);
+    p++;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p);
+    p++;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  const char* q = GetVarint32Ptr(p, limit, value);
+  if (q == nullptr) return false;
+  *input = Slice(q, limit - q);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  const char* q = GetVarint64Ptr(p, limit, value);
+  if (q == nullptr) return false;
+  *input = Slice(q, limit - q);
+  return true;
+}
+
+int VarintLength(uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    len++;
+  }
+  return len;
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint32_t len;
+  if (GetVarint32(input, &len) && input->size() >= len) {
+    *result = Slice(input->data(), len);
+    input->remove_prefix(len);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tman

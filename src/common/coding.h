@@ -1,0 +1,51 @@
+#ifndef TMAN_COMMON_CODING_H_
+#define TMAN_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace tman {
+
+// Little-endian fixed-width encodings (internal storage format) and
+// big-endian "key" encodings that preserve unsigned numeric order under
+// bytewise comparison (used to build sorted rowkeys).
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+uint32_t DecodeFixed32(const char* ptr);
+uint64_t DecodeFixed64(const char* ptr);
+
+// Big-endian order-preserving encodings for rowkeys.
+void PutBigEndian32(std::string* dst, uint32_t value);
+void PutBigEndian64(std::string* dst, uint64_t value);
+uint32_t DecodeBigEndian32(const char* ptr);
+uint64_t DecodeBigEndian64(const char* ptr);
+
+// Varints (LEB128).
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+// Returns pointer past the parsed value, or nullptr on malformed input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+// Slice-consuming variants; return false on malformed input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+int VarintLength(uint64_t v);
+
+// Length-prefixed slices.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+// ZigZag maps signed ints to unsigned so small magnitudes stay small.
+inline uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode64(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace tman
+
+#endif  // TMAN_COMMON_CODING_H_

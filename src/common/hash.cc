@@ -1,0 +1,80 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace tman {
+
+uint32_t Hash32(const char* data, size_t n, uint32_t seed) {
+  // Similar to murmur hash.
+  const uint32_t m = 0xc6a4a793;
+  const uint32_t r = 24;
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (data + 4 <= limit) {
+    uint32_t w;
+    memcpy(&w, data, 4);
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+
+  switch (limit - data) {
+    case 3:
+      h += static_cast<unsigned char>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<unsigned char>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<unsigned char>(data[0]);
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+uint64_t Hash64(const char* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; i++) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+struct Crc32cTable {
+  uint32_t table[256];
+  Crc32cTable() {
+    const uint32_t poly = 0x82f63b78;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; k++) {
+        crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+      }
+      table[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& GetCrcTable() {
+  static const Crc32cTable* table = new Crc32cTable();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const char* data, size_t n) {
+  const Crc32cTable& t = GetCrcTable();
+  uint32_t crc = 0xffffffff;
+  for (size_t i = 0; i < n; i++) {
+    crc = (crc >> 8) ^ t.table[(crc ^ static_cast<unsigned char>(data[i])) & 0xff];
+  }
+  return crc ^ 0xffffffff;
+}
+
+}  // namespace tman

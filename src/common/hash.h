@@ -1,0 +1,22 @@
+#ifndef TMAN_COMMON_HASH_H_
+#define TMAN_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tman {
+
+// 32-bit MurmurHash-like hash used for bloom filters, cache sharding, and
+// rowkey shard prefixes.
+uint32_t Hash32(const char* data, size_t n, uint32_t seed);
+
+// 64-bit FNV-1a for identifiers.
+uint64_t Hash64(const char* data, size_t n);
+
+// CRC32 (Castagnoli polynomial, software implementation) for WAL and
+// SSTable block integrity checks.
+uint32_t Crc32c(const char* data, size_t n);
+
+}  // namespace tman
+
+#endif  // TMAN_COMMON_HASH_H_

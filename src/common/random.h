@@ -1,0 +1,57 @@
+#ifndef TMAN_COMMON_RANDOM_H_
+#define TMAN_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace tman {
+
+// Deterministic xorshift128+ RNG. All workload generation in tests and
+// benchmarks uses this so runs are reproducible across machines.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s0_ = seed ? seed : 0x9e3779b97f4a7c15ULL;
+    s1_ = SplitMix(&s0_);
+    s0_ = SplitMix(&s1_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace tman
+
+#endif  // TMAN_COMMON_RANDOM_H_

@@ -1,0 +1,33 @@
+#ifndef TMAN_COMMON_STOPWATCH_H_
+#define TMAN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tman {
+
+// Wall-clock stopwatch for benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tman
+
+#endif  // TMAN_COMMON_STOPWATCH_H_

@@ -1,0 +1,54 @@
+#ifndef TMAN_COMMON_THREAD_POOL_H_
+#define TMAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tman {
+
+// Fixed-size thread pool. Regions of the simulated cluster execute
+// pushed-down scans on this pool, which models the per-node parallelism of
+// a distributed key-value store.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Schedules fn and returns a future for its completion.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace tman
+
+#endif  // TMAN_COMMON_THREAD_POOL_H_

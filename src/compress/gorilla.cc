@@ -1,0 +1,142 @@
+#include "compress/gorilla.h"
+
+#include <bit>
+#include <cstring>
+
+namespace tman::compress {
+
+namespace {
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+void GorillaEncoder::WriteBit(bool bit) {
+  bit_buffer_ = static_cast<uint8_t>((bit_buffer_ << 1) | (bit ? 1 : 0));
+  bit_count_++;
+  if (bit_count_ == 8) {
+    buffer_.push_back(static_cast<char>(bit_buffer_));
+    bit_buffer_ = 0;
+    bit_count_ = 0;
+  }
+}
+
+void GorillaEncoder::WriteBits(uint64_t value, int bits) {
+  for (int i = bits - 1; i >= 0; i--) {
+    WriteBit((value >> i) & 1);
+  }
+}
+
+void GorillaEncoder::Add(double value) {
+  const uint64_t bits = DoubleToBits(value);
+  if (count_ == 0) {
+    WriteBits(bits, 64);
+  } else {
+    const uint64_t x = bits ^ prev_;
+    if (x == 0) {
+      WriteBit(false);
+    } else {
+      WriteBit(true);
+      int leading = std::countl_zero(x);
+      int trailing = std::countr_zero(x);
+      if (leading > 31) leading = 31;  // 5-bit field
+      if (prev_leading_ >= 0 && leading >= prev_leading_ &&
+          trailing >= prev_trailing_) {
+        // Control bit 0: reuse the previous window.
+        WriteBit(false);
+        const int meaningful = 64 - prev_leading_ - prev_trailing_;
+        WriteBits(x >> prev_trailing_, meaningful);
+      } else {
+        // Control bit 1: new window: 5 bits leading, 6 bits length.
+        WriteBit(true);
+        const int meaningful = 64 - leading - trailing;
+        WriteBits(static_cast<uint64_t>(leading), 5);
+        WriteBits(static_cast<uint64_t>(meaningful), 6);
+        WriteBits(x >> trailing, meaningful);
+        prev_leading_ = leading;
+        prev_trailing_ = trailing;
+      }
+    }
+  }
+  prev_ = bits;
+  count_++;
+}
+
+std::string GorillaEncoder::Finish() {
+  while (bit_count_ != 0) {
+    WriteBit(false);  // pad the final byte
+  }
+  return std::move(buffer_);
+}
+
+bool GorillaDecoder::ReadBit(bool* bit) {
+  if (byte_pos_ >= size_) return false;
+  const uint8_t byte = static_cast<uint8_t>(data_[byte_pos_]);
+  *bit = (byte >> (7 - bit_pos_)) & 1;
+  bit_pos_++;
+  if (bit_pos_ == 8) {
+    bit_pos_ = 0;
+    byte_pos_++;
+  }
+  return true;
+}
+
+bool GorillaDecoder::ReadBits(int bits, uint64_t* value) {
+  uint64_t result = 0;
+  for (int i = 0; i < bits; i++) {
+    bool bit;
+    if (!ReadBit(&bit)) return false;
+    result = (result << 1) | (bit ? 1 : 0);
+  }
+  *value = result;
+  return true;
+}
+
+bool GorillaDecoder::Decode(size_t count, std::vector<double>* out) {
+  out->clear();
+  if (count == 0) return true;
+  out->reserve(count);
+
+  uint64_t prev;
+  if (!ReadBits(64, &prev)) return false;
+  out->push_back(BitsToDouble(prev));
+
+  int leading = 0;
+  int meaningful = 0;
+  while (out->size() < count) {
+    bool changed;
+    if (!ReadBit(&changed)) return false;
+    if (!changed) {
+      out->push_back(BitsToDouble(prev));
+      continue;
+    }
+    bool new_window;
+    if (!ReadBit(&new_window)) return false;
+    if (new_window) {
+      uint64_t lead_bits, len_bits;
+      if (!ReadBits(5, &lead_bits) || !ReadBits(6, &len_bits)) return false;
+      leading = static_cast<int>(lead_bits);
+      meaningful = static_cast<int>(len_bits);
+      if (meaningful == 0) meaningful = 64;  // 6-bit overflow encoding
+    }
+    if (meaningful == 0 || leading + meaningful > 64) return false;
+    uint64_t xor_bits;
+    if (!ReadBits(meaningful, &xor_bits)) return false;
+    const int trailing = 64 - leading - meaningful;
+    prev ^= xor_bits << trailing;
+    out->push_back(BitsToDouble(prev));
+  }
+  return true;
+}
+
+}  // namespace tman::compress

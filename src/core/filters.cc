@@ -1,0 +1,40 @@
+#include "core/filters.h"
+
+#include "geo/similarity.h"
+
+namespace tman::core {
+
+bool TemporalRangeFilter::Matches(const Slice& key, const Slice& value) const {
+  (void)key;
+  RecordHeader header;
+  if (!DecodeRecordHeader(value, &header)) return false;
+  return header.ts <= te_ && header.te >= ts_;
+}
+
+bool SpatialRangeFilter::Matches(const Slice& key, const Slice& value) const {
+  (void)key;
+  RecordHeader header;
+  if (!DecodeRecordHeader(value, &header)) return false;
+  if (!header.mbr.Intersects(rect_)) return false;
+  if (rect_.Contains(header.mbr)) return true;
+  // Borderline: the MBR overlaps the window but the polyline may not.
+  std::vector<geo::TimedPoint> points;
+  if (!DecodeRecordPoints(header, &points)) return false;
+  return geo::PolylineIntersectsRect(points, rect_);
+}
+
+bool SimilarityFilter::Matches(const Slice& key, const Slice& value) const {
+  (void)key;
+  RecordHeader header;
+  if (!DecodeRecordHeader(value, &header)) return false;
+  if (geo::MBRLowerBound(header.mbr, query_features_.mbr) > threshold_) {
+    return false;
+  }
+  geo::DPFeatures features;
+  if (!DecodeRecordFeatures(header, &features)) {
+    return true;  // cannot bound: keep for exact verification
+  }
+  return geo::DPFeatureLowerBound(query_features_, features) <= threshold_;
+}
+
+}  // namespace tman::core

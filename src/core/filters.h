@@ -1,0 +1,82 @@
+#ifndef TMAN_CORE_FILTERS_H_
+#define TMAN_CORE_FILTERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/record.h"
+#include "geo/geometry.h"
+#include "kvstore/scan_filter.h"
+
+namespace tman::core {
+
+// Push-down filters (paper §V-G(2)): evaluated inside the storage layer so
+// only matching trajectory rows cross the storage boundary. All filters
+// parse only the fixed row header unless a precise geometric test is
+// required.
+
+// Keeps rows whose time range intersects [ts, te].
+class TemporalRangeFilter : public kv::ScanFilter {
+ public:
+  TemporalRangeFilter(int64_t ts, int64_t te) : ts_(ts), te_(te) {}
+
+  bool Matches(const Slice& key, const Slice& value) const override;
+
+ private:
+  int64_t ts_;
+  int64_t te_;
+};
+
+// Keeps rows whose trajectory actually visits `rect` (in data coordinates).
+// Fast path: MBR disjoint -> reject; MBR contained -> accept; otherwise
+// decompress the points and run the exact polyline test.
+class SpatialRangeFilter : public kv::ScanFilter {
+ public:
+  explicit SpatialRangeFilter(const geo::MBR& rect) : rect_(rect) {}
+
+  bool Matches(const Slice& key, const Slice& value) const override;
+
+ private:
+  geo::MBR rect_;
+};
+
+// Similarity pre-filter (the third push-down filter of §V-G): keeps rows
+// whose trajectory *could* be within `threshold` of the query, judged by
+// the MBR lower bound and then the DP-feature lower bound — both readable
+// from the row header/feature column without decompressing points. Rows
+// passing this filter still need exact verification by the caller.
+class SimilarityFilter : public kv::ScanFilter {
+ public:
+  SimilarityFilter(geo::DPFeatures query_features, double threshold)
+      : query_features_(std::move(query_features)), threshold_(threshold) {}
+
+  bool Matches(const Slice& key, const Slice& value) const override;
+
+ private:
+  geo::DPFeatures query_features_;
+  double threshold_;
+};
+
+// Conjunction of filters (the paper's filter chain).
+class FilterChain : public kv::ScanFilter {
+ public:
+  void Add(std::unique_ptr<kv::ScanFilter> filter) {
+    filters_.push_back(std::move(filter));
+  }
+
+  bool Matches(const Slice& key, const Slice& value) const override {
+    for (const auto& f : filters_) {
+      if (!f->Matches(key, value)) return false;
+    }
+    return true;
+  }
+
+  size_t size() const { return filters_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<kv::ScanFilter>> filters_;
+};
+
+}  // namespace tman::core
+
+#endif  // TMAN_CORE_FILTERS_H_

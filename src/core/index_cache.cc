@@ -1,0 +1,111 @@
+#include "core/index_cache.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace tman::core {
+
+IndexCache::IndexCache(cache::RedisLikeStore* redis, size_t lfu_capacity)
+    : redis_(redis), lfu_(lfu_capacity) {}
+
+std::string IndexCache::RedisKey(uint64_t quad_code) {
+  std::string key = "el:";
+  PutFixed64(&key, quad_code);
+  return key;
+}
+
+std::shared_ptr<const ElementShapes> IndexCache::GetElement(
+    uint64_t quad_code) {
+  std::shared_ptr<const ElementShapes> cached;
+  if (lfu_.Get(quad_code, &cached)) {
+    return cached;
+  }
+  // Miss: load the element's tuples from Redis.
+  redis_loads_++;
+  auto shapes = std::make_shared<ElementShapes>();
+  for (const auto& [field, value] : redis_->HGetAll(RedisKey(quad_code))) {
+    if (field.size() != 4 || value.size() != 4) continue;
+    shapes->shapes.emplace_back(DecodeFixed32(field.data()),
+                                DecodeFixed32(value.data()));
+  }
+  std::sort(shapes->shapes.begin(), shapes->shapes.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::shared_ptr<const ElementShapes> result = std::move(shapes);
+  lfu_.Put(quad_code, result);
+  return result;
+}
+
+void IndexCache::PutElement(
+    uint64_t quad_code, std::vector<std::pair<uint32_t, uint32_t>> shapes) {
+  const std::string key = RedisKey(quad_code);
+  redis_->Del(key);
+  for (const auto& [bits, code] : shapes) {
+    std::string field, value;
+    PutFixed32(&field, bits);
+    PutFixed32(&value, code);
+    redis_->HSet(key, field, value);
+  }
+  auto element = std::make_shared<ElementShapes>();
+  element->shapes = std::move(shapes);
+  std::sort(element->shapes.begin(), element->shapes.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  lfu_.Put(quad_code, std::shared_ptr<const ElementShapes>(std::move(element)));
+}
+
+void IndexCache::AddShape(uint64_t quad_code, uint32_t bits,
+                          uint32_t final_code) {
+  std::string field, value;
+  PutFixed32(&field, bits);
+  PutFixed32(&value, final_code);
+  redis_->HSet(RedisKey(quad_code), field, value);
+  // Refresh the LFU copy if resident.
+  std::shared_ptr<const ElementShapes> cached;
+  if (lfu_.Get(quad_code, &cached)) {
+    auto updated = std::make_shared<ElementShapes>(*cached);
+    updated->shapes.emplace_back(bits, final_code);
+    std::sort(updated->shapes.begin(), updated->shapes.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    lfu_.Put(quad_code,
+             std::shared_ptr<const ElementShapes>(std::move(updated)));
+  }
+}
+
+index::ShapeLookup IndexCache::AsLookup() {
+  return [this](uint64_t quad_code) {
+    return GetElement(quad_code)->shapes;
+  };
+}
+
+size_t BufferShapeCache::Add(uint64_t quad_code, uint32_t bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& shapes = buffered_[quad_code];
+  if (std::find(shapes.begin(), shapes.end(), bits) == shapes.end()) {
+    shapes.push_back(bits);
+    count_++;
+  }
+  return count_;
+}
+
+bool BufferShapeCache::Contains(uint64_t quad_code, uint32_t bits) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buffered_.find(quad_code);
+  if (it == buffered_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), bits) !=
+         it->second.end();
+}
+
+std::vector<std::pair<uint64_t, std::vector<uint32_t>>>
+BufferShapeCache::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint64_t, std::vector<uint32_t>>> result;
+  result.reserve(buffered_.size());
+  for (auto& [code, shapes] : buffered_) {
+    result.emplace_back(code, std::move(shapes));
+  }
+  buffered_.clear();
+  count_ = 0;
+  return result;
+}
+
+}  // namespace tman::core

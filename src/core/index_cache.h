@@ -1,0 +1,93 @@
+#ifndef TMAN_CORE_INDEX_CACHE_H_
+#define TMAN_CORE_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cachestore/lfu_cache.h"
+#include "cachestore/redis_like.h"
+#include "index/tshape_index.h"
+
+namespace tman::core {
+
+// Shapes actually used inside one enlarged element, with their optimized
+// final codes (paper §IV-B(3): the tuple <element, shape, final code>).
+struct ElementShapes {
+  // (raw bitmap, final code), in final-code order.
+  std::vector<std::pair<uint32_t, uint32_t>> shapes;
+
+  // Returns the final code for a bitmap, or UINT32_MAX if unknown.
+  uint32_t FinalCodeOf(uint32_t bits) const {
+    for (const auto& [b, code] : shapes) {
+      if (b == bits) return code;
+    }
+    return UINT32_MAX;
+  }
+};
+
+// The index cache: an LFU-managed in-memory view over the durable mapping
+// stored in the Redis-like service. Query processing reads shape maps
+// through it (miss -> load from Redis, §IV-B(3)); ingestion registers new
+// shapes through it.
+class IndexCache {
+ public:
+  IndexCache(cache::RedisLikeStore* redis, size_t lfu_capacity);
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  // Shape map of an element; loads from Redis on LFU miss. Never null
+  // (absent elements yield an empty map).
+  std::shared_ptr<const ElementShapes> GetElement(uint64_t quad_code);
+
+  // Installs/overwrites the full mapping for an element (bulk-load path and
+  // re-encode path): writes through to Redis and refreshes the LFU entry.
+  void PutElement(uint64_t quad_code,
+                  std::vector<std::pair<uint32_t, uint32_t>> shapes);
+
+  // Registers a single new shape with the given final code (update path).
+  void AddShape(uint64_t quad_code, uint32_t bits, uint32_t final_code);
+
+  // Adapter for TShapeIndex::QueryRanges.
+  index::ShapeLookup AsLookup();
+
+  uint64_t lfu_hits() const { return lfu_.hits(); }
+  uint64_t lfu_misses() const { return lfu_.misses(); }
+  uint64_t redis_loads() const { return redis_loads_; }
+
+ private:
+  static std::string RedisKey(uint64_t quad_code);
+
+  cache::RedisLikeStore* redis_;
+  cache::LFUCache<uint64_t, std::shared_ptr<const ElementShapes>> lfu_;
+  uint64_t redis_loads_ = 0;
+};
+
+// Buffer shape cache (paper §IV-C): holds shapes first seen after the last
+// re-encode, keyed by element. When the total buffered shape count crosses
+// the threshold, the storage layer triggers a re-encode.
+class BufferShapeCache {
+ public:
+  // Records (element, bits); returns the number of buffered shapes.
+  size_t Add(uint64_t quad_code, uint32_t bits);
+
+  bool Contains(uint64_t quad_code, uint32_t bits) const;
+
+  // Elements with buffered shapes and those shapes.
+  std::vector<std::pair<uint64_t, std::vector<uint32_t>>> Drain();
+
+  size_t size() const { return count_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buffered_;
+  size_t count_ = 0;
+};
+
+}  // namespace tman::core
+
+#endif  // TMAN_CORE_INDEX_CACHE_H_

@@ -1,0 +1,66 @@
+#ifndef TMAN_CORE_OPTIONS_H_
+#define TMAN_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "index/shape_encoding.h"
+#include "index/tr_index.h"
+#include "index/tshape_index.h"
+#include "index/xz2_index.h"
+#include "index/xzt_index.h"
+#include "kvstore/options.h"
+#include "traj/trajectory.h"
+
+namespace tman::core {
+
+// Which index keys the primary table (paper §IV-B: users pick the primary
+// index for their dominant query; other queries go through secondaries).
+enum class PrimaryIndexKind {
+  kSpatial,   // TShape (or XZ2/XZ* in baseline configurations)
+  kTemporal,  // TR (or XZT)
+  kST,        // TR :: TShape concatenation
+};
+
+enum class SpatialIndexKind { kTShape, kXZ2, kXZStar };
+enum class TemporalIndexKind { kTR, kXZT };
+
+struct TManOptions {
+  // Dataset spatial boundary; trajectories are normalized against it.
+  traj::SpatialBounds bounds;
+
+  PrimaryIndexKind primary = PrimaryIndexKind::kSpatial;
+  SpatialIndexKind spatial = SpatialIndexKind::kTShape;
+  TemporalIndexKind temporal = TemporalIndexKind::kTR;
+
+  index::TShapeConfig tshape;   // alpha/beta/g
+  index::XZ2Config xz2;         // baseline spatial
+  index::TRConfig tr;           // period length / N
+  index::XZTConfig xzt;         // baseline temporal
+
+  // Shape-code optimisation (§IV-A2(3)).
+  index::ShapeOrderMethod encoding = index::ShapeOrderMethod::kGenetic;
+  index::GeneticParams genetic;
+
+  // Index cache (§IV-B(3)). Disabling reproduces the Fig. 16 ablation.
+  bool use_index_cache = true;
+  size_t index_cache_capacity = 8192;   // LFU entries (elements)
+  size_t buffer_shape_threshold = 256;  // re-encode trigger (§IV-C)
+
+  // Push-down (§V-G). Disabling ships all window rows to the client and
+  // filters there (the TrajMesa execution model).
+  bool push_down = true;
+
+  // Cluster shape.
+  int num_shards = 8;
+  int num_servers = 5;
+
+  // DP-features kept per trajectory (§IV-B: dp-feature column).
+  size_t max_dp_features = 8;
+
+  kv::Options kv;
+};
+
+}  // namespace tman::core
+
+#endif  // TMAN_CORE_OPTIONS_H_

@@ -1,0 +1,990 @@
+#include "core/tman.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "core/filters.h"
+#include "core/rowkey.h"
+#include "index/shape_encoding.h"
+
+namespace tman::core {
+
+namespace {
+
+constexpr size_t kWriteChunk = 4096;     // rows per batch write
+constexpr uint64_t kFineWindowBudget = 4096;  // CBO bound for ST fine plans
+
+// Header-only filter: trajectory MBR within `radius` of the query MBR.
+// Used as the pushed-down global filter of similarity queries.
+class MBRDistanceFilter : public kv::ScanFilter {
+ public:
+  MBRDistanceFilter(const geo::MBR& query_mbr, double radius)
+      : query_mbr_(query_mbr), radius_(radius) {}
+
+  bool Matches(const Slice& key, const Slice& value) const override {
+    (void)key;
+    RecordHeader header;
+    if (!DecodeRecordHeader(value, &header)) return false;
+    return geo::MBRLowerBound(header.mbr, query_mbr_) <= radius_;
+  }
+
+ private:
+  geo::MBR query_mbr_;
+  double radius_;
+};
+
+}  // namespace
+
+TMan::TMan(const TManOptions& options, const std::string& path)
+    : options_(options), path_(path) {}
+
+TMan::~TMan() = default;
+
+Status TMan::Open(const TManOptions& options, const std::string& path,
+                  std::unique_ptr<TMan>* out) {
+  out->reset();
+  std::unique_ptr<TMan> tman(new TMan(options, path));
+  Status s = tman->Init();
+  if (!s.ok()) return s;
+  *out = std::move(tman);
+  return Status::OK();
+}
+
+Status TMan::Init() {
+  if (options_.bounds.width() <= 0 || options_.bounds.height() <= 0) {
+    return Status::InvalidArgument("dataset bounds must be non-degenerate");
+  }
+  cluster_ = std::make_unique<cluster::Cluster>(path_, options_.num_servers,
+                                                options_.kv);
+  Status s = cluster_->CreateTable("primary", options_.num_shards);
+  if (!s.ok()) return s;
+  s = cluster_->CreateTable("tr_idx", options_.num_shards);
+  if (!s.ok()) return s;
+  s = cluster_->CreateTable("idt_idx", options_.num_shards);
+  if (!s.ok()) return s;
+  s = cluster_->CreateTable("meta", 1);
+  if (!s.ok()) return s;
+  primary_ = cluster_->GetTable("primary");
+  tr_table_ = cluster_->GetTable("tr_idx");
+  idt_table_ = cluster_->GetTable("idt_idx");
+  meta_table_ = cluster_->GetTable("meta");
+
+  tr_index_ = std::make_unique<index::TRIndex>(options_.tr);
+  xzt_index_ = std::make_unique<index::XZTIndex>(options_.xzt);
+  tshape_index_ = std::make_unique<index::TShapeIndex>(options_.tshape);
+  xz2_index_ = std::make_unique<index::XZ2Index>(options_.xz2);
+  xzstar_index_ =
+      std::make_unique<index::XZStarIndex>(options_.tshape.max_resolution);
+  index_cache_ =
+      std::make_unique<IndexCache>(&redis_, options_.index_cache_capacity);
+
+  // Metadata table (§IV-B(4)): index parameters and user configuration.
+  std::string meta;
+  meta += "alpha=" + std::to_string(options_.tshape.alpha);
+  meta += ";beta=" + std::to_string(options_.tshape.beta);
+  meta += ";g=" + std::to_string(options_.tshape.max_resolution);
+  meta += ";tr_period=" + std::to_string(options_.tr.period_seconds);
+  meta += ";tr_N=" + std::to_string(options_.tr.max_periods);
+  std::string meta_key(1, '\0');
+  meta_key += "config";
+  return meta_table_->Put(meta_key, meta);
+}
+
+std::vector<geo::TimedPoint> TMan::Normalize(
+    const std::vector<geo::TimedPoint>& points) const {
+  std::vector<geo::TimedPoint> norm;
+  norm.reserve(points.size());
+  for (const geo::TimedPoint& p : points) {
+    const geo::Point np = options_.bounds.Normalize(geo::Point{p.x, p.y});
+    norm.push_back(geo::TimedPoint{np.x, np.y, p.t});
+  }
+  return norm;
+}
+
+geo::MBR TMan::NormalizeRect(const geo::MBR& rect) const {
+  geo::MBR norm = options_.bounds.Normalize(rect);
+  norm.min_x = std::clamp(norm.min_x, 0.0, 1.0);
+  norm.min_y = std::clamp(norm.min_y, 0.0, 1.0);
+  norm.max_x = std::clamp(norm.max_x, 0.0, 1.0);
+  norm.max_y = std::clamp(norm.max_y, 0.0, 1.0);
+  return norm;
+}
+
+uint64_t TMan::TemporalValue(int64_t ts, int64_t te) const {
+  return options_.temporal == TemporalIndexKind::kTR
+             ? tr_index_->Encode(ts, te)
+             : xzt_index_->Encode(ts, te);
+}
+
+std::vector<index::ValueRange> TMan::TemporalQueryRanges(int64_t ts,
+                                                         int64_t te) const {
+  return options_.temporal == TemporalIndexKind::kTR
+             ? tr_index_->QueryRanges(ts, te)
+             : xzt_index_->QueryRanges(ts, te);
+}
+
+uint64_t TMan::SpatialValue(const traj::Trajectory& t, bool allow_register,
+                            bool* registered_new) {
+  if (registered_new != nullptr) *registered_new = false;
+  const std::vector<geo::TimedPoint> norm = Normalize(t.points);
+  switch (options_.spatial) {
+    case SpatialIndexKind::kXZ2:
+      return xz2_index_->Encode(geo::ComputeMBR(norm));
+    case SpatialIndexKind::kXZStar:
+      return xzstar_index_->Encode(norm);
+    case SpatialIndexKind::kTShape:
+      break;
+  }
+  const index::TShapeEncoding enc = tshape_index_->Encode(norm);
+  if (!options_.use_index_cache) {
+    return enc.index_value;  // raw bitmap shape code (Eq. 3)
+  }
+  auto element = index_cache_->GetElement(enc.quad_code);
+  uint32_t final_code = element->FinalCodeOf(enc.shape);
+  if (final_code == UINT32_MAX) {
+    if (!allow_register) {
+      return enc.index_value;
+    }
+    // Provisional code: next unused in the element (update path, §IV-C).
+    uint32_t max_code = 0;
+    bool any = false;
+    for (const auto& [bits, code] : element->shapes) {
+      (void)bits;
+      max_code = std::max(max_code, code);
+      any = true;
+    }
+    final_code = any ? max_code + 1 : 0;
+    index_cache_->AddShape(enc.quad_code, enc.shape, final_code);
+    buffer_cache_.Add(enc.quad_code, enc.shape);
+    if (registered_new != nullptr) *registered_new = true;
+  }
+  return tshape_index_->IndexValue(enc.quad_code, final_code);
+}
+
+std::vector<index::ValueRange> TMan::SpatialQueryRanges(
+    const geo::MBR& norm_rect, QueryStats* stats) {
+  switch (options_.spatial) {
+    case SpatialIndexKind::kXZ2: {
+      index::XZ2Index::QueryStats qs;
+      auto ranges = xz2_index_->QueryRanges(norm_rect, &qs);
+      if (stats != nullptr) stats->elements_visited += qs.elements_visited;
+      return ranges;
+    }
+    case SpatialIndexKind::kXZStar: {
+      index::TShapeIndex::QueryStats qs;
+      auto ranges = xzstar_index_->QueryRanges(norm_rect, &qs);
+      if (stats != nullptr) {
+        stats->elements_visited += qs.elements_visited;
+        stats->shapes_checked += qs.shapes_checked;
+      }
+      return ranges;
+    }
+    case SpatialIndexKind::kTShape:
+      break;
+  }
+  index::TShapeIndex::QueryStats qs;
+  std::vector<index::ValueRange> ranges;
+  if (options_.use_index_cache) {
+    index::ShapeLookup lookup = index_cache_->AsLookup();
+    ranges = tshape_index_->QueryRanges(norm_rect, &lookup, &qs);
+  } else {
+    ranges = tshape_index_->QueryRanges(norm_rect, nullptr, &qs);
+  }
+  if (stats != nullptr) {
+    stats->elements_visited += qs.elements_visited;
+    stats->shapes_checked += qs.shapes_checked;
+  }
+  return ranges;
+}
+
+std::string TMan::PrimaryKeyOf(const traj::Trajectory& t,
+                               uint64_t temporal_value,
+                               uint64_t spatial_value) const {
+  const uint8_t shard = ShardOfTid(t.tid, options_.num_shards);
+  switch (options_.primary) {
+    case PrimaryIndexKind::kSpatial:
+      return PrimaryKey(shard, spatial_value, t.tid);
+    case PrimaryIndexKind::kTemporal:
+      return PrimaryKey(shard, temporal_value, t.tid);
+    case PrimaryIndexKind::kST:
+      return PrimaryKeyST(shard, temporal_value, spatial_value, t.tid);
+  }
+  return PrimaryKey(shard, spatial_value, t.tid);
+}
+
+Status TMan::WriteRows(const std::vector<traj::Trajectory>& trajectories,
+                       const std::vector<uint64_t>& temporal_values,
+                       const std::vector<uint64_t>& spatial_values) {
+  std::vector<cluster::Row> primary_rows, tr_rows, idt_rows;
+  auto flush_chunk = [&]() -> Status {
+    Status s = primary_->BatchPut(primary_rows);
+    if (!s.ok()) return s;
+    s = tr_table_->BatchPut(tr_rows);
+    if (!s.ok()) return s;
+    s = idt_table_->BatchPut(idt_rows);
+    if (!s.ok()) return s;
+    primary_rows.clear();
+    tr_rows.clear();
+    idt_rows.clear();
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < trajectories.size(); i++) {
+    const traj::Trajectory& t = trajectories[i];
+    std::string value;
+    if (!EncodeRecord(t, options_.max_dp_features, &value)) {
+      return Status::InvalidArgument("trajectory " + t.tid +
+                                     " cannot be encoded");
+    }
+    const std::string pkey =
+        PrimaryKeyOf(t, temporal_values[i], spatial_values[i]);
+    primary_rows.push_back(cluster::Row{pkey, std::move(value)});
+
+    // Secondary tables map index values to the primary key (§IV-B(2)).
+    if (options_.primary != PrimaryIndexKind::kTemporal) {
+      const uint8_t shard = ShardOfTid(t.tid, options_.num_shards);
+      tr_rows.push_back(cluster::Row{
+          SecondaryTRKey(shard, temporal_values[i], t.tid), pkey});
+    }
+    idt_rows.push_back(cluster::Row{
+        IDTKey(ShardOfOid(t.oid, options_.num_shards), t.oid,
+               temporal_values[i], t.tid),
+        pkey});
+
+    if (primary_rows.size() >= kWriteChunk) {
+      Status s = flush_chunk();
+      if (!s.ok()) return s;
+    }
+  }
+  return flush_chunk();
+}
+
+Status TMan::BulkLoad(const std::vector<traj::Trajectory>& trajectories) {
+  // Pass 1: spatial encodings; group shapes by enlarged element so each
+  // element's shape order is optimized jointly.
+  std::vector<uint64_t> temporal_values(trajectories.size());
+  std::vector<uint64_t> spatial_values(trajectories.size());
+
+  const bool optimizing = options_.spatial == SpatialIndexKind::kTShape &&
+                          options_.use_index_cache;
+  std::vector<index::TShapeEncoding> encodings;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> element_shapes;
+
+  for (size_t i = 0; i < trajectories.size(); i++) {
+    const traj::Trajectory& t = trajectories[i];
+    if (t.points.empty()) {
+      return Status::InvalidArgument("empty trajectory " + t.tid);
+    }
+    temporal_values[i] = TemporalValue(t.start_time(), t.end_time());
+    if (optimizing) {
+      const index::TShapeEncoding enc =
+          tshape_index_->Encode(Normalize(t.points));
+      auto& shapes = element_shapes[enc.quad_code];
+      if (std::find(shapes.begin(), shapes.end(), enc.shape) == shapes.end()) {
+        shapes.push_back(enc.shape);
+      }
+      encodings.push_back(enc);
+    } else {
+      spatial_values[i] = SpatialValue(t, /*allow_register=*/false, nullptr);
+    }
+  }
+
+  if (optimizing) {
+    // Pass 2: per-element shape-order optimization (greedy/genetic TSP).
+    std::unordered_map<uint64_t, std::unordered_map<uint32_t, uint32_t>>
+        final_codes;
+    for (auto& [quad_code, shapes] : element_shapes) {
+      // Merge with shapes already known for this element (incremental
+      // loads keep existing codes stable; new shapes are appended).
+      auto existing = index_cache_->GetElement(quad_code);
+      if (!existing->shapes.empty()) {
+        std::unordered_map<uint32_t, uint32_t> codes;
+        uint32_t max_code = 0;
+        for (const auto& [bits, code] : existing->shapes) {
+          codes[bits] = code;
+          max_code = std::max(max_code, code);
+        }
+        for (uint32_t bits : shapes) {
+          if (codes.find(bits) == codes.end()) {
+            codes[bits] = ++max_code;
+            index_cache_->AddShape(quad_code, bits, codes[bits]);
+          }
+        }
+        final_codes[quad_code] = std::move(codes);
+        continue;
+      }
+      const std::vector<uint32_t> order =
+          index::OptimizeShapeOrder(shapes, options_.encoding,
+                                    options_.genetic);
+      std::vector<std::pair<uint32_t, uint32_t>> mapping;
+      std::unordered_map<uint32_t, uint32_t> codes;
+      mapping.reserve(order.size());
+      for (uint32_t pos = 0; pos < order.size(); pos++) {
+        mapping.emplace_back(shapes[order[pos]], pos);
+        codes[shapes[order[pos]]] = pos;
+      }
+      index_cache_->PutElement(quad_code, std::move(mapping));
+      final_codes[quad_code] = std::move(codes);
+    }
+    for (size_t i = 0; i < trajectories.size(); i++) {
+      const index::TShapeEncoding& enc = encodings[i];
+      spatial_values[i] = tshape_index_->IndexValue(
+          enc.quad_code, final_codes[enc.quad_code][enc.shape]);
+    }
+  }
+
+  return WriteRows(trajectories, temporal_values, spatial_values);
+}
+
+Status TMan::Insert(const std::vector<traj::Trajectory>& trajectories) {
+  std::vector<uint64_t> temporal_values(trajectories.size());
+  std::vector<uint64_t> spatial_values(trajectories.size());
+  for (size_t i = 0; i < trajectories.size(); i++) {
+    const traj::Trajectory& t = trajectories[i];
+    if (t.points.empty()) {
+      return Status::InvalidArgument("empty trajectory " + t.tid);
+    }
+    temporal_values[i] = TemporalValue(t.start_time(), t.end_time());
+    spatial_values[i] = SpatialValue(t, /*allow_register=*/true, nullptr);
+  }
+  Status s = WriteRows(trajectories, temporal_values, spatial_values);
+  if (!s.ok()) return s;
+
+  if (buffer_cache_.size() >= options_.buffer_shape_threshold) {
+    s = ReencodeBufferedElements();
+  }
+  return s;
+}
+
+Status TMan::ReencodeBufferedElements() {
+  // Only the spatial-primary layout supports targeted row rewrites (value
+  // ranges of the primary key are spatial). Other layouts keep the
+  // provisional codes, which stay correct, just sub-optimally ordered.
+  const auto buffered = buffer_cache_.Drain();
+  if (options_.primary != PrimaryIndexKind::kSpatial ||
+      options_.spatial != SpatialIndexKind::kTShape) {
+    return Status::OK();
+  }
+  reencode_count_++;
+
+  for (const auto& [quad_code, new_bits] : buffered) {
+    (void)new_bits;
+    auto element = index_cache_->GetElement(quad_code);
+    if (element->shapes.empty()) continue;
+    std::vector<uint32_t> bitmaps;
+    bitmaps.reserve(element->shapes.size());
+    std::unordered_map<uint32_t, uint32_t> old_codes;
+    for (const auto& [bits, code] : element->shapes) {
+      bitmaps.push_back(bits);
+      old_codes[bits] = code;
+    }
+    const std::vector<uint32_t> order =
+        index::OptimizeShapeOrder(bitmaps, options_.encoding,
+                                  options_.genetic);
+    std::vector<std::pair<uint32_t, uint32_t>> mapping;
+    mapping.reserve(order.size());
+    for (uint32_t pos = 0; pos < order.size(); pos++) {
+      mapping.emplace_back(bitmaps[order[pos]], pos);
+    }
+
+    // Rewrite rows of shapes whose final code changed: extract, delete,
+    // re-store under the new index value (§IV-C). The new order is a
+    // permutation of the old codes, so all moves are collected before any
+    // row is touched — otherwise a swapped pair of codes would clobber
+    // each other's rows.
+    struct Move {
+      std::string old_key;
+      std::string new_key;
+      std::string value;
+    };
+    std::vector<Move> moves;
+    for (const auto& [bits, new_code] : mapping) {
+      const uint32_t old_code = old_codes[bits];
+      if (old_code == new_code) continue;
+      const uint64_t old_value = tshape_index_->IndexValue(quad_code, old_code);
+      const uint64_t new_value = tshape_index_->IndexValue(quad_code, new_code);
+      std::vector<cluster::KeyRange> windows = WindowsForRanges(
+          {index::ValueRange{old_value, old_value}}, options_.num_shards);
+      std::vector<cluster::Row> rows;
+      Status s = primary_->ParallelScan(windows, nullptr, 0, &rows, nullptr);
+      if (!s.ok()) return s;
+      for (cluster::Row& row : rows) {
+        const Slice tid = TidOfPrimaryKey(row.key, 8);
+        std::string new_key =
+            PrimaryKey(static_cast<uint8_t>(row.key[0]), new_value, tid);
+        moves.push_back(Move{std::move(row.key), std::move(new_key),
+                             std::move(row.value)});
+      }
+    }
+    for (const Move& move : moves) {
+      Status s = primary_->Delete(move.old_key);
+      if (!s.ok()) return s;
+    }
+    for (Move& move : moves) {
+      Status s = primary_->Put(move.new_key, move.value);
+      if (!s.ok()) return s;
+      // Secondary rows key on (tr value, tid)/(oid, tr value, tid), which
+      // are unchanged — but their values are the primary key, which moved.
+      RecordHeader header;
+      if (DecodeRecordHeader(move.value, &header)) {
+        const uint64_t tr_value = TemporalValue(header.ts, header.te);
+        const uint8_t tid_shard = ShardOfTid(header.tid, options_.num_shards);
+        if (options_.primary != PrimaryIndexKind::kTemporal) {
+          s = tr_table_->Put(SecondaryTRKey(tid_shard, tr_value, header.tid),
+                             move.new_key);
+          if (!s.ok()) return s;
+        }
+        s = idt_table_->Put(
+            IDTKey(ShardOfOid(header.oid, options_.num_shards), header.oid,
+                   tr_value, header.tid),
+            move.new_key);
+        if (!s.ok()) return s;
+      }
+      rows_rewritten_++;
+    }
+    index_cache_->PutElement(quad_code, std::move(mapping));
+  }
+  return Status::OK();
+}
+
+Status TMan::DeleteTrajectory(const std::string& oid, const std::string& tid) {
+  // The IDT table is the locator: all of an object's rows live in one
+  // shard, keyed oid \0 tr tid -> primary key.
+  const uint8_t shard = ShardOfOid(oid, options_.num_shards);
+  cluster::KeyRange range;
+  range.start.push_back(static_cast<char>(shard));
+  range.start.append(oid);
+  range.start.push_back('\0');
+  range.end.push_back(static_cast<char>(shard));
+  range.end.append(oid);
+  range.end.push_back('\x01');
+
+  std::vector<cluster::Row> rows;
+  Status s = idt_table_->ParallelScan({range}, nullptr, 0, &rows, nullptr);
+  if (!s.ok()) return s;
+
+  bool found = false;
+  for (const cluster::Row& row : rows) {
+    // IDT key layout: shard | oid | \0 | BE64(tr) | tid.
+    const size_t prefix = 1 + oid.size() + 1 + 8;
+    if (row.key.size() <= prefix) continue;
+    if (Slice(row.key.data() + prefix, row.key.size() - prefix) !=
+        Slice(tid)) {
+      continue;
+    }
+    found = true;
+    // Delete the primary row, the TR secondary row, and the IDT row.
+    s = primary_->Delete(row.value);
+    if (!s.ok()) return s;
+    if (options_.primary != PrimaryIndexKind::kTemporal) {
+      const uint64_t tr_value =
+          DecodeBigEndian64(row.key.data() + 1 + oid.size() + 1);
+      s = tr_table_->Delete(
+          SecondaryTRKey(ShardOfTid(tid, options_.num_shards), tr_value, tid));
+      if (!s.ok()) return s;
+    }
+    s = idt_table_->Delete(row.key);
+    if (!s.ok()) return s;
+  }
+  return found ? Status::OK()
+               : Status::NotFound("no trajectory " + tid + " for " + oid);
+}
+
+Status TMan::Flush() {
+  Status s = primary_->Flush();
+  if (s.ok()) s = tr_table_->Flush();
+  if (s.ok()) s = idt_table_->Flush();
+  return s;
+}
+
+Status TMan::CompactAll() {
+  Status s = primary_->CompactAll();
+  if (s.ok()) s = tr_table_->CompactAll();
+  if (s.ok()) s = idt_table_->CompactAll();
+  return s;
+}
+
+Status TMan::RunPrimaryScan(const std::vector<cluster::KeyRange>& windows,
+                            const kv::ScanFilter* filter,
+                            std::vector<cluster::Row>* rows,
+                            QueryStats* stats) {
+  kv::ScanStats scan_stats;
+  Status s;
+  if (options_.push_down) {
+    s = primary_->ParallelScan(windows, filter, 0, rows, &scan_stats);
+  } else {
+    s = primary_->ScanWithoutPushdown(windows, filter, rows, &scan_stats);
+  }
+  if (stats != nullptr) {
+    stats->windows += windows.size();
+    stats->candidates += scan_stats.scanned;
+  }
+  return s;
+}
+
+Status TMan::FetchByPrimaryKeys(const std::vector<cluster::Row>& secondary_rows,
+                                const kv::ScanFilter* filter,
+                                std::vector<cluster::Row>* rows,
+                                QueryStats* stats) {
+  for (const cluster::Row& srow : secondary_rows) {
+    std::string value;
+    Status s = primary_->Get(srow.value, &value);
+    if (s.IsNotFound()) continue;  // row rewritten concurrently
+    if (!s.ok()) return s;
+    if (stats != nullptr) stats->candidates++;
+    if (filter == nullptr || filter->Matches(srow.value, value)) {
+      rows->push_back(cluster::Row{srow.value, std::move(value)});
+    }
+  }
+  return Status::OK();
+}
+
+Status TMan::DecodeRows(const std::vector<cluster::Row>& rows,
+                        std::vector<traj::Trajectory>* out) {
+  out->reserve(out->size() + rows.size());
+  for (const cluster::Row& row : rows) {
+    traj::Trajectory t;
+    if (!DecodeRecord(row.value, &t)) {
+      return Status::Corruption("bad trajectory record at key");
+    }
+    out->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+Status TMan::TemporalRangeQuery(int64_t ts, int64_t te,
+                                std::vector<traj::Trajectory>* out,
+                                QueryStats* stats) {
+  Stopwatch total;
+  const std::vector<index::ValueRange> ranges = TemporalQueryRanges(ts, te);
+  if (stats != nullptr) stats->index_values += index::TotalCount(ranges);
+  TemporalRangeFilter filter(ts, te);
+  std::vector<cluster::Row> rows;
+  Status s;
+
+  if (options_.primary == PrimaryIndexKind::kTemporal) {
+    // RBO: the primary index serves the query directly.
+    if (stats != nullptr) stats->plan = "primary:temporal";
+    const auto windows = WindowsForRanges(ranges, options_.num_shards);
+    s = RunPrimaryScan(windows, &filter, &rows, stats);
+  } else if (options_.primary == PrimaryIndexKind::kST) {
+    // The tr value is the key prefix, so tr intervals are contiguous key
+    // windows over the ST primary as well.
+    if (stats != nullptr) stats->plan = "primary:st-prefix";
+    const auto windows = WindowsForTRIntervals(ranges, options_.num_shards);
+    s = RunPrimaryScan(windows, &filter, &rows, stats);
+  } else {
+    // Secondary TR table, then fetch from the primary (§V-G(1)).
+    if (stats != nullptr) stats->plan = "secondary:tr";
+    const auto windows = WindowsForRanges(ranges, options_.num_shards);
+    std::vector<cluster::Row> secondary_rows;
+    kv::ScanStats sstats;
+    s = tr_table_->ParallelScan(windows, nullptr, 0, &secondary_rows, &sstats);
+    if (stats != nullptr) {
+      stats->windows += windows.size();
+      stats->candidates += sstats.scanned;
+    }
+    if (s.ok()) s = FetchByPrimaryKeys(secondary_rows, &filter, &rows, stats);
+  }
+  if (!s.ok()) return s;
+  s = DecodeRows(rows, out);
+  if (stats != nullptr) {
+    stats->results += rows.size();
+    stats->execution_ms += total.ElapsedMillis();
+  }
+  return s;
+}
+
+Status TMan::SpatialRangeQuery(const geo::MBR& rect,
+                               std::vector<traj::Trajectory>* out,
+                               QueryStats* stats) {
+  Stopwatch total;
+  if (options_.primary != PrimaryIndexKind::kSpatial) {
+    return Status::NotSupported(
+        "spatial range query requires a spatial primary index");
+  }
+  Stopwatch planning;
+  const geo::MBR norm_rect = NormalizeRect(rect);
+  const std::vector<index::ValueRange> ranges =
+      SpatialQueryRanges(norm_rect, stats);
+  if (stats != nullptr) {
+    stats->index_values += ranges.size();
+    stats->planning_ms += planning.ElapsedMillis();
+    stats->plan = "primary:spatial";
+  }
+  SpatialRangeFilter filter(rect);
+  std::vector<cluster::Row> rows;
+  const auto windows = WindowsForRanges(ranges, options_.num_shards);
+  Status s = RunPrimaryScan(windows, &filter, &rows, stats);
+  if (!s.ok()) return s;
+  s = DecodeRows(rows, out);
+  if (stats != nullptr) {
+    stats->results += rows.size();
+    stats->execution_ms += total.ElapsedMillis();
+  }
+  return s;
+}
+
+Status TMan::SpatioTemporalRangeQuery(const geo::MBR& rect, int64_t ts,
+                                      int64_t te,
+                                      std::vector<traj::Trajectory>* out,
+                                      QueryStats* stats) {
+  Stopwatch total;
+  FilterChain chain;
+  chain.Add(std::make_unique<TemporalRangeFilter>(ts, te));
+  chain.Add(std::make_unique<SpatialRangeFilter>(rect));
+
+  const std::vector<index::ValueRange> tr_ranges = TemporalQueryRanges(ts, te);
+  std::vector<cluster::Row> rows;
+  Status s;
+
+  if (options_.primary == PrimaryIndexKind::kST) {
+    const geo::MBR norm_rect = NormalizeRect(rect);
+    const std::vector<index::ValueRange> sp_ranges =
+        SpatialQueryRanges(norm_rect, stats);
+    const uint64_t tr_count = index::TotalCount(tr_ranges);
+    const uint64_t fine_windows =
+        tr_count * sp_ranges.size() * static_cast<uint64_t>(options_.num_shards);
+    if (fine_windows <= kFineWindowBudget) {
+      // CBO plan A: one window batch per discrete tr value, crossed with
+      // the spatial ranges (§V-E).
+      if (stats != nullptr) stats->plan = "primary:st-fine";
+      std::vector<cluster::KeyRange> windows;
+      for (const index::ValueRange& r : tr_ranges) {
+        for (uint64_t v = r.lo; v <= r.hi; v++) {
+          auto w = WindowsForSTRanges(v, sp_ranges, options_.num_shards);
+          windows.insert(windows.end(), std::make_move_iterator(w.begin()),
+                         std::make_move_iterator(w.end()));
+        }
+      }
+      s = RunPrimaryScan(windows, &chain, &rows, stats);
+    } else {
+      // CBO plan B: coarse tr-interval windows; spatial predicate pushed
+      // down only as a filter.
+      if (stats != nullptr) stats->plan = "primary:st-coarse";
+      const auto windows =
+          WindowsForTRIntervals(tr_ranges, options_.num_shards);
+      s = RunPrimaryScan(windows, &chain, &rows, stats);
+    }
+  } else if (options_.primary == PrimaryIndexKind::kSpatial) {
+    if (stats != nullptr) stats->plan = "primary:spatial+tfilter";
+    const geo::MBR norm_rect = NormalizeRect(rect);
+    const std::vector<index::ValueRange> sp_ranges =
+        SpatialQueryRanges(norm_rect, stats);
+    const auto windows = WindowsForRanges(sp_ranges, options_.num_shards);
+    s = RunPrimaryScan(windows, &chain, &rows, stats);
+  } else {
+    if (stats != nullptr) stats->plan = "primary:temporal+sfilter";
+    const auto windows = WindowsForRanges(tr_ranges, options_.num_shards);
+    s = RunPrimaryScan(windows, &chain, &rows, stats);
+  }
+  if (!s.ok()) return s;
+  s = DecodeRows(rows, out);
+  if (stats != nullptr) {
+    stats->results += rows.size();
+    stats->execution_ms += total.ElapsedMillis();
+  }
+  return s;
+}
+
+Status TMan::IDTemporalQuery(const std::string& oid, int64_t ts, int64_t te,
+                             std::vector<traj::Trajectory>* out,
+                             QueryStats* stats) {
+  Stopwatch total;
+  const std::vector<index::ValueRange> tr_ranges = TemporalQueryRanges(ts, te);
+  const auto windows = WindowsForIDT(oid, tr_ranges, options_.num_shards);
+  std::vector<cluster::Row> secondary_rows;
+  kv::ScanStats sstats;
+  Status s =
+      idt_table_->ParallelScan(windows, nullptr, 0, &secondary_rows, &sstats);
+  if (!s.ok()) return s;
+  if (stats != nullptr) {
+    stats->plan = "secondary:idt";
+    stats->windows += windows.size();
+    stats->candidates += sstats.scanned;
+  }
+  TemporalRangeFilter filter(ts, te);
+  std::vector<cluster::Row> rows;
+  s = FetchByPrimaryKeys(secondary_rows, &filter, &rows, stats);
+  if (!s.ok()) return s;
+  s = DecodeRows(rows, out);
+  if (stats != nullptr) {
+    stats->results += rows.size();
+    stats->execution_ms += total.ElapsedMillis();
+  }
+  return s;
+}
+
+Status TMan::SimilarityCandidates(const traj::Trajectory& query, double radius,
+                                  const kv::ScanFilter* filter,
+                                  std::vector<cluster::Row>* rows,
+                                  QueryStats* stats) {
+  const geo::MBR qmbr = query.ComputeMBR();
+  // Expand per axis: the radius is in data coordinates.
+  geo::MBR expanded = qmbr;
+  expanded.min_x -= radius;
+  expanded.max_x += radius;
+  expanded.min_y -= radius;
+  expanded.max_y += radius;
+
+  const geo::MBR norm_rect = NormalizeRect(expanded);
+  const std::vector<index::ValueRange> ranges =
+      SpatialQueryRanges(norm_rect, stats);
+  const auto windows = WindowsForRanges(ranges, options_.num_shards);
+  return RunPrimaryScan(windows, filter, rows, stats);
+}
+
+Status TMan::ThresholdSimilarityQuery(const traj::Trajectory& query,
+                                      geo::SimilarityMeasure measure,
+                                      double threshold,
+                                      std::vector<traj::Trajectory>* out,
+                                      QueryStats* stats) {
+  Stopwatch total;
+  if (options_.primary != PrimaryIndexKind::kSpatial) {
+    return Status::NotSupported(
+        "similarity queries require a spatial primary index");
+  }
+  if (stats != nullptr) stats->plan = "similarity:threshold";
+
+  const geo::DPFeatures query_features =
+      geo::ExtractDPFeatures(query.points, options_.max_dp_features);
+
+  // Global pruning via the spatial index plus the pushed-down similarity
+  // filter (MBR + DP-feature lower bounds evaluated in the storage layer,
+  // §V-G): only rows that could be within the threshold are shipped back.
+  SimilarityFilter filter(query_features, threshold);
+  std::vector<cluster::Row> rows;
+  Status s = SimilarityCandidates(query, threshold, &filter, &rows, stats);
+  if (!s.ok()) return s;
+
+  for (const cluster::Row& row : rows) {
+    RecordHeader header;
+    if (!DecodeRecordHeader(row.value, &header)) {
+      return Status::Corruption("bad record during similarity query");
+    }
+    std::vector<geo::TimedPoint> points;
+    if (!DecodeRecordPoints(header, &points)) {
+      return Status::Corruption("bad point column during similarity query");
+    }
+    if (stats != nullptr) stats->exact_distance_computations++;
+    if (geo::ExactDistance(measure, query.points, points) <= threshold) {
+      traj::Trajectory t;
+      t.oid = header.oid.ToString();
+      t.tid = header.tid.ToString();
+      t.points = std::move(points);
+      out->push_back(std::move(t));
+    }
+  }
+  if (stats != nullptr) {
+    stats->results += out->size();
+    stats->execution_ms += total.ElapsedMillis();
+  }
+  return Status::OK();
+}
+
+Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
+                                 geo::SimilarityMeasure measure, size_t k,
+                                 std::vector<traj::Trajectory>* out,
+                                 QueryStats* stats) {
+  Stopwatch total;
+  if (options_.primary != PrimaryIndexKind::kSpatial) {
+    return Status::NotSupported(
+        "similarity queries require a spatial primary index");
+  }
+  if (k == 0) return Status::OK();
+  if (stats != nullptr) stats->plan = "similarity:topk";
+
+  struct Scored {
+    double distance;
+    traj::Trajectory trajectory;
+  };
+  std::vector<Scored> best;  // kept sorted ascending by distance
+  std::unordered_set<std::string> seen;
+  const geo::DPFeatures query_features =
+      geo::ExtractDPFeatures(query.points, options_.max_dp_features);
+
+  double radius =
+      std::max(options_.bounds.width(), options_.bounds.height()) / 512.0;
+  const double max_radius =
+      2.0 * std::max(options_.bounds.width(), options_.bounds.height());
+
+  while (true) {
+    std::vector<cluster::Row> rows;
+    const geo::MBR qmbr = query.ComputeMBR();
+    MBRDistanceFilter filter(qmbr, radius);
+    Status s = SimilarityCandidates(query, radius, &filter, &rows, stats);
+    if (!s.ok()) return s;
+
+    for (const cluster::Row& row : rows) {
+      RecordHeader header;
+      if (!DecodeRecordHeader(row.value, &header)) continue;
+      const std::string tid = header.tid.ToString();
+      if (tid == query.tid || !seen.insert(tid).second) continue;
+
+      const double kth_bound = best.size() >= k ? best[k - 1].distance : 1e300;
+      geo::DPFeatures features;
+      if (DecodeRecordFeatures(header, &features) &&
+          geo::DPFeatureLowerBound(query_features, features) > kth_bound) {
+        continue;
+      }
+      std::vector<geo::TimedPoint> points;
+      if (!DecodeRecordPoints(header, &points)) continue;
+      if (stats != nullptr) stats->exact_distance_computations++;
+      const double d = geo::ExactDistance(measure, query.points, points);
+      if (d >= kth_bound) continue;
+
+      Scored scored{d, traj::Trajectory{}};
+      scored.trajectory.oid = header.oid.ToString();
+      scored.trajectory.tid = tid;
+      scored.trajectory.points = std::move(points);
+      best.insert(std::upper_bound(best.begin(), best.end(), scored,
+                                   [](const Scored& a, const Scored& b) {
+                                     return a.distance < b.distance;
+                                   }),
+                  std::move(scored));
+      if (best.size() > k) best.resize(k);
+    }
+
+    // Stop once the k-th best distance is certainly inside the searched
+    // radius (no unexplored trajectory can beat it).
+    if (best.size() >= k && best[k - 1].distance <= radius) break;
+    if (radius >= max_radius) break;
+    radius *= 2;
+  }
+
+  out->reserve(out->size() + best.size());
+  for (Scored& scored : best) {
+    out->push_back(std::move(scored.trajectory));
+  }
+  if (stats != nullptr) {
+    stats->results += best.size();
+    stats->execution_ms += total.ElapsedMillis();
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Counts matches inside the storage layer and rejects every row, so the
+// scan ships nothing back — count queries are pure push-down aggregation.
+class CountingFilter : public kv::ScanFilter {
+ public:
+  explicit CountingFilter(const kv::ScanFilter* inner) : inner_(inner) {}
+
+  bool Matches(const Slice& key, const Slice& value) const override {
+    if (inner_ == nullptr || inner_->Matches(key, value)) {
+      count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  const kv::ScanFilter* inner_;
+  mutable std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace
+
+Status TMan::TemporalRangeCount(int64_t ts, int64_t te, uint64_t* count,
+                                QueryStats* stats) {
+  Stopwatch total;
+  *count = 0;
+  const std::vector<index::ValueRange> ranges = TemporalQueryRanges(ts, te);
+  TemporalRangeFilter filter(ts, te);
+  CountingFilter counter(&filter);
+  std::vector<cluster::Row> rows;
+  Status s;
+  if (options_.primary == PrimaryIndexKind::kTemporal ||
+      options_.primary == PrimaryIndexKind::kST) {
+    const auto windows = WindowsForRanges(ranges, options_.num_shards);
+    s = RunPrimaryScan(windows, &counter, &rows, stats);
+    *count = counter.count();
+  } else {
+    // Through the secondary: count distinct matching primary rows.
+    std::vector<traj::Trajectory> out;
+    QueryStats sub;
+    s = TemporalRangeQuery(ts, te, &out, &sub);
+    *count = out.size();
+    if (stats != nullptr) {
+      stats->windows += sub.windows;
+      stats->candidates += sub.candidates;
+    }
+  }
+  if (stats != nullptr) {
+    stats->plan = "count:temporal";
+    stats->results = *count;
+    stats->execution_ms += total.ElapsedMillis();
+  }
+  return s;
+}
+
+Status TMan::SpatialRangeCount(const geo::MBR& rect, uint64_t* count,
+                               QueryStats* stats) {
+  Stopwatch total;
+  *count = 0;
+  if (options_.primary != PrimaryIndexKind::kSpatial) {
+    return Status::NotSupported(
+        "spatial count requires a spatial primary index");
+  }
+  const geo::MBR norm_rect = NormalizeRect(rect);
+  const std::vector<index::ValueRange> ranges =
+      SpatialQueryRanges(norm_rect, stats);
+  SpatialRangeFilter filter(rect);
+  CountingFilter counter(&filter);
+  std::vector<cluster::Row> rows;
+  const auto windows = WindowsForRanges(ranges, options_.num_shards);
+  Status s = RunPrimaryScan(windows, &counter, &rows, stats);
+  *count = counter.count();
+  if (stats != nullptr) {
+    stats->plan = "count:spatial";
+    stats->results = *count;
+    stats->execution_ms += total.ElapsedMillis();
+  }
+  return s;
+}
+
+Status TMan::SpatioTemporalRangeCount(const geo::MBR& rect, int64_t ts,
+                                      int64_t te, uint64_t* count,
+                                      QueryStats* stats) {
+  Stopwatch total;
+  *count = 0;
+  FilterChain chain;
+  chain.Add(std::make_unique<TemporalRangeFilter>(ts, te));
+  chain.Add(std::make_unique<SpatialRangeFilter>(rect));
+  CountingFilter counter(&chain);
+  std::vector<cluster::Row> rows;
+  Status s;
+  if (options_.primary == PrimaryIndexKind::kSpatial) {
+    const geo::MBR norm_rect = NormalizeRect(rect);
+    const auto ranges = SpatialQueryRanges(norm_rect, stats);
+    s = RunPrimaryScan(WindowsForRanges(ranges, options_.num_shards),
+                       &counter, &rows, stats);
+  } else {
+    const auto ranges = TemporalQueryRanges(ts, te);
+    s = RunPrimaryScan(WindowsForTRIntervals(ranges, options_.num_shards),
+                       &counter, &rows, stats);
+  }
+  *count = counter.count();
+  if (stats != nullptr) {
+    stats->plan = "count:spatio-temporal";
+    stats->results = *count;
+    stats->execution_ms += total.ElapsedMillis();
+  }
+  return s;
+}
+
+uint64_t TMan::StorageBytes() {
+  return primary_->TotalBytes() + tr_table_->TotalBytes() +
+         idt_table_->TotalBytes();
+}
+
+}  // namespace tman::core

@@ -1,0 +1,202 @@
+#ifndef TMAN_CORE_TMAN_H_
+#define TMAN_CORE_TMAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cachestore/redis_like.h"
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "core/index_cache.h"
+#include "core/options.h"
+#include "core/record.h"
+#include "geo/similarity.h"
+#include "index/tr_index.h"
+#include "index/tshape_index.h"
+#include "index/xz2_index.h"
+#include "index/xzstar_index.h"
+#include "index/xzt_index.h"
+#include "traj/trajectory.h"
+
+namespace tman::core {
+
+// Per-query accounting. "candidates" is the number of trajectory rows the
+// storage layer touched (the paper's candidate count); "results" the rows
+// returned after all filtering.
+struct QueryStats {
+  uint64_t windows = 0;
+  uint64_t index_values = 0;
+  uint64_t candidates = 0;
+  uint64_t results = 0;
+  uint64_t elements_visited = 0;
+  uint64_t shapes_checked = 0;
+  uint64_t exact_distance_computations = 0;
+  double planning_ms = 0;
+  double execution_ms = 0;
+  std::string plan;  // RBO/CBO decision, e.g. "primary:tshape"
+};
+
+// TMan: trajectory storage and query processing over the simulated
+// key-value cluster. One instance manages one dataset.
+class TMan {
+ public:
+  static Status Open(const TManOptions& options, const std::string& path,
+                     std::unique_ptr<TMan>* out);
+
+  ~TMan();
+
+  TMan(const TMan&) = delete;
+  TMan& operator=(const TMan&) = delete;
+
+  const TManOptions& options() const { return options_; }
+
+  // Bulk load: shape codes of each enlarged element are optimized jointly
+  // (§IV-A2(3)) before rows are written. Use for initial dataset loads.
+  Status BulkLoad(const std::vector<traj::Trajectory>& trajectories);
+
+  // Incremental insert (§IV-C): unseen shapes get provisional codes via the
+  // buffer shape cache; crossing the threshold triggers a re-encode that
+  // rewrites rows whose codes changed.
+  Status Insert(const std::vector<traj::Trajectory>& trajectories);
+
+  // Removes one trajectory (primary row and secondary index rows).
+  // Returns NotFound if the object has no such trajectory.
+  Status DeleteTrajectory(const std::string& oid, const std::string& tid);
+
+  Status Flush();
+  Status CompactAll();
+
+  // --- Fundamental queries (§V) ---
+
+  Status TemporalRangeQuery(int64_t ts, int64_t te,
+                            std::vector<traj::Trajectory>* out,
+                            QueryStats* stats = nullptr);
+
+  Status SpatialRangeQuery(const geo::MBR& rect,
+                           std::vector<traj::Trajectory>* out,
+                           QueryStats* stats = nullptr);
+
+  Status SpatioTemporalRangeQuery(const geo::MBR& rect, int64_t ts, int64_t te,
+                                  std::vector<traj::Trajectory>* out,
+                                  QueryStats* stats = nullptr);
+
+  Status IDTemporalQuery(const std::string& oid, int64_t ts, int64_t te,
+                         std::vector<traj::Trajectory>* out,
+                         QueryStats* stats = nullptr);
+
+  // Trajectories within `threshold` (data-coordinate units) of `query`.
+  Status ThresholdSimilarityQuery(const traj::Trajectory& query,
+                                  geo::SimilarityMeasure measure,
+                                  double threshold,
+                                  std::vector<traj::Trajectory>* out,
+                                  QueryStats* stats = nullptr);
+
+  // k most similar trajectories, nearest first.
+  Status TopKSimilarityQuery(const traj::Trajectory& query,
+                             geo::SimilarityMeasure measure, size_t k,
+                             std::vector<traj::Trajectory>* out,
+                             QueryStats* stats = nullptr);
+
+  // --- Aggregation queries (count-only push-down; no rows are shipped
+  //     back from the storage layer) ---
+
+  Status TemporalRangeCount(int64_t ts, int64_t te, uint64_t* count,
+                            QueryStats* stats = nullptr);
+
+  Status SpatialRangeCount(const geo::MBR& rect, uint64_t* count,
+                           QueryStats* stats = nullptr);
+
+  Status SpatioTemporalRangeCount(const geo::MBR& rect, int64_t ts, int64_t te,
+                                  uint64_t* count, QueryStats* stats = nullptr);
+
+  // --- Introspection ---
+
+  uint64_t StorageBytes();
+  IndexCache* index_cache() { return index_cache_.get(); }
+  cache::RedisLikeStore* redis() { return &redis_; }
+  uint64_t reencode_count() const { return reencode_count_; }
+
+  // Number of re-encoded shape-row rewrites performed so far.
+  uint64_t rows_rewritten() const { return rows_rewritten_; }
+
+ private:
+  TMan(const TManOptions& options, const std::string& path);
+
+  Status Init();
+
+  // Normalizes points into [0,1]^2.
+  std::vector<geo::TimedPoint> Normalize(
+      const std::vector<geo::TimedPoint>& points) const;
+  geo::MBR NormalizeRect(const geo::MBR& rect) const;
+
+  // Temporal index value of a trajectory (TR or XZT).
+  uint64_t TemporalValue(int64_t ts, int64_t te) const;
+  std::vector<index::ValueRange> TemporalQueryRanges(int64_t ts,
+                                                     int64_t te) const;
+
+  // Spatial index value; for TShape with cache this is the optimized code.
+  uint64_t SpatialValue(const traj::Trajectory& t, bool allow_register,
+                        bool* registered_new);
+
+  std::vector<index::ValueRange> SpatialQueryRanges(const geo::MBR& norm_rect,
+                                                    QueryStats* stats);
+
+  // Primary-table rowkey of a trajectory.
+  std::string PrimaryKeyOf(const traj::Trajectory& t, uint64_t temporal_value,
+                           uint64_t spatial_value) const;
+
+  // Writes primary + secondary rows for a batch with precomputed values.
+  Status WriteRows(const std::vector<traj::Trajectory>& trajectories,
+                   const std::vector<uint64_t>& temporal_values,
+                   const std::vector<uint64_t>& spatial_values);
+
+  // Executes windows against the primary table, honoring push_down.
+  Status RunPrimaryScan(const std::vector<cluster::KeyRange>& windows,
+                        const kv::ScanFilter* filter,
+                        std::vector<cluster::Row>* rows, QueryStats* stats);
+
+  // Fetches primary rows named by secondary values, applying `filter`.
+  Status FetchByPrimaryKeys(const std::vector<cluster::Row>& secondary_rows,
+                            const kv::ScanFilter* filter,
+                            std::vector<cluster::Row>* rows,
+                            QueryStats* stats);
+
+  Status DecodeRows(const std::vector<cluster::Row>& rows,
+                    std::vector<traj::Trajectory>* out);
+
+  // Shared candidate retrieval for similarity queries: spatial index
+  // ranges around the query expanded by `radius`, scanned with `filter`
+  // pushed down.
+  Status SimilarityCandidates(const traj::Trajectory& query, double radius,
+                              const kv::ScanFilter* filter,
+                              std::vector<cluster::Row>* rows,
+                              QueryStats* stats);
+
+  // Re-encode pass over elements with buffered shapes (§IV-C).
+  Status ReencodeBufferedElements();
+
+  TManOptions options_;
+  std::string path_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  cluster::ClusterTable* primary_ = nullptr;
+  cluster::ClusterTable* tr_table_ = nullptr;
+  cluster::ClusterTable* idt_table_ = nullptr;
+  cluster::ClusterTable* meta_table_ = nullptr;
+
+  std::unique_ptr<index::TRIndex> tr_index_;
+  std::unique_ptr<index::XZTIndex> xzt_index_;
+  std::unique_ptr<index::TShapeIndex> tshape_index_;
+  std::unique_ptr<index::XZ2Index> xz2_index_;
+  std::unique_ptr<index::XZStarIndex> xzstar_index_;
+
+  cache::RedisLikeStore redis_;
+  std::unique_ptr<IndexCache> index_cache_;
+  BufferShapeCache buffer_cache_;
+  uint64_t reencode_count_ = 0;
+  uint64_t rows_rewritten_ = 0;
+};
+
+}  // namespace tman::core
+
+#endif  // TMAN_CORE_TMAN_H_

@@ -1,0 +1,124 @@
+#include "geo/geometry.h"
+
+namespace tman::geo {
+
+namespace {
+constexpr double kEarthRadiusMeters = 6371000.0;
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kMetersPerDegreeLat = 111320.0;
+}  // namespace
+
+double HaversineMeters(const Point& a, const Point& b) {
+  const double lat1 = a.y * kPi / 180.0;
+  const double lat2 = b.y * kPi / 180.0;
+  const double dlat = (b.y - a.y) * kPi / 180.0;
+  const double dlon = (b.x - a.x) * kPi / 180.0;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+double MetersToDegreesLat(double meters) {
+  return meters / kMetersPerDegreeLat;
+}
+
+double MetersToDegreesLon(double meters, double lat_deg) {
+  const double scale = std::cos(lat_deg * kPi / 180.0);
+  return meters / (kMetersPerDegreeLat * (scale < 0.01 ? 0.01 : scale));
+}
+
+namespace {
+
+// Cohen–Sutherland outcodes.
+constexpr int kInside = 0;
+constexpr int kLeft = 1;
+constexpr int kRight = 2;
+constexpr int kBottom = 4;
+constexpr int kTop = 8;
+
+int OutCode(const Point& p, const MBR& r) {
+  int code = kInside;
+  if (p.x < r.min_x) {
+    code |= kLeft;
+  } else if (p.x > r.max_x) {
+    code |= kRight;
+  }
+  if (p.y < r.min_y) {
+    code |= kBottom;
+  } else if (p.y > r.max_y) {
+    code |= kTop;
+  }
+  return code;
+}
+
+}  // namespace
+
+bool SegmentIntersectsRect(const Point& a, const Point& b, const MBR& rect) {
+  // Cohen–Sutherland clipping reduced to an intersection test.
+  Point p0 = a;
+  Point p1 = b;
+  int code0 = OutCode(p0, rect);
+  int code1 = OutCode(p1, rect);
+  for (int iter = 0; iter < 32; iter++) {
+    if ((code0 | code1) == 0) return true;   // a point inside
+    if ((code0 & code1) != 0) return false;  // both on one outside side
+    const int out = code0 != 0 ? code0 : code1;
+    Point p;
+    if (out & kTop) {
+      p.x = p0.x + (p1.x - p0.x) * (rect.max_y - p0.y) / (p1.y - p0.y);
+      p.y = rect.max_y;
+    } else if (out & kBottom) {
+      p.x = p0.x + (p1.x - p0.x) * (rect.min_y - p0.y) / (p1.y - p0.y);
+      p.y = rect.min_y;
+    } else if (out & kRight) {
+      p.y = p0.y + (p1.y - p0.y) * (rect.max_x - p0.x) / (p1.x - p0.x);
+      p.x = rect.max_x;
+    } else {
+      p.y = p0.y + (p1.y - p0.y) * (rect.min_x - p0.x) / (p1.x - p0.x);
+      p.x = rect.min_x;
+    }
+    if (out == code0) {
+      p0 = p;
+      code0 = OutCode(p0, rect);
+    } else {
+      p1 = p;
+      code1 = OutCode(p1, rect);
+    }
+  }
+  return false;
+}
+
+bool PolylineIntersectsRect(const std::vector<TimedPoint>& points,
+                            const MBR& rect) {
+  if (points.empty()) return false;
+  if (points.size() == 1) {
+    return rect.Contains(Point{points[0].x, points[0].y});
+  }
+  for (size_t i = 0; i + 1 < points.size(); i++) {
+    if (SegmentIntersectsRect(Point{points[i].x, points[i].y},
+                              Point{points[i + 1].x, points[i + 1].y}, rect)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  const double len2 = SquaredDistance(a, b);
+  if (len2 == 0.0) return Distance(p, a);
+  double t = ((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const Point proj{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+  return Distance(p, proj);
+}
+
+MBR ComputeMBR(const std::vector<TimedPoint>& points) {
+  MBR mbr = MBR::Empty();
+  for (const TimedPoint& p : points) {
+    mbr.Expand(Point{p.x, p.y});
+  }
+  return mbr;
+}
+
+}  // namespace tman::geo

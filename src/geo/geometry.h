@@ -1,0 +1,115 @@
+#ifndef TMAN_GEO_GEOMETRY_H_
+#define TMAN_GEO_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace tman::geo {
+
+struct Point {
+  double x = 0;  // longitude
+  double y = 0;  // latitude
+};
+
+// GPS fix: position plus UNIX timestamp (seconds).
+struct TimedPoint {
+  double x = 0;
+  double y = 0;
+  int64_t t = 0;
+};
+
+// Axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct MBR {
+  double min_x = 0;
+  double min_y = 0;
+  double max_x = 0;
+  double max_y = 0;
+
+  static MBR Empty() {
+    return MBR{1e300, 1e300, -1e300, -1e300};
+  }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+
+  void Expand(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  void Merge(const MBR& other) {
+    if (other.IsEmpty()) return;
+    min_x = std::min(min_x, other.min_x);
+    min_y = std::min(min_y, other.min_y);
+    max_x = std::max(max_x, other.max_x);
+    max_y = std::max(max_y, other.max_y);
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Contains(const MBR& other) const {
+    return other.min_x >= min_x && other.max_x <= max_x &&
+           other.min_y >= min_y && other.max_y <= max_y;
+  }
+
+  bool Intersects(const MBR& other) const {
+    return !(other.min_x > max_x || other.max_x < min_x ||
+             other.min_y > max_y || other.max_y < min_y);
+  }
+
+  // Minimum squared Euclidean distance between the rectangles (0 if they
+  // intersect). Used by similarity-query lower bounds.
+  double MinSquaredDistance(const MBR& other) const {
+    const double dx = std::max({0.0, other.min_x - max_x, min_x - other.max_x});
+    const double dy = std::max({0.0, other.min_y - max_y, min_y - other.max_y});
+    return dx * dx + dy * dy;
+  }
+
+  // Grows the rectangle by `margin` on every side.
+  MBR Expanded(double margin) const {
+    return MBR{min_x - margin, min_y - margin, max_x + margin, max_y + margin};
+  }
+};
+
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+// Great-circle distance in meters.
+double HaversineMeters(const Point& a, const Point& b);
+
+// Approximate conversion of a meter length to degrees of longitude/latitude
+// at latitude `lat_deg` (used to size query windows specified in meters).
+double MetersToDegreesLat(double meters);
+double MetersToDegreesLon(double meters, double lat_deg);
+
+// True if segment [a, b] intersects the rectangle (including touching).
+bool SegmentIntersectsRect(const Point& a, const Point& b, const MBR& rect);
+
+// True if the polyline visits the rectangle: any vertex inside or any
+// segment crossing it.
+bool PolylineIntersectsRect(const std::vector<TimedPoint>& points,
+                            const MBR& rect);
+
+// Point-to-segment distance.
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+MBR ComputeMBR(const std::vector<TimedPoint>& points);
+
+}  // namespace tman::geo
+
+#endif  // TMAN_GEO_GEOMETRY_H_

@@ -1,0 +1,120 @@
+#include "geo/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tman::geo {
+
+namespace {
+
+double PointToRectDistance(const Point& p, const MBR& r) {
+  const double dx = std::max({0.0, r.min_x - p.x, p.x - r.max_x});
+  const double dy = std::max({0.0, r.min_y - p.y, p.y - r.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+double DiscreteFrechet(const std::vector<TimedPoint>& a,
+                       const std::vector<TimedPoint>& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return 1e300;
+
+  // Rolling 1-D dynamic program over the coupling matrix.
+  std::vector<double> prev(m), curr(m);
+  auto d = [&](size_t i, size_t j) {
+    return Distance(Point{a[i].x, a[i].y}, Point{b[j].x, b[j].y});
+  };
+  prev[0] = d(0, 0);
+  for (size_t j = 1; j < m; j++) prev[j] = std::max(prev[j - 1], d(0, j));
+  for (size_t i = 1; i < n; i++) {
+    curr[0] = std::max(prev[0], d(i, 0));
+    for (size_t j = 1; j < m; j++) {
+      const double reach = std::min({prev[j], prev[j - 1], curr[j - 1]});
+      curr[j] = std::max(reach, d(i, j));
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m - 1];
+}
+
+double DTWDistance(const std::vector<TimedPoint>& a,
+                   const std::vector<TimedPoint>& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return 1e300;
+
+  std::vector<double> prev(m), curr(m);
+  auto d = [&](size_t i, size_t j) {
+    return Distance(Point{a[i].x, a[i].y}, Point{b[j].x, b[j].y});
+  };
+  prev[0] = d(0, 0);
+  for (size_t j = 1; j < m; j++) prev[j] = prev[j - 1] + d(0, j);
+  for (size_t i = 1; i < n; i++) {
+    curr[0] = prev[0] + d(i, 0);
+    for (size_t j = 1; j < m; j++) {
+      curr[j] = std::min({prev[j], prev[j - 1], curr[j - 1]}) + d(i, j);
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m - 1];
+}
+
+double HausdorffDistance(const std::vector<TimedPoint>& a,
+                         const std::vector<TimedPoint>& b) {
+  if (a.empty() || b.empty()) return 1e300;
+  auto directed = [](const std::vector<TimedPoint>& from,
+                     const std::vector<TimedPoint>& to) {
+    double result = 0;
+    for (const TimedPoint& p : from) {
+      double best = 1e300;
+      for (const TimedPoint& q : to) {
+        const double d =
+            Distance(Point{p.x, p.y}, Point{q.x, q.y});
+        if (d < best) best = d;
+        if (best == 0) break;
+      }
+      result = std::max(result, best);
+    }
+    return result;
+  };
+  return std::max(directed(a, b), directed(b, a));
+}
+
+double ExactDistance(SimilarityMeasure measure,
+                     const std::vector<TimedPoint>& a,
+                     const std::vector<TimedPoint>& b) {
+  switch (measure) {
+    case SimilarityMeasure::kFrechet:
+      return DiscreteFrechet(a, b);
+    case SimilarityMeasure::kDTW:
+      return DTWDistance(a, b);
+    case SimilarityMeasure::kHausdorff:
+      return HausdorffDistance(a, b);
+  }
+  return 1e300;
+}
+
+double MBRLowerBound(const MBR& a, const MBR& b) {
+  return std::sqrt(a.MinSquaredDistance(b));
+}
+
+double DPFeatureLowerBound(const DPFeatures& query,
+                           const DPFeatures& candidate) {
+  // Every representative point is a real trajectory point; its match must
+  // lie inside the other trajectory's MBR, so the point-to-MBR distance is
+  // a valid lower bound in both directions.
+  double lb = MBRLowerBound(query.mbr, candidate.mbr);
+  for (const DPFeature& f : query.features) {
+    lb = std::max(lb, PointToRectDistance(Point{f.rep.x, f.rep.y},
+                                          candidate.mbr));
+  }
+  for (const DPFeature& f : candidate.features) {
+    lb = std::max(lb,
+                  PointToRectDistance(Point{f.rep.x, f.rep.y}, query.mbr));
+  }
+  return lb;
+}
+
+}  // namespace tman::geo

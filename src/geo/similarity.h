@@ -1,0 +1,43 @@
+#ifndef TMAN_GEO_SIMILARITY_H_
+#define TMAN_GEO_SIMILARITY_H_
+
+#include <vector>
+
+#include "geo/douglas_peucker.h"
+#include "geo/geometry.h"
+
+namespace tman::geo {
+
+enum class SimilarityMeasure {
+  kFrechet,    // discrete Fréchet distance
+  kDTW,        // dynamic time warping (sum of matched distances)
+  kHausdorff,  // symmetric Hausdorff distance
+};
+
+// Exact distances (O(n*m) dynamic programming / scans) in coordinate units.
+double DiscreteFrechet(const std::vector<TimedPoint>& a,
+                       const std::vector<TimedPoint>& b);
+double DTWDistance(const std::vector<TimedPoint>& a,
+                   const std::vector<TimedPoint>& b);
+double HausdorffDistance(const std::vector<TimedPoint>& a,
+                         const std::vector<TimedPoint>& b);
+
+double ExactDistance(SimilarityMeasure measure,
+                     const std::vector<TimedPoint>& a,
+                     const std::vector<TimedPoint>& b);
+
+// Cheap lower bound on the distance between two trajectories given only
+// their MBRs: any matching must bridge the rectangle gap. Valid for all
+// three measures (for DTW it bounds the per-step cost, hence the total from
+// below as well since DTW sums >= max step >= gap).
+double MBRLowerBound(const MBR& a, const MBR& b);
+
+// Tighter lower bound from DP-features (TraSS local filter): the maximum
+// over query features of the distance from the feature box to the
+// candidate's box. Never exceeds the true Fréchet/Hausdorff distance.
+double DPFeatureLowerBound(const DPFeatures& query,
+                           const DPFeatures& candidate);
+
+}  // namespace tman::geo
+
+#endif  // TMAN_GEO_SIMILARITY_H_

@@ -1,0 +1,48 @@
+#ifndef TMAN_INDEX_FIXED_BIN_INDEX_H_
+#define TMAN_INDEX_FIXED_BIN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/value_range.h"
+
+namespace tman::index {
+
+// ST-Hadoop-style temporal partitioning (paper §II-1): disjoint fixed-size
+// time slices; a trajectory is stored once in *every* slice its time range
+// intersects (duplicated storage), and a query reads every intersecting
+// slice and deduplicates.
+struct FixedBinConfig {
+  int64_t origin = 0;
+  int64_t bin_seconds = 24 * 3600;  // ST-Hadoop's daily slices
+};
+
+class FixedBinIndex {
+ public:
+  explicit FixedBinIndex(const FixedBinConfig& config) : cfg_(config) {}
+
+  const FixedBinConfig& config() const { return cfg_; }
+
+  int64_t BinOf(int64_t t) const { return (t - cfg_.origin) / cfg_.bin_seconds; }
+
+  // All bins the range intersects: the trajectory is stored once per bin.
+  std::vector<uint64_t> EncodeAll(int64_t ts, int64_t te) const {
+    std::vector<uint64_t> bins;
+    for (int64_t b = BinOf(ts); b <= BinOf(te); b++) {
+      bins.push_back(static_cast<uint64_t>(b));
+    }
+    return bins;
+  }
+
+  std::vector<ValueRange> QueryRanges(int64_t ts, int64_t te) const {
+    return {ValueRange{static_cast<uint64_t>(BinOf(ts)),
+                       static_cast<uint64_t>(BinOf(te))}};
+  }
+
+ private:
+  FixedBinConfig cfg_;
+};
+
+}  // namespace tman::index
+
+#endif  // TMAN_INDEX_FIXED_BIN_INDEX_H_

@@ -1,0 +1,45 @@
+#include "index/quadkey.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tman::index {
+
+std::string QuadCell::Sequence() const {
+  std::string seq;
+  seq.reserve(r);
+  for (int i = 1; i <= r; i++) {
+    seq.push_back(static_cast<char>('0' + QuadrantAt(i)));
+  }
+  return seq;
+}
+
+uint64_t QuadCode(const QuadCell& cell, int g) {
+  assert(cell.r >= 1 && cell.r <= g);
+  uint64_t code = 0;
+  for (int i = 1; i <= cell.r; i++) {
+    const uint64_t qi = static_cast<uint64_t>(cell.QuadrantAt(i));
+    const uint64_t subtree = ((1ULL << (2 * (g - i + 1))) - 1) / 3;
+    code += qi * subtree + 1;
+  }
+  return code - 1;
+}
+
+uint64_t QuadSubtreeCount(int r, int g) {
+  assert(r >= 1 && r <= g);
+  return ((1ULL << (2 * (g - r + 1))) - 1) / 3;
+}
+
+QuadCell CellContaining(double px, double py, int r) {
+  const uint32_t n = 1u << r;
+  const double w = 1.0 / static_cast<double>(n);
+  auto clamp_idx = [n](double v, double width) {
+    int64_t idx = static_cast<int64_t>(v / width);
+    if (v < 0) idx = 0;
+    if (idx >= static_cast<int64_t>(n)) idx = n - 1;
+    return static_cast<uint32_t>(std::max<int64_t>(0, idx));
+  };
+  return QuadCell{r, clamp_idx(px, w), clamp_idx(py, w)};
+}
+
+}  // namespace tman::index

@@ -1,0 +1,63 @@
+#ifndef TMAN_INDEX_QUADKEY_H_
+#define TMAN_INDEX_QUADKEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/geometry.h"
+
+namespace tman::index {
+
+// Quad-tree cell addressing in normalized [0,1]^2 space.
+//
+// A cell at resolution r is one of 2^r x 2^r grid squares identified by
+// integer coordinates (x, y). Its quadrant sequence q1..qr (Fig. 2 of the
+// paper) follows the recursive subdivision; quadrant numbering here is
+// q = (x_bit << 1) | y_bit, i.e. 0=SW, 1=NW, 2=SE, 3=NE.
+struct QuadCell {
+  int r = 0;      // resolution (sequence length); r >= 1
+  uint32_t x = 0;  // column in [0, 2^r)
+  uint32_t y = 0;  // row in [0, 2^r)
+
+  double size() const { return 1.0 / static_cast<double>(1u << r); }
+
+  // Rectangle covered by the cell.
+  geo::MBR Rect() const {
+    const double w = size();
+    return geo::MBR{x * w, y * w, (x + 1) * w, (y + 1) * w};
+  }
+
+  QuadCell Child(int quadrant) const {
+    return QuadCell{r + 1, (x << 1) | static_cast<uint32_t>(quadrant >> 1),
+                    (y << 1) | static_cast<uint32_t>(quadrant & 1)};
+  }
+
+  // Quadrant digit at step i (1-based) of the sequence.
+  int QuadrantAt(int i) const {
+    const int shift = r - i;
+    const uint32_t xb = (x >> shift) & 1;
+    const uint32_t yb = (y >> shift) & 1;
+    return static_cast<int>((xb << 1) | yb);
+  }
+
+  // "0312"-style printable sequence (debugging / metadata).
+  std::string Sequence() const;
+};
+
+// Depth-first order-preserving integer code of a quadrant sequence with
+// maximum resolution g (paper Eq. 2):
+//   code(Q) = sum_{i=1..r} (q_i * (4^{g-i+1}-1)/3 + 1) - 1
+// Codes of all cells prefixed by Q are contiguous: [code, code+SubtreeCount).
+uint64_t QuadCode(const QuadCell& cell, int g);
+
+// Number of cells (including itself) in the subtree of a resolution-r cell:
+//   sum_{i=r..g} 4^{i-r} = (4^{g-r+1} - 1) / 3.
+uint64_t QuadSubtreeCount(int r, int g);
+
+// The cell at resolution r containing point (px, py); coordinates are
+// clamped into [0,1).
+QuadCell CellContaining(double px, double py, int r);
+
+}  // namespace tman::index
+
+#endif  // TMAN_INDEX_QUADKEY_H_

@@ -1,0 +1,161 @@
+#include "index/shape_encoding.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace tman::index {
+
+double JaccardSimilarity(uint32_t a, uint32_t b) {
+  const int inter = std::popcount(a & b);
+  const int uni = std::popcount(a | b);
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double CumulativeSimilarity(const std::vector<uint32_t>& shapes,
+                            const std::vector<uint32_t>& order) {
+  double total = 0;
+  for (size_t i = 0; i + 1 < order.size(); i++) {
+    total += JaccardSimilarity(shapes[order[i]], shapes[order[i + 1]]);
+  }
+  return total;
+}
+
+namespace {
+
+std::vector<uint32_t> GreedyOrder(const std::vector<uint32_t>& shapes) {
+  const size_t n = shapes.size();
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  uint32_t current = 0;
+  order.push_back(current);
+  visited[current] = true;
+  for (size_t step = 1; step < n; step++) {
+    double best_sim = -1;
+    uint32_t best = 0;
+    for (uint32_t j = 0; j < n; j++) {
+      if (visited[j]) continue;
+      const double sim = JaccardSimilarity(shapes[current], shapes[j]);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = j;
+      }
+    }
+    order.push_back(best);
+    visited[best] = true;
+    current = best;
+  }
+  return order;
+}
+
+// Order crossover (OX): copies a slice of parent a, fills the rest in
+// parent b's order.
+std::vector<uint32_t> OrderCrossover(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b,
+                                     Random* rnd) {
+  const size_t n = a.size();
+  size_t lo = rnd->Uniform(n);
+  size_t hi = rnd->Uniform(n);
+  if (lo > hi) std::swap(lo, hi);
+  std::vector<uint32_t> child(n, UINT32_MAX);
+  std::vector<bool> used(n, false);
+  for (size_t i = lo; i <= hi; i++) {
+    child[i] = a[i];
+    used[a[i]] = true;
+  }
+  size_t pos = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (used[b[i]]) continue;
+    while (child[pos] != UINT32_MAX) pos++;
+    child[pos] = b[i];
+  }
+  return child;
+}
+
+std::vector<uint32_t> GeneticOrder(const std::vector<uint32_t>& shapes,
+                                   const GeneticParams& params) {
+  const size_t n = shapes.size();
+  Random rnd(params.seed ^ (n * 0x9e3779b9ULL));
+
+  // Seed the population with the greedy solution plus random permutations.
+  std::vector<std::vector<uint32_t>> population;
+  population.push_back(GreedyOrder(shapes));
+  for (int p = 1; p < params.population; p++) {
+    std::vector<uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (size_t i = n; i > 1; i--) {
+      std::swap(perm[i - 1], perm[rnd.Uniform(i)]);
+    }
+    population.push_back(std::move(perm));
+  }
+
+  auto fitness = [&shapes](const std::vector<uint32_t>& order) {
+    return CumulativeSimilarity(shapes, order);
+  };
+
+  std::vector<uint32_t> best = population[0];
+  double best_fitness = fitness(best);
+
+  for (int gen = 0; gen < params.generations; gen++) {
+    std::vector<std::vector<uint32_t>> next;
+    next.reserve(population.size());
+    next.push_back(best);  // elitism
+    while (next.size() < population.size()) {
+      // Binary tournaments for both parents.
+      auto tournament = [&]() -> const std::vector<uint32_t>& {
+        const auto& x = population[rnd.Uniform(population.size())];
+        const auto& y = population[rnd.Uniform(population.size())];
+        return fitness(x) >= fitness(y) ? x : y;
+      };
+      std::vector<uint32_t> child =
+          OrderCrossover(tournament(), tournament(), &rnd);
+      if (rnd.Bernoulli(params.mutation_rate) && n >= 2) {
+        const size_t i = rnd.Uniform(n);
+        const size_t j = rnd.Uniform(n);
+        std::swap(child[i], child[j]);
+      }
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    for (const auto& order : population) {
+      const double f = fitness(order);
+      if (f > best_fitness) {
+        best_fitness = f;
+        best = order;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<uint32_t> OptimizeShapeOrder(const std::vector<uint32_t>& shapes,
+                                         ShapeOrderMethod method,
+                                         const GeneticParams& params) {
+  const size_t n = shapes.size();
+  if (n == 0) return {};
+  if (n == 1) return {0};
+  switch (method) {
+    case ShapeOrderMethod::kBitmap: {
+      // Raw order: ascending bitmap value.
+      std::vector<uint32_t> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&shapes](uint32_t a, uint32_t b) {
+        return shapes[a] < shapes[b];
+      });
+      return order;
+    }
+    case ShapeOrderMethod::kGreedy:
+      return GreedyOrder(shapes);
+    case ShapeOrderMethod::kGenetic:
+      return GeneticOrder(shapes, params);
+  }
+  return {};
+}
+
+}  // namespace tman::index

@@ -1,0 +1,45 @@
+#ifndef TMAN_INDEX_SHAPE_ENCODING_H_
+#define TMAN_INDEX_SHAPE_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tman::index {
+
+// Shape-code optimisation (paper §IV-A2(3)): renumber the shapes actually
+// used inside an enlarged element so that spatially similar shapes receive
+// adjacent final codes, which clusters similar trajectories in the rowkey
+// space. Maximising the cumulative Jaccard similarity of adjacent codes is
+// a longest-Hamiltonian-path variant of the TSP; the paper solves it with
+// a greedy heuristic and a genetic algorithm.
+
+// Jaccard similarity of two cell bitsets: |a&b| / |a|b|. Two empty shapes
+// are defined as identical (similarity 1).
+double JaccardSimilarity(uint32_t a, uint32_t b);
+
+// Sum of similarities along a visiting order (Eq. 5's objective).
+double CumulativeSimilarity(const std::vector<uint32_t>& shapes,
+                            const std::vector<uint32_t>& order);
+
+enum class ShapeOrderMethod {
+  kBitmap,  // identity order (raw codes, no optimisation)
+  kGreedy,  // nearest-neighbour on similarity
+  kGenetic, // genetic algorithm with order crossover
+};
+
+struct GeneticParams {
+  int population = 24;
+  int generations = 60;
+  double mutation_rate = 0.2;
+  uint64_t seed = 1;
+};
+
+// Returns a permutation `order` of [0, shapes.size()): the shape at
+// order[p] receives final code p.
+std::vector<uint32_t> OptimizeShapeOrder(const std::vector<uint32_t>& shapes,
+                                         ShapeOrderMethod method,
+                                         const GeneticParams& params = {});
+
+}  // namespace tman::index
+
+#endif  // TMAN_INDEX_SHAPE_ENCODING_H_

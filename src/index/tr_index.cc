@@ -1,0 +1,52 @@
+#include "index/tr_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tman::index {
+
+uint64_t TRIndex::Encode(int64_t ts, int64_t te) const {
+  assert(ts <= te);
+  const int64_t N = cfg_.max_periods;
+  const int64_t i = PeriodOf(ts);
+  int64_t j = PeriodOf(te);
+  if (j - i > N - 1) j = i + N - 1;  // clamp over-long ranges
+  return static_cast<uint64_t>(i * N + (j - i));
+}
+
+std::vector<ValueRange> TRIndex::QueryRanges(int64_t ts, int64_t te) const {
+  const int64_t N = cfg_.max_periods;
+  const int64_t i = PeriodOf(ts);
+  const int64_t j = PeriodOf(te);
+  std::vector<ValueRange> ranges;
+  ranges.reserve(static_cast<size_t>(N));
+
+  // Lemma 5 case 2: bins starting before TP_i must reach at least TP_i:
+  // for k in [i-N+1, i), candidates are TB_{k,i} .. TB_{k,k+N-1}, whose
+  // codes are contiguous (Lemma 1).
+  for (int64_t k = i - N + 1; k < i; k++) {
+    const uint64_t lo = static_cast<uint64_t>(k * N + (i - k));
+    const uint64_t hi = static_cast<uint64_t>(k * N + (N - 1));
+    ranges.push_back(ValueRange{lo, hi});
+  }
+
+  // Lemma 5 case 3: bins starting inside [TP_i, TP_j] all qualify; their
+  // codes form one contiguous interval [TR(TB_{i,i}), TR(TB_{j,j+N-1})].
+  ranges.push_back(ValueRange{static_cast<uint64_t>(i * N),
+                              static_cast<uint64_t>(j * N + (N - 1))});
+  // The k = i-1 look-back interval ends exactly where the main interval
+  // starts; merging it (and any other adjacencies) saves scan windows.
+  return MergeRanges(std::move(ranges));
+}
+
+void TRIndex::DecodeBin(uint64_t value, int64_t* bin_start,
+                        int64_t* bin_end) const {
+  const int64_t N = cfg_.max_periods;
+  const int64_t v = static_cast<int64_t>(value);
+  const int64_t i = v / N;
+  const int64_t span = v % N;
+  *bin_start = PeriodStart(i);
+  *bin_end = PeriodStart(i + span + 1);
+}
+
+}  // namespace tman::index

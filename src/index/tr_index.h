@@ -1,0 +1,64 @@
+#ifndef TMAN_INDEX_TR_INDEX_H_
+#define TMAN_INDEX_TR_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/value_range.h"
+
+namespace tman::index {
+
+// TR index (paper §IV-A1): the timeline is cut into fixed-length *time
+// periods*; a trajectory's time range [ts, te] is represented by the *time
+// bin* TB_{i,j} of consecutive periods containing it. Bins are limited to
+// N periods. Encoding (Eq. 1):
+//
+//   TR(TB_{i,j}) = i * N + (j - i)
+//
+// which is unique, keeps bins from one period contiguous (Lemma 1), and
+// keeps bins of adjacent periods within 2N-1 of each other (Lemma 2).
+struct TRConfig {
+  int64_t origin = 0;         // timeline start (paper: UNIX epoch)
+  int64_t period_seconds = 1800;  // paper sweeps 10min..8h; default 30min
+  int64_t max_periods = 48;   // N: longest representable bin
+};
+
+class TRIndex {
+ public:
+  explicit TRIndex(const TRConfig& config) : cfg_(config) {}
+
+  const TRConfig& config() const { return cfg_; }
+
+  // Index of the period containing t.
+  int64_t PeriodOf(int64_t t) const {
+    int64_t d = t - cfg_.origin;
+    // Floor division for times before the origin.
+    return d >= 0 ? d / cfg_.period_seconds
+                  : -((-d + cfg_.period_seconds - 1) / cfg_.period_seconds);
+  }
+
+  // Start time of period i.
+  int64_t PeriodStart(int64_t i) const {
+    return cfg_.origin + i * cfg_.period_seconds;
+  }
+
+  // Eq. 1. Ranges longer than N periods are clamped to N. The paper's
+  // preprocessing splits such trajectories; configure N to cover the
+  // longest stored range, because a query that touches only the clamped
+  // tail of an over-long range would miss it.
+  uint64_t Encode(int64_t ts, int64_t te) const;
+
+  // Candidate index-value intervals for a temporal range query [ts, te]
+  // (Algorithm 1 / Lemma 5). At most N intervals.
+  std::vector<ValueRange> QueryRanges(int64_t ts, int64_t te) const;
+
+  // Inverse of Encode: the [start, end) time span of the bin for `value`.
+  void DecodeBin(uint64_t value, int64_t* bin_start, int64_t* bin_end) const;
+
+ private:
+  TRConfig cfg_;
+};
+
+}  // namespace tman::index
+
+#endif  // TMAN_INDEX_TR_INDEX_H_

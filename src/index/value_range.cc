@@ -1,0 +1,35 @@
+#include "index/value_range.h"
+
+#include <algorithm>
+
+namespace tman::index {
+
+std::vector<ValueRange> MergeRanges(std::vector<ValueRange> ranges) {
+  if (ranges.empty()) return ranges;
+  std::sort(ranges.begin(), ranges.end(),
+            [](const ValueRange& a, const ValueRange& b) {
+              return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+            });
+  std::vector<ValueRange> merged;
+  merged.push_back(ranges[0]);
+  for (size_t i = 1; i < ranges.size(); i++) {
+    ValueRange& last = merged.back();
+    // Merge if overlapping or exactly adjacent.
+    if (ranges[i].lo <= last.hi + 1 && last.hi != UINT64_MAX) {
+      last.hi = std::max(last.hi, ranges[i].hi);
+    } else if (ranges[i].lo <= last.hi) {
+      last.hi = std::max(last.hi, ranges[i].hi);
+    } else {
+      merged.push_back(ranges[i]);
+    }
+  }
+  return merged;
+}
+
+uint64_t TotalCount(const std::vector<ValueRange>& ranges) {
+  uint64_t total = 0;
+  for (const ValueRange& r : ranges) total += r.count();
+  return total;
+}
+
+}  // namespace tman::index

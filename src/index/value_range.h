@@ -1,0 +1,31 @@
+#ifndef TMAN_INDEX_VALUE_RANGE_H_
+#define TMAN_INDEX_VALUE_RANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tman::index {
+
+// Closed interval [lo, hi] of index values. Query planning produces these;
+// the storage layer turns each into one rowkey scan window per shard.
+struct ValueRange {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool Contains(uint64_t v) const { return v >= lo && v <= hi; }
+  uint64_t count() const { return hi - lo + 1; }
+
+  friend bool operator==(const ValueRange& a, const ValueRange& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+// Sorts and merges adjacent/overlapping ranges to minimize scan windows.
+std::vector<ValueRange> MergeRanges(std::vector<ValueRange> ranges);
+
+// Total number of index values covered.
+uint64_t TotalCount(const std::vector<ValueRange>& ranges);
+
+}  // namespace tman::index
+
+#endif  // TMAN_INDEX_VALUE_RANGE_H_

@@ -1,0 +1,68 @@
+#include "index/xz2_index.h"
+
+#include <cmath>
+#include <deque>
+
+namespace tman::index {
+
+QuadCell XZ2Index::AnchorCell(const geo::MBR& mbr) const {
+  const double extent = std::max(mbr.width(), mbr.height());
+  int l;
+  if (extent <= 0) {
+    l = cfg_.max_resolution;
+  } else {
+    l = static_cast<int>(std::floor(std::log2(1.0 / extent)));
+    l = std::min(l, cfg_.max_resolution);
+    l = std::max(l, 1);
+    // The enlarged element (2x2 cells anchored at the lower-left corner's
+    // cell) must cover the MBR; otherwise drop one resolution.
+    const double w = 1.0 / static_cast<double>(1u << l);
+    const double ax = std::floor(mbr.min_x / w) * w;
+    const double ay = std::floor(mbr.min_y / w) * w;
+    if (ax + 2 * w < mbr.max_x || ay + 2 * w < mbr.max_y) {
+      l = std::max(1, l - 1);
+    }
+  }
+  return CellContaining(mbr.min_x, mbr.min_y, l);
+}
+
+uint64_t XZ2Index::Encode(const geo::MBR& mbr) const {
+  return QuadCode(AnchorCell(mbr), cfg_.max_resolution);
+}
+
+std::vector<ValueRange> XZ2Index::QueryRanges(const geo::MBR& query,
+                                              QueryStats* stats) const {
+  std::vector<ValueRange> ranges;
+  std::deque<QuadCell> queue;
+  const QuadCell root{1, 0, 0};
+  for (int q = 0; q < 4; q++) {
+    queue.push_back(QuadCell{1, static_cast<uint32_t>(q >> 1),
+                             static_cast<uint32_t>(q & 1)});
+  }
+  while (!queue.empty()) {
+    const QuadCell cell = queue.front();
+    queue.pop_front();
+    if (stats != nullptr) stats->elements_visited++;
+
+    const double w = cell.size();
+    const geo::MBR enlarged{cell.x * w, cell.y * w, (cell.x + 2) * w,
+                            (cell.y + 2) * w};
+    if (!query.Intersects(enlarged)) continue;
+    const uint64_t code = QuadCode(cell, cfg_.max_resolution);
+    if (query.Contains(enlarged)) {
+      ranges.push_back(ValueRange{
+          code, code + QuadSubtreeCount(cell.r, cfg_.max_resolution) - 1});
+      continue;
+    }
+    ranges.push_back(ValueRange{code, code});
+    if (cell.r < cfg_.max_resolution) {
+      for (int q = 0; q < 4; q++) {
+        queue.push_back(cell.Child(q));
+      }
+    }
+  }
+  (void)root;
+  return MergeRanges(std::move(ranges));
+}
+
+}  // namespace tman::index

@@ -1,0 +1,49 @@
+#ifndef TMAN_INDEX_XZ2_INDEX_H_
+#define TMAN_INDEX_XZ2_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "index/quadkey.h"
+#include "index/value_range.h"
+
+namespace tman::index {
+
+// XZ-Ordering (Böhm et al. 1999) over normalized [0,1]^2 space — the
+// spatial index used by GeoMesa/TrajMesa/JUST and the paper's baseline.
+// An object's MBR is represented by the deepest cell whose 2x-enlargement
+// covers the MBR and that contains the MBR's lower-left corner.
+struct XZ2Config {
+  int max_resolution = 15;  // g
+};
+
+class XZ2Index {
+ public:
+  explicit XZ2Index(const XZ2Config& config) : cfg_(config) {}
+
+  const XZ2Config& config() const { return cfg_; }
+
+  // Encodes a normalized MBR to its XZ2 code.
+  uint64_t Encode(const geo::MBR& mbr) const;
+
+  // The anchor cell for a normalized MBR (exposed for TShape reuse).
+  QuadCell AnchorCell(const geo::MBR& mbr) const;
+
+  struct QueryStats {
+    uint64_t elements_visited = 0;
+  };
+
+  // Candidate code intervals for a spatial range query over normalized
+  // space (BFS: covered enlarged elements contribute whole subtree ranges,
+  // intersecting ones contribute themselves and recurse).
+  std::vector<ValueRange> QueryRanges(const geo::MBR& query,
+                                      QueryStats* stats = nullptr) const;
+
+ private:
+  XZ2Config cfg_;
+};
+
+}  // namespace tman::index
+
+#endif  // TMAN_INDEX_XZ2_INDEX_H_

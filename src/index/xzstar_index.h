@@ -1,0 +1,54 @@
+#ifndef TMAN_INDEX_XZSTAR_INDEX_H_
+#define TMAN_INDEX_XZSTAR_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "index/tshape_index.h"
+#include "index/value_range.h"
+
+namespace tman::index {
+
+// XZ* index (TraSS, ICDE'22; the paper's spatial baseline for similarity
+// queries). The enlarged element is divided into 2x2 sub-quads and the
+// index space is the combination of sub-quads the trajectory visits. As
+// the paper notes (§V-F), XZ* is TShape with alpha=beta=2, raw bitmap
+// shape codes, and no index cache; its query enumerates all 15 non-empty
+// sub-quad combinations of each intersecting element.
+class XZStarIndex {
+ public:
+  explicit XZStarIndex(int max_resolution)
+      : tshape_(TShapeConfig{2, 2, max_resolution}) {}
+
+  uint64_t Encode(const std::vector<geo::TimedPoint>& points) const {
+    return tshape_.Encode(points).index_value;
+  }
+
+  TShapeEncoding EncodeFull(const std::vector<geo::TimedPoint>& points) const {
+    return tshape_.Encode(points);
+  }
+
+  std::vector<ValueRange> QueryRanges(
+      const geo::MBR& query, TShapeIndex::QueryStats* stats = nullptr) const {
+    // All 15 non-empty bitmaps, coded by their raw value.
+    static const std::vector<std::pair<uint32_t, uint32_t>> kAllShapes = [] {
+      std::vector<std::pair<uint32_t, uint32_t>> shapes;
+      for (uint32_t bits = 1; bits < 16; bits++) {
+        shapes.emplace_back(bits, bits);
+      }
+      return shapes;
+    }();
+    ShapeLookup lookup = [](uint64_t) { return kAllShapes; };
+    return tshape_.QueryRanges(query, &lookup, stats);
+  }
+
+  const TShapeIndex& tshape() const { return tshape_; }
+
+ private:
+  TShapeIndex tshape_;
+};
+
+}  // namespace tman::index
+
+#endif  // TMAN_INDEX_XZSTAR_INDEX_H_

@@ -1,0 +1,101 @@
+#include "index/xzt_index.h"
+
+#include <cassert>
+#include <deque>
+
+namespace tman::index {
+
+XZTIndex::XZTIndex(const XZTConfig& config) : cfg_(config) {
+  // Total codes in a period: all elements of depths 1..g plus the root.
+  // Root has code 0; depth-1 subtrees are contiguous after it.
+  codes_per_period_ = SubtreeCount(0);
+}
+
+uint64_t XZTIndex::SequenceCode(uint64_t bits, int depth) const {
+  // code(q1..qd) = sum_i (q_i * (2^(g-i+1) - 1) + 1), root = 0.
+  uint64_t code = 0;
+  for (int i = 1; i <= depth; i++) {
+    const uint64_t qi = (bits >> (depth - i)) & 1;
+    code += qi * ((1ULL << (cfg_.max_resolution - i + 1)) - 1) + 1;
+  }
+  return code;
+}
+
+uint64_t XZTIndex::Encode(int64_t ts, int64_t te) const {
+  assert(ts <= te);
+  const int64_t period =
+      (ts - cfg_.origin) / cfg_.period_seconds;  // data after origin
+  const int64_t pstart = cfg_.origin + period * cfg_.period_seconds;
+
+  // Descend while the child containing ts still has an XElement covering
+  // [ts, te].
+  uint64_t bits = 0;
+  int depth = 0;
+  int64_t elem_start = pstart;
+  int64_t elem_len = cfg_.period_seconds;
+  while (depth < cfg_.max_resolution) {
+    const int64_t half = elem_len / 2;
+    if (half == 0) break;
+    // Child containing ts.
+    const int child = (ts - elem_start) >= half ? 1 : 0;
+    const int64_t child_start = elem_start + child * half;
+    // XElement of the child is [child_start, child_start + 2*half).
+    if (te < child_start + 2 * half) {
+      bits = (bits << 1) | static_cast<uint64_t>(child);
+      depth++;
+      elem_start = child_start;
+      elem_len = half;
+    } else {
+      break;
+    }
+  }
+  return static_cast<uint64_t>(period) * codes_per_period_ +
+         SequenceCode(bits, depth);
+}
+
+std::vector<ValueRange> XZTIndex::QueryRanges(int64_t ts, int64_t te) const {
+  std::vector<ValueRange> ranges;
+  const int64_t first_period = (ts - cfg_.origin) / cfg_.period_seconds;
+  // Trajectories are stored in the period containing their start time, and
+  // their XElement can extend one full period to the right; conversely a
+  // query can be matched by trajectories starting one period earlier.
+  const int64_t last_period = (te - cfg_.origin) / cfg_.period_seconds;
+
+  struct Node {
+    uint64_t bits;
+    int depth;
+    int64_t start;
+    int64_t len;
+  };
+
+  for (int64_t p = first_period - 1; p <= last_period; p++) {
+    if (p < 0) continue;
+    const uint64_t base = static_cast<uint64_t>(p) * codes_per_period_;
+    const int64_t pstart = cfg_.origin + p * cfg_.period_seconds;
+    std::deque<Node> queue;
+    queue.push_back(Node{0, 0, pstart, cfg_.period_seconds});
+    while (!queue.empty()) {
+      const Node node = queue.front();
+      queue.pop_front();
+      const int64_t x_end = node.start + 2 * node.len;  // XElement bound
+      if (node.start > te || x_end <= ts) continue;     // disjoint
+      const uint64_t code = base + SequenceCode(node.bits, node.depth);
+      if (ts <= node.start && x_end - 1 <= te) {
+        // Query covers the whole XElement: all descendants qualify.
+        ranges.push_back(
+            ValueRange{code, code + SubtreeCount(node.depth) - 1});
+        continue;
+      }
+      ranges.push_back(ValueRange{code, code});
+      if (node.depth < cfg_.max_resolution && node.len >= 2) {
+        const int64_t half = node.len / 2;
+        queue.push_back(Node{node.bits << 1, node.depth + 1, node.start, half});
+        queue.push_back(Node{(node.bits << 1) | 1, node.depth + 1,
+                             node.start + half, half});
+      }
+    }
+  }
+  return MergeRanges(std::move(ranges));
+}
+
+}  // namespace tman::index

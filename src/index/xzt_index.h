@@ -1,0 +1,57 @@
+#ifndef TMAN_INDEX_XZT_INDEX_H_
+#define TMAN_INDEX_XZT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/value_range.h"
+
+namespace tman::index {
+
+// XZT temporal index (TrajMesa's design; the paper's baseline). The
+// timeline is cut into long fixed periods (e.g. a week); each period is
+// recursively halved into binary elements down to resolution g; every
+// element is doubled into an "XElement". A time range is encoded as the
+// deepest element whose XElement covers it and whose start period matches.
+//
+// The binary-dichotomy structure leaves up to a 1/2 "dead region" per
+// element, which is what TR index improves on.
+struct XZTConfig {
+  int64_t origin = 0;
+  int64_t period_seconds = 7LL * 24 * 3600;  // one week
+  int max_resolution = 16;                   // g
+};
+
+class XZTIndex {
+ public:
+  explicit XZTIndex(const XZTConfig& config);
+
+  const XZTConfig& config() const { return cfg_; }
+
+  // Number of element codes inside one period.
+  uint64_t CodesPerPeriod() const { return codes_per_period_; }
+
+  uint64_t Encode(int64_t ts, int64_t te) const;
+
+  // Candidate intervals for a temporal range query (BFS over the binary
+  // element tree of every period overlapping the query).
+  std::vector<ValueRange> QueryRanges(int64_t ts, int64_t te) const;
+
+ private:
+  // Code of a binary sequence (depth-first order preserving), base-2
+  // analogue of Eq. 2. `depth` is the length of the sequence in `bits`
+  // (most significant bit first).
+  uint64_t SequenceCode(uint64_t bits, int depth) const;
+
+  // Elements (including self) in the subtree of a depth-d element.
+  uint64_t SubtreeCount(int depth) const {
+    return (1ULL << (cfg_.max_resolution - depth + 1)) - 1;
+  }
+
+  XZTConfig cfg_;
+  uint64_t codes_per_period_;
+};
+
+}  // namespace tman::index
+
+#endif  // TMAN_INDEX_XZT_INDEX_H_

@@ -1,0 +1,162 @@
+#include "kvstore/block.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace tman::kv {
+
+Block::Block(std::string contents) : data_(std::move(contents)) {
+  if (data_.size() < sizeof(uint32_t)) {
+    malformed_ = true;
+    return;
+  }
+  const uint32_t num_restarts = NumRestarts();
+  const size_t trailer = (1 + num_restarts) * sizeof(uint32_t);
+  if (trailer > data_.size()) {
+    malformed_ = true;
+    return;
+  }
+  restart_offset_ = static_cast<uint32_t>(data_.size() - trailer);
+}
+
+uint32_t Block::NumRestarts() const {
+  return DecodeFixed32(data_.data() + data_.size() - sizeof(uint32_t));
+}
+
+namespace {
+
+// Decodes the entry header at p. Returns pointer to the key delta, or
+// nullptr on malformed data.
+const char* DecodeEntry(const char* p, const char* limit, uint32_t* shared,
+                        uint32_t* non_shared, uint32_t* value_length) {
+  if ((p = GetVarint32Ptr(p, limit, shared)) == nullptr) return nullptr;
+  if ((p = GetVarint32Ptr(p, limit, non_shared)) == nullptr) return nullptr;
+  if ((p = GetVarint32Ptr(p, limit, value_length)) == nullptr) return nullptr;
+  if (static_cast<uint64_t>(limit - p) < *non_shared + *value_length) {
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+class BlockIter final : public Iterator {
+ public:
+  BlockIter(const Block* block, const InternalKeyComparator* cmp)
+      : block_(block),
+        cmp_(cmp),
+        num_restarts_(block->malformed_ ? 0 : block->NumRestarts()),
+        current_(block->restart_offset_) {}
+
+  bool Valid() const override { return current_ < block_->restart_offset_; }
+
+  void SeekToFirst() override {
+    if (num_restarts_ == 0) {
+      MarkInvalid();
+      return;
+    }
+    SeekToRestartPoint(0);
+    ParseNextKey();
+  }
+
+  void Seek(const Slice& target) override {
+    if (num_restarts_ == 0) {
+      MarkInvalid();
+      return;
+    }
+    // Binary search over restart points for the last restart with a key
+    // < target, then scan linearly.
+    uint32_t left = 0;
+    uint32_t right = num_restarts_ - 1;
+    while (left < right) {
+      uint32_t mid = (left + right + 1) / 2;
+      uint32_t region_offset = GetRestartPoint(mid);
+      uint32_t shared, non_shared, value_length;
+      const char* key_ptr = DecodeEntry(
+          block_->data_.data() + region_offset,
+          block_->data_.data() + block_->restart_offset_, &shared, &non_shared,
+          &value_length);
+      if (key_ptr == nullptr || shared != 0) {
+        Corrupt();
+        return;
+      }
+      Slice mid_key(key_ptr, non_shared);
+      if (cmp_->Compare(mid_key, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    SeekToRestartPoint(left);
+    for (;;) {
+      if (!ParseNextKey()) return;
+      if (cmp_->Compare(key_, target) >= 0) return;
+    }
+  }
+
+  void Next() override {
+    assert(Valid());
+    ParseNextKey();
+  }
+
+  Slice key() const override { return key_; }
+  Slice value() const override { return value_; }
+  Status status() const override { return status_; }
+
+ private:
+  void MarkInvalid() { current_ = block_->restart_offset_; }
+
+  void Corrupt() {
+    status_ = Status::Corruption("bad block entry");
+    MarkInvalid();
+  }
+
+  uint32_t GetRestartPoint(uint32_t index) const {
+    return DecodeFixed32(block_->data_.data() + block_->restart_offset_ +
+                         index * sizeof(uint32_t));
+  }
+
+  void SeekToRestartPoint(uint32_t index) {
+    key_.clear();
+    next_entry_offset_ = GetRestartPoint(index);
+  }
+
+  bool ParseNextKey() {
+    current_ = next_entry_offset_;
+    if (current_ >= block_->restart_offset_) {
+      MarkInvalid();
+      return false;
+    }
+    const char* p = block_->data_.data() + current_;
+    const char* limit = block_->data_.data() + block_->restart_offset_;
+    uint32_t shared, non_shared, value_length;
+    p = DecodeEntry(p, limit, &shared, &non_shared, &value_length);
+    if (p == nullptr || key_.size() < shared) {
+      Corrupt();
+      return false;
+    }
+    key_.resize(shared);
+    key_.append(p, non_shared);
+    value_ = Slice(p + non_shared, value_length);
+    next_entry_offset_ =
+        static_cast<uint32_t>((p + non_shared + value_length) -
+                              block_->data_.data());
+    return true;
+  }
+
+  const Block* block_;
+  const InternalKeyComparator* cmp_;
+  uint32_t num_restarts_;
+  uint32_t current_;             // offset of current entry
+  uint32_t next_entry_offset_ = 0;
+  std::string key_;
+  Slice value_;
+  Status status_;
+};
+
+Iterator* Block::NewIterator(const InternalKeyComparator* cmp) const {
+  return new BlockIter(this, cmp);
+}
+
+}  // namespace tman::kv

@@ -1,0 +1,39 @@
+#ifndef TMAN_KVSTORE_BLOCK_H_
+#define TMAN_KVSTORE_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "kvstore/dbformat.h"
+#include "kvstore/iterator.h"
+
+namespace tman::kv {
+
+// Immutable, parsed data block. Owns its contents.
+class Block {
+ public:
+  explicit Block(std::string contents);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return data_.size(); }
+
+  // Iterator over internal keys stored in the block.
+  Iterator* NewIterator(const InternalKeyComparator* cmp) const;
+
+ private:
+  friend class BlockIter;
+
+  uint32_t NumRestarts() const;
+
+  std::string data_;
+  uint32_t restart_offset_ = 0;  // offset of the restart array
+  bool malformed_ = false;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_BLOCK_H_

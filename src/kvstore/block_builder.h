@@ -1,0 +1,47 @@
+#ifndef TMAN_KVSTORE_BLOCK_BUILDER_H_
+#define TMAN_KVSTORE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace tman::kv {
+
+// Builds a sorted data block with shared-prefix key compression and restart
+// points every `restart_interval` entries:
+//   entry := shared varint32 | non_shared varint32 | value_len varint32
+//            | key_delta | value
+//   trailer := restarts fixed32[] | num_restarts fixed32
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+
+  // Keys must be added in strictly increasing order.
+  void Add(const Slice& key, const Slice& value);
+
+  // Appends the trailer and returns the finished block contents. The
+  // returned slice stays valid until Reset().
+  Slice Finish();
+
+  size_t CurrentSizeEstimate() const;
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_BLOCK_BUILDER_H_

@@ -1,0 +1,63 @@
+#include "kvstore/bloom.h"
+
+#include "common/hash.h"
+
+namespace tman::kv {
+
+namespace {
+uint32_t BloomHash(const Slice& key) {
+  return Hash32(key.data(), key.size(), 0xbc9f1d34);
+}
+}  // namespace
+
+BloomFilterPolicy::BloomFilterPolicy(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  // k = bits_per_key * ln(2), clamped.
+  k_ = static_cast<int>(bits_per_key * 0.69);
+  if (k_ < 1) k_ = 1;
+  if (k_ > 30) k_ = 30;
+}
+
+void BloomFilterPolicy::CreateFilter(const std::vector<Slice>& keys,
+                                     std::string* dst) const {
+  size_t bits = keys.size() * static_cast<size_t>(bits_per_key_);
+  if (bits < 64) bits = 64;
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  const size_t init_size = dst->size();
+  dst->resize(init_size + bytes, 0);
+  dst->push_back(static_cast<char>(k_));
+  char* array = dst->data() + init_size;
+  for (const Slice& key : keys) {
+    uint32_t h = BloomHash(key);
+    const uint32_t delta = (h >> 17) | (h << 15);  // rotate right 17 bits
+    for (int j = 0; j < k_; j++) {
+      const uint32_t bitpos = h % bits;
+      array[bitpos / 8] |= (1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+}
+
+bool BloomFilterPolicy::KeyMayMatch(const Slice& key,
+                                    const Slice& filter) const {
+  const size_t len = filter.size();
+  if (len < 2) return false;
+
+  const char* array = filter.data();
+  const size_t bits = (len - 1) * 8;
+  const int k = filter[len - 1];
+  if (k > 30) return true;  // reserved for future encodings: do not filter
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = h % bits;
+    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace tman::kv

@@ -1,0 +1,31 @@
+#ifndef TMAN_KVSTORE_BLOOM_H_
+#define TMAN_KVSTORE_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace tman::kv {
+
+// Bloom filter over user keys (double-hashing scheme, as in LevelDB).
+// One filter per SSTable: point lookups skip tables that cannot contain
+// the key.
+class BloomFilterPolicy {
+ public:
+  explicit BloomFilterPolicy(int bits_per_key);
+
+  // Appends the filter for `keys` to *dst.
+  void CreateFilter(const std::vector<Slice>& keys, std::string* dst) const;
+
+  // May return false positives, never false negatives.
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const;
+
+ private:
+  int bits_per_key_;
+  int k_;  // number of probes
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_BLOOM_H_

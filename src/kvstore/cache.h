@@ -1,0 +1,119 @@
+#ifndef TMAN_KVSTORE_CACHE_H_
+#define TMAN_KVSTORE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/slice.h"
+
+namespace tman::kv {
+
+// Sharded LRU cache mapping string keys to shared_ptr<T> with byte-charge
+// accounting. Used as the SSTable block cache.
+template <typename T>
+class ShardedLRUCache {
+ public:
+  explicit ShardedLRUCache(size_t capacity_bytes)
+      : per_shard_capacity_(capacity_bytes / kNumShards + 1) {}
+
+  void Insert(const std::string& key, std::shared_ptr<T> value,
+              size_t charge) {
+    Shard(key).Insert(key, std::move(value), charge);
+  }
+
+  std::shared_ptr<T> Lookup(const std::string& key) {
+    return Shard(key).Lookup(key);
+  }
+
+  void Erase(const std::string& key) { Shard(key).Erase(key); }
+
+  uint64_t hits() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s.hits_;
+    return total;
+  }
+  uint64_t misses() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s.misses_;
+    return total;
+  }
+
+ private:
+  static constexpr int kNumShards = 16;
+
+  struct LRUShard {
+    struct Entry {
+      std::string key;
+      std::shared_ptr<T> value;
+      size_t charge;
+    };
+
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, typename std::list<Entry>::iterator> map;
+    size_t usage = 0;
+    size_t capacity = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+
+    void Insert(const std::string& key, std::shared_ptr<T> value,
+                size_t charge) {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = map.find(key);
+      if (it != map.end()) {
+        usage -= it->second->charge;
+        lru.erase(it->second);
+        map.erase(it);
+      }
+      lru.push_front(Entry{key, std::move(value), charge});
+      map[key] = lru.begin();
+      usage += charge;
+      while (usage > capacity && !lru.empty()) {
+        const Entry& victim = lru.back();
+        usage -= victim.charge;
+        map.erase(victim.key);
+        lru.pop_back();
+      }
+    }
+
+    std::shared_ptr<T> Lookup(const std::string& key) {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = map.find(key);
+      if (it == map.end()) {
+        misses_++;
+        return nullptr;
+      }
+      hits_++;
+      lru.splice(lru.begin(), lru, it->second);
+      return it->second->value;
+    }
+
+    void Erase(const std::string& key) {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = map.find(key);
+      if (it == map.end()) return;
+      usage -= it->second->charge;
+      lru.erase(it->second);
+      map.erase(it);
+    }
+  };
+
+  LRUShard& Shard(const std::string& key) {
+    uint32_t h = Hash32(key.data(), key.size(), 0);
+    LRUShard& shard = shards_[h % kNumShards];
+    if (shard.capacity == 0) shard.capacity = per_shard_capacity_;
+    return shard;
+  }
+
+  size_t per_shard_capacity_;
+  LRUShard shards_[kNumShards];
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_CACHE_H_

@@ -1,0 +1,554 @@
+#include "kvstore/db.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+#include "kvstore/filename.h"
+#include "kvstore/merge_iterator.h"
+#include "kvstore/table.h"
+
+namespace tman::kv {
+
+namespace {
+
+// Iterator over user keys: wraps a merging iterator over internal keys and
+// collapses versions/tombstones at a snapshot sequence number. The wrapped
+// state (memtable + version) is kept alive by the shared_ptrs captured here.
+class DBIter final : public Iterator {
+ public:
+  DBIter(std::shared_ptr<MemTable> mem, VersionPtr version,
+         SequenceNumber sequence, Iterator* internal_iter)
+      : mem_(std::move(mem)),
+        version_(std::move(version)),
+        sequence_(sequence),
+        iter_(internal_iter) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    iter_->SeekToFirst();
+    skipping_ = false;
+    FindNextUserEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    std::string ikey;
+    AppendInternalKey(&ikey, target, sequence_, kValueTypeForSeek);
+    iter_->Seek(ikey);
+    skipping_ = false;
+    FindNextUserEntry();
+  }
+
+  void Next() override {
+    assert(valid_);
+    // Skip the remaining (older) entries of the current user key.
+    saved_key_.assign(key_.data(), key_.size());
+    skipping_ = true;
+    iter_->Next();
+    FindNextUserEntry();
+  }
+
+  Slice key() const override { return key_; }
+  Slice value() const override { return value_; }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  void FindNextUserEntry() {
+    valid_ = false;
+    while (iter_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(iter_->key(), &parsed)) {
+        iter_->Next();
+        continue;
+      }
+      if (parsed.sequence > sequence_) {
+        iter_->Next();
+        continue;
+      }
+      if (skipping_ && parsed.user_key.compare(Slice(saved_key_)) <= 0) {
+        iter_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeDeletion) {
+        // Shadow all older entries of this key.
+        saved_key_.assign(parsed.user_key.data(), parsed.user_key.size());
+        skipping_ = true;
+        iter_->Next();
+        continue;
+      }
+      key_.assign(parsed.user_key.data(), parsed.user_key.size());
+      Slice v = iter_->value();
+      value_.assign(v.data(), v.size());
+      valid_ = true;
+      return;
+    }
+  }
+
+  std::shared_ptr<MemTable> mem_;
+  VersionPtr version_;
+  const SequenceNumber sequence_;
+  std::unique_ptr<Iterator> iter_;
+  bool valid_ = false;
+  bool skipping_ = false;
+  std::string saved_key_;
+  std::string key_;
+  std::string value_;
+};
+
+}  // namespace
+
+DB::DB(const Options& options, std::string name)
+    : options_(options), name_(std::move(name)) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+  options_.env = env_;
+  block_cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+  mem_ = std::make_shared<MemTable>(icmp_);
+  versions_ = std::make_unique<VersionSet>(name_, options_, env_,
+                                           block_cache_.get());
+}
+
+DB::~DB() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Persist any buffered writes so reopen sees them without WAL replay cost.
+  if (mem_->num_entries() > 0) {
+    FlushMemTableLocked();
+  }
+  if (wal_ != nullptr) wal_->Close();
+}
+
+Status DB::Open(const Options& options, const std::string& name,
+                std::unique_ptr<DB>* dbptr) {
+  dbptr->reset();
+  std::unique_ptr<DB> db(new DB(options, name));
+  Status s = db->Recover();
+  if (!s.ok()) return s;
+  *dbptr = std::move(db);
+  return Status::OK();
+}
+
+Status DB::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!env_->FileExists(name_)) {
+    if (!options_.create_if_missing) {
+      return Status::InvalidArgument(name_ + " does not exist");
+    }
+  }
+  Status s = env_->CreateDirIfMissing(name_);
+  if (!s.ok()) return s;
+
+  s = versions_->Recover();
+  if (!s.ok()) return s;
+
+  // Replay all WALs present (ascending file number), then flush so that at
+  // most one (fresh) WAL exists afterwards.
+  std::vector<std::string> children;
+  s = env_->GetChildren(name_, &children);
+  if (!s.ok()) return s;
+  std::vector<uint64_t> wals;
+  for (const auto& child : children) {
+    uint64_t number;
+    std::string suffix;
+    if (ParseFileName(child, &number, &suffix) && suffix == "wal") {
+      wals.push_back(number);
+    }
+  }
+  std::sort(wals.begin(), wals.end());
+  for (uint64_t number : wals) {
+    s = ReplayWal(number);
+    if (!s.ok()) return s;
+  }
+  if (mem_->num_entries() > 0) {
+    s = WriteMemTableToLevel0Locked();
+    if (!s.ok()) return s;
+    mem_ = std::make_shared<MemTable>(icmp_);
+  }
+
+  // Start a fresh WAL.
+  wal_number_ = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> wal_file;
+  s = env_->NewWritableFile(WalFileName(name_, wal_number_), &wal_file);
+  if (!s.ok()) return s;
+  wal_ = std::make_unique<LogWriter>(std::move(wal_file));
+  versions_->SetWalNumber(wal_number_);
+  s = versions_->WriteSnapshot();
+  if (!s.ok()) return s;
+  RemoveObsoleteFilesLocked();
+  return MaybeCompactLocked();
+}
+
+Status DB::ReplayWal(uint64_t wal_number) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = env_->NewSequentialFile(WalFileName(name_, wal_number), &file);
+  if (!s.ok()) return s;
+  LogReader reader(std::move(file));
+  Slice record;
+  std::string scratch;
+  while (reader.ReadRecord(&record, &scratch)) {
+    WriteBatch batch;
+    batch.SetContentsFrom(record);
+    s = batch.InsertInto(mem_.get());
+    if (!s.ok()) return s;
+    uint64_t last = batch.Sequence() + batch.Count() - 1;
+    if (last > versions_->last_sequence()) {
+      versions_->SetLastSequence(last);
+    }
+  }
+  return Status::OK();
+}
+
+Status DB::Put(const WriteOptions& wo, const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(wo, &batch);
+}
+
+Status DB::Delete(const WriteOptions& wo, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(wo, &batch);
+}
+
+Status DB::Write(const WriteOptions& wo, WriteBatch* batch) {
+  (void)wo;
+  if (batch->Count() == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t seq = versions_->last_sequence() + 1;
+  batch->SetSequence(seq);
+  Status s = wal_->AddRecord(batch->rep());
+  if (!s.ok()) return s;
+  s = batch->InsertInto(mem_.get());
+  if (!s.ok()) return s;
+  versions_->SetLastSequence(seq + batch->Count() - 1);
+  if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
+    s = FlushMemTableLocked();
+  }
+  return s;
+}
+
+DB::ReadSnapshot DB::AcquireReadSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadSnapshot{mem_, versions_->current(), versions_->last_sequence()};
+}
+
+Status DB::Get(const ReadOptions& ro, const Slice& key, std::string* value) {
+  ReadSnapshot snap = AcquireReadSnapshot();
+  LookupKey lkey(key, snap.sequence);
+  Status s;
+  if (snap.mem->Get(lkey, value, &s)) {
+    return s;
+  }
+  // Version::Get is const w.r.t. tree shape; needs non-const for table reads.
+  return const_cast<Version*>(snap.version.get())->Get(ro, lkey, value);
+}
+
+Iterator* DB::NewIterator(const ReadOptions& ro) {
+  ReadSnapshot snap = AcquireReadSnapshot();
+  std::vector<Iterator*> children;
+  children.push_back(snap.mem->NewIterator());
+  const_cast<Version*>(snap.version.get())->AddIterators(ro, &children);
+  Iterator* internal = NewMergingIterator(&icmp_, std::move(children));
+  return new DBIter(snap.mem, snap.version, snap.sequence, internal);
+}
+
+Status DB::Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
+                const ScanFilter* filter, size_t limit,
+                std::vector<std::pair<std::string, std::string>>* out,
+                ScanStats* stats) {
+  std::unique_ptr<Iterator> iter(NewIterator(ro));
+  ScanStats local;
+  for (iter->Seek(start); iter->Valid(); iter->Next()) {
+    if (!end.empty() && iter->key().compare(end) >= 0) break;
+    local.scanned++;
+    if (filter == nullptr || filter->Matches(iter->key(), iter->value())) {
+      local.matched++;
+      out->emplace_back(iter->key().ToString(), iter->value().ToString());
+      if (limit != 0 && local.matched >= limit) break;
+    }
+  }
+  if (stats != nullptr) *stats += local;
+  return iter->status();
+}
+
+Status DB::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushMemTableLocked();
+}
+
+Status DB::FlushMemTableLocked() {
+  if (mem_->num_entries() == 0) return Status::OK();
+  Status s = WriteMemTableToLevel0Locked();
+  if (!s.ok()) return s;
+  mem_ = std::make_shared<MemTable>(icmp_);
+
+  // Rotate the WAL: flushed entries are durable in the SSTable.
+  const uint64_t old_wal = wal_number_;
+  wal_number_ = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> wal_file;
+  s = env_->NewWritableFile(WalFileName(name_, wal_number_), &wal_file);
+  if (!s.ok()) return s;
+  wal_->Close();
+  wal_ = std::make_unique<LogWriter>(std::move(wal_file));
+  versions_->SetWalNumber(wal_number_);
+  s = versions_->WriteSnapshot();
+  if (!s.ok()) return s;
+  env_->RemoveFile(WalFileName(name_, old_wal));
+  return MaybeCompactLocked();
+}
+
+Status DB::WriteMemTableToLevel0Locked() {
+  auto meta = std::make_shared<FileMetaData>();
+  meta->number = versions_->NewFileNumber();
+  const std::string fname = TableFileName(name_, meta->number);
+
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  {
+    TableBuilder builder(options_, file.get());
+    std::unique_ptr<Iterator> iter(mem_->NewIterator());
+    iter->SeekToFirst();
+    if (!iter->Valid()) return Status::OK();
+    meta->smallest.DecodeFrom(iter->key());
+    Slice last;
+    for (; iter->Valid(); iter->Next()) {
+      builder.Add(iter->key(), iter->value());
+      last = iter->key();
+      meta->largest.DecodeFrom(last);
+    }
+    s = builder.Finish();
+    if (!s.ok()) return s;
+    meta->file_size = builder.FileSize();
+  }
+  s = file->Close();
+  if (!s.ok()) return s;
+
+  s = versions_->OpenTable(meta.get());
+  if (!s.ok()) return s;
+  return versions_->InstallVersion(0, {std::move(meta)}, {}, -1);
+}
+
+uint64_t DB::MaxBytesForLevel(int level) const {
+  uint64_t result = options_.base_level_bytes;
+  for (int i = 1; i < level; i++) result *= 10;
+  return result;
+}
+
+Status DB::MaybeCompactLocked() {
+  for (int round = 0; round < 16; round++) {
+    VersionPtr current = versions_->current();
+    // L0 pressure first.
+    if (current->NumFiles(0) >= options_.l0_compaction_trigger) {
+      std::vector<FileMetaPtr> inputs_n = current->LevelFiles(0);
+      // Compute the union user-key range of L0.
+      Slice smallest = inputs_n[0]->smallest.user_key();
+      Slice largest = inputs_n[0]->largest.user_key();
+      for (const auto& f : inputs_n) {
+        if (f->smallest.user_key().compare(smallest) < 0) {
+          smallest = f->smallest.user_key();
+        }
+        if (f->largest.user_key().compare(largest) > 0) {
+          largest = f->largest.user_key();
+        }
+      }
+      std::vector<FileMetaPtr> inputs_np1;
+      for (const auto& f : current->LevelFiles(1)) {
+        if (f->largest.user_key().compare(smallest) >= 0 &&
+            f->smallest.user_key().compare(largest) <= 0) {
+          inputs_np1.push_back(f);
+        }
+      }
+      Status s = CompactOnceLocked(0, inputs_n, inputs_np1);
+      if (!s.ok()) return s;
+      continue;
+    }
+
+    // Size pressure on deeper levels.
+    int level = -1;
+    for (int l = 1; l < options_.num_levels - 1; l++) {
+      if (current->NumLevelBytes(l) > MaxBytesForLevel(l)) {
+        level = l;
+        break;
+      }
+    }
+    if (level < 0) return Status::OK();
+
+    const auto& files = current->LevelFiles(level);
+    std::vector<FileMetaPtr> inputs_n = {files[0]};
+    std::vector<FileMetaPtr> inputs_np1;
+    for (const auto& f : current->LevelFiles(level + 1)) {
+      if (f->largest.user_key().compare(inputs_n[0]->smallest.user_key()) >=
+              0 &&
+          f->smallest.user_key().compare(inputs_n[0]->largest.user_key()) <=
+              0) {
+        inputs_np1.push_back(f);
+      }
+    }
+    Status s = CompactOnceLocked(level, inputs_n, inputs_np1);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status DB::CompactOnceLocked(int level,
+                             const std::vector<FileMetaPtr>& inputs_n,
+                             const std::vector<FileMetaPtr>& inputs_np1) {
+  const int output_level = level + 1;
+  VersionPtr current = versions_->current();
+
+  std::vector<uint64_t> removed;
+  for (const auto& f : inputs_n) removed.push_back(f->number);
+  for (const auto& f : inputs_np1) removed.push_back(f->number);
+
+  // Trivial move: a single deeper-level input with nothing to merge into
+  // simply changes level (no rewrite, as in RocksDB's trivial move).
+  if (inputs_n.size() == 1 && inputs_np1.empty() && level > 0) {
+    return versions_->InstallVersion(output_level, {inputs_n[0]}, removed,
+                                     level);
+  }
+
+  ReadOptions ro;
+  ro.fill_cache = false;
+  std::vector<Iterator*> children;
+  for (const auto& f : inputs_n) children.push_back(f->table->NewIterator(ro));
+  for (const auto& f : inputs_np1) {
+    children.push_back(f->table->NewIterator(ro));
+  }
+  std::unique_ptr<Iterator> iter(
+      NewMergingIterator(&icmp_, std::move(children)));
+
+  std::vector<FileMetaPtr> outputs;
+  std::unique_ptr<WritableFile> out_file;
+  std::unique_ptr<TableBuilder> builder;
+  FileMetaPtr out_meta;
+  Status s;
+
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    Status fs = builder->Finish();
+    if (!fs.ok()) return fs;
+    out_meta->file_size = builder->FileSize();
+    builder.reset();
+    fs = out_file->Close();
+    out_file.reset();
+    if (!fs.ok()) return fs;
+    fs = versions_->OpenTable(out_meta.get());
+    if (!fs.ok()) return fs;
+    outputs.push_back(std::move(out_meta));
+    return Status::OK();
+  };
+
+  std::string current_user_key;
+  bool has_current_user_key = false;
+
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(iter->key(), &parsed)) {
+      return Status::Corruption("bad internal key during compaction");
+    }
+    if (has_current_user_key &&
+        parsed.user_key.compare(Slice(current_user_key)) == 0) {
+      continue;  // older version of a key we already emitted/dropped
+    }
+    current_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
+    has_current_user_key = true;
+
+    if (parsed.type == kTypeDeletion &&
+        current->IsBottommostForKey(output_level, parsed.user_key)) {
+      continue;  // tombstone no longer shadows anything
+    }
+
+    if (builder == nullptr) {
+      out_meta = std::make_shared<FileMetaData>();
+      out_meta->number = versions_->NewFileNumber();
+      s = env_->NewWritableFile(TableFileName(name_, out_meta->number),
+                                &out_file);
+      if (!s.ok()) return s;
+      builder = std::make_unique<TableBuilder>(options_, out_file.get());
+      out_meta->smallest.DecodeFrom(iter->key());
+    }
+    builder->Add(iter->key(), iter->value());
+    out_meta->largest.DecodeFrom(iter->key());
+
+    if (builder->FileSize() >= options_.max_file_bytes) {
+      s = finish_output();
+      if (!s.ok()) return s;
+    }
+  }
+  if (!iter->status().ok()) return iter->status();
+  s = finish_output();
+  if (!s.ok()) return s;
+
+  s = versions_->InstallVersion(output_level, std::move(outputs), removed,
+                                level);
+  if (!s.ok()) return s;
+  RemoveObsoleteFilesLocked();
+  return Status::OK();
+}
+
+void DB::RemoveObsoleteFilesLocked() {
+  std::vector<std::string> children;
+  if (!env_->GetChildren(name_, &children).ok()) return;
+  std::vector<uint64_t> live = versions_->LiveFiles();
+  for (const auto& child : children) {
+    uint64_t number;
+    std::string suffix;
+    if (!ParseFileName(child, &number, &suffix)) continue;
+    bool keep = true;
+    if (suffix == "sst") {
+      keep = std::find(live.begin(), live.end(), number) != live.end();
+    } else if (suffix == "wal") {
+      keep = (number == wal_number_);
+    }
+    if (!keep) {
+      env_->RemoveFile(name_ + "/" + child);
+    }
+  }
+}
+
+Status DB::CompactAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = FlushMemTableLocked();
+  if (!s.ok()) return s;
+  for (int level = 0; level < options_.num_levels - 1; level++) {
+    VersionPtr current = versions_->current();
+    std::vector<FileMetaPtr> inputs_n = current->LevelFiles(level);
+    if (inputs_n.empty()) continue;
+    Slice smallest = inputs_n[0]->smallest.user_key();
+    Slice largest = inputs_n[0]->largest.user_key();
+    for (const auto& f : inputs_n) {
+      if (f->smallest.user_key().compare(smallest) < 0) {
+        smallest = f->smallest.user_key();
+      }
+      if (f->largest.user_key().compare(largest) > 0) {
+        largest = f->largest.user_key();
+      }
+    }
+    std::vector<FileMetaPtr> inputs_np1;
+    for (const auto& f : current->LevelFiles(level + 1)) {
+      if (f->largest.user_key().compare(smallest) >= 0 &&
+          f->smallest.user_key().compare(largest) <= 0) {
+        inputs_np1.push_back(f);
+      }
+    }
+    s = CompactOnceLocked(level, inputs_n, inputs_np1);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+DB::Stats DB::GetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  VersionPtr current = versions_->current();
+  for (int l = 0; l < current->num_levels(); l++) {
+    stats.files_per_level.push_back(current->NumFiles(l));
+    stats.bytes_per_level.push_back(current->NumLevelBytes(l));
+  }
+  stats.memtable_bytes = mem_->ApproximateMemoryUsage();
+  stats.block_cache_hits = block_cache_->hits();
+  stats.block_cache_misses = block_cache_->misses();
+  return stats;
+}
+
+}  // namespace tman::kv

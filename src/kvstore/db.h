@@ -1,0 +1,108 @@
+#ifndef TMAN_KVSTORE_DB_H_
+#define TMAN_KVSTORE_DB_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "kvstore/dbformat.h"
+#include "kvstore/env.h"
+#include "kvstore/iterator.h"
+#include "kvstore/log.h"
+#include "kvstore/memtable.h"
+#include "kvstore/options.h"
+#include "kvstore/scan_filter.h"
+#include "kvstore/version.h"
+#include "kvstore/write_batch.h"
+
+namespace tman::kv {
+
+// Embedded LSM key-value store: WAL + skiplist memtable + leveled SSTables.
+// The public cursor API (NewIterator/Scan) exposes user keys; internal
+// sequence numbers and tombstones are collapsed.
+//
+// Thread model: any number of concurrent readers; writers are serialized on
+// an internal mutex. Flush and compaction run synchronously inside the
+// writing thread, which keeps behaviour deterministic for benchmarks.
+class DB {
+ public:
+  static Status Open(const Options& options, const std::string& name,
+                     std::unique_ptr<DB>* dbptr);
+
+  ~DB();
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  Status Put(const WriteOptions& wo, const Slice& key, const Slice& value);
+  Status Delete(const WriteOptions& wo, const Slice& key);
+  Status Write(const WriteOptions& wo, WriteBatch* batch);
+  Status Get(const ReadOptions& ro, const Slice& key, std::string* value);
+
+  // Iterator over user keys at the current snapshot. The caller owns it.
+  Iterator* NewIterator(const ReadOptions& ro);
+
+  // Filtered range scan [start, end); the filter (may be nullptr) runs
+  // inside the storage layer ("push-down"). limit==0 means unlimited.
+  Status Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
+              const ScanFilter* filter, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out,
+              ScanStats* stats);
+
+  // Forces a memtable flush to L0 (no-op when empty).
+  Status Flush();
+
+  // Compacts everything down to the last occupied level.
+  Status CompactAll();
+
+  struct Stats {
+    std::vector<int> files_per_level;
+    std::vector<uint64_t> bytes_per_level;
+    uint64_t memtable_bytes = 0;
+    uint64_t block_cache_hits = 0;
+    uint64_t block_cache_misses = 0;
+  };
+  Stats GetStats();
+
+ private:
+  DB(const Options& options, std::string name);
+
+  Status Recover();
+  Status ReplayWal(uint64_t wal_number);
+  // Requires mu_ held.
+  Status FlushMemTableLocked();
+  Status WriteMemTableToLevel0Locked();
+  Status MaybeCompactLocked();
+  Status CompactOnceLocked(int level, const std::vector<FileMetaPtr>& inputs_n,
+                           const std::vector<FileMetaPtr>& inputs_np1);
+  void RemoveObsoleteFilesLocked();
+  uint64_t MaxBytesForLevel(int level) const;
+
+  // Snapshot of read state (memtable + version + sequence).
+  struct ReadSnapshot {
+    std::shared_ptr<MemTable> mem;
+    VersionPtr version;
+    SequenceNumber sequence;
+  };
+  ReadSnapshot AcquireReadSnapshot();
+
+  Options options_;
+  std::string name_;
+  Env* env_;
+  InternalKeyComparator icmp_;
+  std::unique_ptr<BlockCache> block_cache_;
+
+  std::mutex mu_;
+  std::shared_ptr<MemTable> mem_;
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<LogWriter> wal_;
+  uint64_t wal_number_ = 0;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_DB_H_

@@ -1,0 +1,130 @@
+#ifndef TMAN_KVSTORE_DBFORMAT_H_
+#define TMAN_KVSTORE_DBFORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+
+namespace tman::kv {
+
+// Entries carry a sequence number and a type so that overwrites and deletes
+// shadow older values until compaction drops them (LevelDB-style internal
+// key: user_key | fixed64(sequence << 8 | type)).
+
+using SequenceNumber = uint64_t;
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+
+// kValueTypeForSeek is the highest type value so that a seek for
+// (user_key, seq) positions at the newest entry <= seq.
+static constexpr ValueType kValueTypeForSeek = kTypeValue;
+static constexpr SequenceNumber kMaxSequenceNumber = (1ULL << 56) - 1;
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | t;
+}
+
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence = 0;
+  ValueType type = kTypeValue;
+};
+
+inline void AppendInternalKey(std::string* result, const Slice& user_key,
+                              SequenceNumber seq, ValueType t) {
+  result->append(user_key.data(), user_key.size());
+  PutFixed64(result, PackSequenceAndType(seq, t));
+}
+
+inline bool ParseInternalKey(const Slice& internal_key,
+                             ParsedInternalKey* result) {
+  if (internal_key.size() < 8) return false;
+  uint64_t num = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  uint8_t c = num & 0xff;
+  result->sequence = num >> 8;
+  result->type = static_cast<ValueType>(c);
+  result->user_key = Slice(internal_key.data(), internal_key.size() - 8);
+  return c <= kTypeValue;
+}
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+// Orders internal keys by increasing user key, then decreasing sequence,
+// then decreasing type, so the newest version of a key comes first.
+class InternalKeyComparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const {
+    int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+    if (r == 0) {
+      const uint64_t anum = DecodeFixed64(a.data() + a.size() - 8);
+      const uint64_t bnum = DecodeFixed64(b.data() + b.size() - 8);
+      if (anum > bnum) {
+        r = -1;
+      } else if (anum < bnum) {
+        r = +1;
+      }
+    }
+    return r;
+  }
+};
+
+// Convenience owner of an encoded internal key.
+class InternalKey {
+ public:
+  InternalKey() = default;
+  InternalKey(const Slice& user_key, SequenceNumber s, ValueType t) {
+    AppendInternalKey(&rep_, user_key, s, t);
+  }
+
+  void Set(const Slice& user_key, SequenceNumber s, ValueType t) {
+    rep_.clear();
+    AppendInternalKey(&rep_, user_key, s, t);
+  }
+
+  void DecodeFrom(const Slice& s) { rep_.assign(s.data(), s.size()); }
+  Slice Encode() const { return rep_; }
+  Slice user_key() const { return ExtractUserKey(rep_); }
+  bool empty() const { return rep_.empty(); }
+
+ private:
+  std::string rep_;
+};
+
+// A "lookup key" for memtable Get: varint32 length-prefixed internal key.
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber sequence) {
+    PutVarint32(&rep_, static_cast<uint32_t>(user_key.size() + 8));
+    AppendInternalKey(&rep_, user_key, sequence, kValueTypeForSeek);
+  }
+
+  // Key formatted for the memtable (length-prefixed internal key).
+  Slice memtable_key() const { return rep_; }
+
+  // The internal key (without length prefix).
+  Slice internal_key() const {
+    Slice s(rep_);
+    uint32_t len;
+    GetVarint32(&s, &len);
+    return s;
+  }
+
+  Slice user_key() const {
+    Slice ik = internal_key();
+    return Slice(ik.data(), ik.size() - 8);
+  }
+
+ private:
+  std::string rep_;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_DBFORMAT_H_

@@ -1,0 +1,186 @@
+#include "kvstore/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace tman::kv {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + strerror(err));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const Slice& data) override {
+    const char* p = data.data();
+    size_t n = data.size();
+    while (n > 0) {
+      ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }
+
+  Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) < 0) {
+      fd_ = -1;
+      return PosixError(fname_, errno);
+    }
+    fd_ = -1;
+    return Status::OK();
+  }
+
+ private:
+  std::string fname_;
+  int fd_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) return PosixError(fname_, errno);
+    *result = Slice(scratch, static_cast<size_t>(r));
+    if (static_cast<size_t>(r) != n) {
+      return Status::Corruption("short read from " + fname_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string fname_;
+  int fd_;
+};
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+
+  ~PosixSequentialFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    ssize_t r = ::read(fd_, scratch, n);
+    if (r < 0) return PosixError(fname_, errno);
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+ private:
+  std::string fname_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    int fd = ::open(fname.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return PosixError(fname, errno);
+    *result = std::make_unique<PosixWritableFile>(fname, fd);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError(fname, errno);
+    *result = std::make_unique<PosixRandomAccessFile>(fname, fd);
+    return Status::OK();
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError(fname, errno);
+    *result = std::make_unique<PosixSequentialFile>(fname, fd);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return ::access(fname.c_str(), F_OK) == 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return PosixError(dir, errno);
+    struct dirent* entry;
+    while ((entry = ::readdir(d)) != nullptr) {
+      result->emplace_back(entry->d_name);
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (::unlink(fname.c_str()) != 0) return PosixError(fname, errno);
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    if (::mkdir(dirname.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    struct stat st;
+    if (::stat(fname.c_str(), &st) != 0) return PosixError(fname, errno);
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    if (::rename(src.c_str(), target.c_str()) != 0) {
+      return PosixError(src, errno);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static Env* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace tman::kv

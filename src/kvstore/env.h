@@ -1,0 +1,63 @@
+#ifndef TMAN_KVSTORE_ENV_H_
+#define TMAN_KVSTORE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tman::kv {
+
+// Minimal file-system abstraction (POSIX-backed) so the store can be tested
+// against a real disk layout: WALs, SSTables and MANIFEST are ordinary files.
+
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Close() = 0;
+};
+
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  // Reads n bytes at offset into *result; scratch must have room for n.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+};
+
+class Env {
+ public:
+  static Env* Default();
+
+  virtual ~Env() = default;
+
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_ENV_H_

@@ -1,0 +1,47 @@
+#ifndef TMAN_KVSTORE_FILENAME_H_
+#define TMAN_KVSTORE_FILENAME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tman::kv {
+
+inline std::string TableFileName(const std::string& dbname, uint64_t number) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06llu.sst",
+           static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+inline std::string WalFileName(const std::string& dbname, uint64_t number) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06llu.wal",
+           static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+inline std::string ManifestFileName(const std::string& dbname) {
+  return dbname + "/MANIFEST";
+}
+
+inline std::string TempManifestFileName(const std::string& dbname) {
+  return dbname + "/MANIFEST.tmp";
+}
+
+// Parses "NNNNNN.sst" / "NNNNNN.wal". Returns true and sets *number/*suffix
+// on success.
+inline bool ParseFileName(const std::string& name, uint64_t* number,
+                          std::string* suffix) {
+  size_t dot = name.find('.');
+  if (dot == std::string::npos || dot == 0) return false;
+  for (size_t i = 0; i < dot; i++) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  *number = strtoull(name.substr(0, dot).c_str(), nullptr, 10);
+  *suffix = name.substr(dot + 1);
+  return true;
+}
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_FILENAME_H_

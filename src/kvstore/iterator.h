@@ -1,0 +1,34 @@
+#ifndef TMAN_KVSTORE_ITERATOR_H_
+#define TMAN_KVSTORE_ITERATOR_H_
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tman::kv {
+
+// Abstract ordered cursor over key-value pairs. Depending on the producer
+// the keys are internal keys (memtable/table iterators) or user keys
+// (DB::NewIterator).
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+
+  // Require: Valid().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_ITERATOR_H_

@@ -1,0 +1,40 @@
+#include "kvstore/log.h"
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace tman::kv {
+
+Status LogWriter::AddRecord(const Slice& payload) {
+  std::string header;
+  PutFixed32(&header, Crc32c(payload.data(), payload.size()));
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  Status s = dest_->Append(header);
+  if (s.ok()) s = dest_->Append(payload);
+  if (s.ok()) s = dest_->Flush();
+  return s;
+}
+
+bool LogReader::ReadRecord(Slice* record, std::string* scratch) {
+  char header[8];
+  Slice h;
+  Status s = src_->Read(8, &h, header);
+  if (!s.ok() || h.size() < 8) return false;
+
+  const uint32_t expected_crc = DecodeFixed32(h.data());
+  const uint32_t length = DecodeFixed32(h.data() + 4);
+  // Sanity cap: a single batch never exceeds 1 GiB; larger means corruption.
+  if (length > (1u << 30)) return false;
+
+  scratch->resize(length);
+  Slice payload;
+  s = src_->Read(length, &payload, scratch->data());
+  if (!s.ok() || payload.size() < length) return false;
+
+  if (Crc32c(payload.data(), payload.size()) != expected_crc) return false;
+
+  *record = Slice(scratch->data(), length);
+  return true;
+}
+
+}  // namespace tman::kv

@@ -1,0 +1,45 @@
+#ifndef TMAN_KVSTORE_LOG_H_
+#define TMAN_KVSTORE_LOG_H_
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "kvstore/env.h"
+
+namespace tman::kv {
+
+// Write-ahead log. Each record is
+//   crc32c(payload) fixed32 | payload_length fixed32 | payload
+// A torn final record (crash mid-write) is detected via the checksum and
+// treated as end-of-log during recovery.
+
+class LogWriter {
+ public:
+  explicit LogWriter(std::unique_ptr<WritableFile> dest)
+      : dest_(std::move(dest)) {}
+
+  Status AddRecord(const Slice& payload);
+  Status Close() { return dest_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> dest_;
+};
+
+class LogReader {
+ public:
+  explicit LogReader(std::unique_ptr<SequentialFile> src)
+      : src_(std::move(src)) {}
+
+  // Reads the next record into *record (backed by *scratch). Returns false
+  // at end-of-log or on a torn/corrupt tail record.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  std::unique_ptr<SequentialFile> src_;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_LOG_H_

@@ -1,0 +1,93 @@
+#include "kvstore/merge_iterator.h"
+
+#include <cassert>
+
+namespace tman::kv {
+
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(const InternalKeyComparator* cmp,
+                  std::vector<Iterator*> children)
+      : cmp_(cmp), current_(nullptr) {
+    children_.reserve(children.size());
+    for (Iterator* child : children) {
+      children_.emplace_back(child);
+    }
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    assert(Valid());
+    current_->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (smallest == nullptr ||
+          cmp_->Compare(child->key(), smallest->key()) < 0) {
+        smallest = child.get();
+      }
+    }
+    current_ = smallest;
+  }
+
+  const InternalKeyComparator* cmp_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+};
+
+class ErrorIterator final : public Iterator {
+ public:
+  explicit ErrorIterator(Status s) : status_(std::move(s)) {}
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(const Slice&) override {}
+  void Next() override {}
+  Slice key() const override { return Slice(); }
+  Slice value() const override { return Slice(); }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const InternalKeyComparator* cmp,
+                             std::vector<Iterator*> children) {
+  return new MergingIterator(cmp, std::move(children));
+}
+
+Iterator* NewErrorIterator(const Status& status) {
+  return new ErrorIterator(status);
+}
+
+}  // namespace tman::kv

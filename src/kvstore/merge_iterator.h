@@ -1,0 +1,22 @@
+#ifndef TMAN_KVSTORE_MERGE_ITERATOR_H_
+#define TMAN_KVSTORE_MERGE_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "kvstore/dbformat.h"
+#include "kvstore/iterator.h"
+
+namespace tman::kv {
+
+// K-way merging iterator over internal-key iterators. Takes ownership of
+// the children.
+Iterator* NewMergingIterator(const InternalKeyComparator* cmp,
+                             std::vector<Iterator*> children);
+
+// An always-invalid iterator carrying `status`.
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_MERGE_ITERATOR_H_

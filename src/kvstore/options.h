@@ -1,0 +1,57 @@
+#ifndef TMAN_KVSTORE_OPTIONS_H_
+#define TMAN_KVSTORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tman::kv {
+
+class Env;
+
+struct Options {
+  // Size at which the memtable is flushed to an L0 SSTable.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+
+  // Target uncompressed size of SSTable data blocks.
+  size_t block_size = 4 * 1024;
+
+  // Restart-point interval inside data blocks.
+  int block_restart_interval = 16;
+
+  // Bits per key for the per-table bloom filter; 0 disables filters.
+  int bloom_bits_per_key = 10;
+
+  // Capacity of the shared block cache in bytes.
+  size_t block_cache_bytes = 8 * 1024 * 1024;
+
+  // Number of L0 files that triggers a compaction into L1.
+  int l0_compaction_trigger = 4;
+
+  // Number of levels (L0..Lmax-1).
+  int num_levels = 7;
+
+  // Size budget of L1; each deeper level is 10x larger.
+  uint64_t base_level_bytes = 8 * 1024 * 1024;
+
+  // Max SSTable file size produced by compactions.
+  uint64_t max_file_bytes = 2 * 1024 * 1024;
+
+  bool create_if_missing = true;
+
+  Env* env = nullptr;  // defaults to Env::Default()
+};
+
+struct ReadOptions {
+  // If true, data blocks read during scans are inserted into the block
+  // cache (point lookups always use the cache).
+  bool fill_cache = true;
+};
+
+struct WriteOptions {
+  // If true, the WAL write is flushed before the write is acknowledged.
+  bool sync = false;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_OPTIONS_H_

@@ -1,0 +1,39 @@
+#ifndef TMAN_KVSTORE_SCAN_FILTER_H_
+#define TMAN_KVSTORE_SCAN_FILTER_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace tman::kv {
+
+// Server-side predicate evaluated inside the storage layer during scans
+// (the analogue of an HBase filter/coprocessor). Push-down means only rows
+// for which Matches() returns true are materialized and returned to the
+// caller, so filtered-out rows never cross the storage boundary.
+class ScanFilter {
+ public:
+  virtual ~ScanFilter() = default;
+
+  // True if the row passes the filter. Must be thread-safe: regions
+  // evaluate filters concurrently.
+  virtual bool Matches(const Slice& key, const Slice& value) const = 0;
+};
+
+// Counters reported by a filtered scan; "scanned" is the number of rows the
+// storage layer touched (the paper's "candidates"), "matched" the number
+// returned to the caller.
+struct ScanStats {
+  uint64_t scanned = 0;
+  uint64_t matched = 0;
+
+  ScanStats& operator+=(const ScanStats& other) {
+    scanned += other.scanned;
+    matched += other.matched;
+    return *this;
+  }
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_SCAN_FILTER_H_

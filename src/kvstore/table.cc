@@ -1,0 +1,337 @@
+#include "kvstore/table.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace tman::kv {
+
+namespace {
+constexpr uint64_t kTableMagic = 0x7472616a6d616e21ULL;  // "trajman!"
+constexpr size_t kFooterSize = 48;  // two handles (<=40) + magic
+constexpr size_t kBlockTrailerSize = 4;  // crc32 of block contents
+}  // namespace
+
+void BlockHandle::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, offset);
+  PutVarint64(dst, size);
+}
+
+bool BlockHandle::DecodeFrom(Slice* input) {
+  return GetVarint64(input, &offset) && GetVarint64(input, &size);
+}
+
+// ---------------------------------------------------------------------------
+// TableBuilder
+
+TableBuilder::TableBuilder(const Options& options, WritableFile* file)
+    : options_(options),
+      file_(file),
+      data_block_(options.block_restart_interval),
+      index_block_(1),
+      bloom_(options.bloom_bits_per_key > 0 ? options.bloom_bits_per_key : 10) {
+}
+
+TableBuilder::~TableBuilder() = default;
+
+void TableBuilder::Add(const Slice& key, const Slice& value) {
+  if (!status_.ok() || closed_) return;
+
+  if (pending_index_entry_) {
+    // last_key_ is the final key of the completed block; it is a valid
+    // separator because keys are added in sorted order.
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(last_key_, handle_encoding);
+    pending_index_entry_ = false;
+  }
+
+  if (options_.bloom_bits_per_key > 0) {
+    filter_keys_.emplace_back(ExtractUserKey(key).ToString());
+  }
+
+  last_key_.assign(key.data(), key.size());
+  data_block_.Add(key, value);
+  num_entries_++;
+
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
+    FlushDataBlock();
+  }
+}
+
+void TableBuilder::FlushDataBlock() {
+  if (data_block_.empty() || !status_.ok()) return;
+  Slice contents = data_block_.Finish();
+  status_ = WriteBlock(contents, &pending_handle_);
+  data_block_.Reset();
+  pending_index_entry_ = true;
+}
+
+Status TableBuilder::WriteBlock(const Slice& contents, BlockHandle* handle) {
+  handle->offset = offset_;
+  handle->size = contents.size();
+  Status s = file_->Append(contents);
+  if (s.ok()) {
+    std::string trailer;
+    PutFixed32(&trailer, Crc32c(contents.data(), contents.size()));
+    s = file_->Append(trailer);
+  }
+  if (s.ok()) {
+    offset_ += contents.size() + kBlockTrailerSize;
+  }
+  return s;
+}
+
+Status TableBuilder::Finish() {
+  if (closed_) return status_;
+  closed_ = true;
+  FlushDataBlock();
+  if (pending_index_entry_) {
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(last_key_, handle_encoding);
+    pending_index_entry_ = false;
+  }
+  if (!status_.ok()) return status_;
+
+  // Filter block (raw bloom bytes, no restart structure, no trailer).
+  BlockHandle filter_handle;
+  filter_handle.offset = offset_;
+  std::string filter_contents;
+  if (options_.bloom_bits_per_key > 0) {
+    std::vector<Slice> key_slices;
+    key_slices.reserve(filter_keys_.size());
+    for (const auto& k : filter_keys_) key_slices.emplace_back(k);
+    bloom_.CreateFilter(key_slices, &filter_contents);
+  }
+  filter_handle.size = filter_contents.size();
+  status_ = file_->Append(filter_contents);
+  if (!status_.ok()) return status_;
+  offset_ += filter_contents.size();
+
+  // Index block.
+  BlockHandle index_handle;
+  status_ = WriteBlock(index_block_.Finish(), &index_handle);
+  if (!status_.ok()) return status_;
+
+  // Footer.
+  std::string footer;
+  filter_handle.EncodeTo(&footer);
+  index_handle.EncodeTo(&footer);
+  footer.resize(kFooterSize - 8);
+  PutFixed64(&footer, kTableMagic);
+  status_ = file_->Append(footer);
+  if (status_.ok()) offset_ += kFooterSize;
+  if (status_.ok()) status_ = file_->Flush();
+  return status_;
+}
+
+// ---------------------------------------------------------------------------
+// Table
+
+Status Table::Open(const Options& options, uint64_t table_id,
+                   std::unique_ptr<RandomAccessFile> file, uint64_t file_size,
+                   BlockCache* cache, std::unique_ptr<Table>* table) {
+  table->reset();
+  if (file_size < kFooterSize) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  char footer_space[kFooterSize];
+  Slice footer_input;
+  Status s = file->Read(file_size - kFooterSize, kFooterSize, &footer_input,
+                        footer_space);
+  if (!s.ok()) return s;
+
+  if (DecodeFixed64(footer_input.data() + kFooterSize - 8) != kTableMagic) {
+    return Status::Corruption("bad sstable magic number");
+  }
+  Slice handles(footer_input.data(), kFooterSize - 8);
+  BlockHandle filter_handle, index_handle;
+  if (!filter_handle.DecodeFrom(&handles) ||
+      !index_handle.DecodeFrom(&handles)) {
+    return Status::Corruption("bad footer handles");
+  }
+
+  auto t = std::unique_ptr<Table>(
+      new Table(options, table_id, std::move(file), cache));
+
+  // Load the bloom filter (small; kept pinned in memory).
+  if (filter_handle.size > 0) {
+    t->filter_data_.resize(filter_handle.size);
+    Slice filter_input;
+    s = t->file_->Read(filter_handle.offset, filter_handle.size, &filter_input,
+                       t->filter_data_.data());
+    if (!s.ok()) return s;
+  }
+
+  // Load and pin the index block.
+  std::string index_contents(index_handle.size, '\0');
+  Slice index_input;
+  s = t->file_->Read(index_handle.offset, index_handle.size, &index_input,
+                     index_contents.data());
+  if (!s.ok()) return s;
+  char trailer_space[kBlockTrailerSize];
+  Slice trailer;
+  s = t->file_->Read(index_handle.offset + index_handle.size,
+                     kBlockTrailerSize, &trailer, trailer_space);
+  if (!s.ok()) return s;
+  if (DecodeFixed32(trailer.data()) !=
+      Crc32c(index_contents.data(), index_contents.size())) {
+    return Status::Corruption("index block checksum mismatch");
+  }
+  t->index_block_ = std::make_unique<Block>(std::move(index_contents));
+
+  *table = std::move(t);
+  return Status::OK();
+}
+
+bool Table::KeyMayMatch(const Slice& user_key) const {
+  if (filter_data_.empty()) return true;
+  return bloom_.KeyMayMatch(user_key, filter_data_);
+}
+
+Status Table::ReadBlock(const BlockHandle& handle, bool fill_cache,
+                        std::shared_ptr<Block>* block) const {
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    PutFixed64(&cache_key, table_id_);
+    PutFixed64(&cache_key, handle.offset);
+    std::shared_ptr<Block> cached = cache_->Lookup(cache_key);
+    if (cached != nullptr) {
+      *block = std::move(cached);
+      return Status::OK();
+    }
+  }
+
+  std::string contents(handle.size, '\0');
+  Slice input;
+  Status s = file_->Read(handle.offset, handle.size, &input, contents.data());
+  if (!s.ok()) return s;
+  char trailer_space[kBlockTrailerSize];
+  Slice trailer;
+  s = file_->Read(handle.offset + handle.size, kBlockTrailerSize, &trailer,
+                  trailer_space);
+  if (!s.ok()) return s;
+  if (DecodeFixed32(trailer.data()) !=
+      Crc32c(contents.data(), contents.size())) {
+    return Status::Corruption("data block checksum mismatch");
+  }
+
+  auto b = std::make_shared<Block>(std::move(contents));
+  if (cache_ != nullptr && fill_cache) {
+    cache_->Insert(cache_key, b, b->size());
+  }
+  *block = std::move(b);
+  return Status::OK();
+}
+
+// Two-level iterator: walks the index block; for each index entry opens the
+// pointed-to data block.
+class TableIterator final : public Iterator {
+ public:
+  TableIterator(const Table* table, const ReadOptions& ro)
+      : table_(table),
+        ro_(ro),
+        index_iter_(table->index_block_->NewIterator(&table->icmp_)) {}
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Next() override {
+    assert(Valid());
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return index_iter_->status();
+  }
+
+ private:
+  void InitDataBlock() {
+    if (!status_.ok() || !index_iter_->Valid()) {
+      data_iter_.reset();
+      data_block_.reset();
+      return;
+    }
+    Slice handle_value = index_iter_->value();
+    BlockHandle handle;
+    if (!handle.DecodeFrom(&handle_value)) {
+      status_ = Status::Corruption("bad index entry");
+      data_iter_.reset();
+      return;
+    }
+    std::shared_ptr<Block> block;
+    Status s = table_->ReadBlock(handle, ro_.fill_cache, &block);
+    if (!s.ok()) {
+      // Sticky: a checksum failure must surface to the caller, never be
+      // silently skipped (that would present lost rows as absent keys).
+      status_ = s;
+      data_iter_.reset();
+      return;
+    }
+    data_block_ = std::move(block);
+    data_iter_.reset(data_block_->NewIterator(&table_->icmp_));
+  }
+
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!status_.ok() || !index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  const Table* table_;
+  const ReadOptions ro_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::shared_ptr<Block> data_block_;  // keeps block alive for data_iter_
+  std::unique_ptr<Iterator> data_iter_;
+  Status status_;
+};
+
+Iterator* Table::NewIterator(const ReadOptions& ro) const {
+  return new TableIterator(this, ro);
+}
+
+Status Table::InternalGet(const ReadOptions& ro, const Slice& k, void* arg,
+                          void (*handle_result)(void*, const Slice&,
+                                                const Slice&)) {
+  if (!KeyMayMatch(ExtractUserKey(k))) return Status::OK();
+  TableIterator iter(this, ro);
+  iter.Seek(k);
+  if (iter.Valid()) {
+    handle_result(arg, iter.key(), iter.value());
+  }
+  return iter.status();
+}
+
+}  // namespace tman::kv

@@ -1,0 +1,129 @@
+#ifndef TMAN_KVSTORE_TABLE_H_
+#define TMAN_KVSTORE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "kvstore/block.h"
+#include "kvstore/block_builder.h"
+#include "kvstore/bloom.h"
+#include "kvstore/cache.h"
+#include "kvstore/dbformat.h"
+#include "kvstore/env.h"
+#include "kvstore/iterator.h"
+#include "kvstore/options.h"
+
+namespace tman::kv {
+
+// Location of a block inside an SSTable file.
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const;
+  bool DecodeFrom(Slice* input);
+};
+
+// SSTable file layout:
+//   data block*           (each followed by a fixed32 crc trailer)
+//   filter block          (one bloom filter over all user keys; no trailer)
+//   index block           (separator key -> BlockHandle; crc trailer)
+//   footer                (filter handle | index handle | padding | magic)
+class TableBuilder {
+ public:
+  TableBuilder(const Options& options, WritableFile* file);
+  ~TableBuilder();
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  // Keys are internal keys added in sorted order.
+  void Add(const Slice& key, const Slice& value);
+
+  Status Finish();
+
+  uint64_t NumEntries() const { return num_entries_; }
+  uint64_t FileSize() const { return offset_; }
+  Status status() const { return status_; }
+
+ private:
+  void FlushDataBlock();
+  Status WriteBlock(const Slice& contents, BlockHandle* handle);
+
+  const Options options_;
+  WritableFile* file_;
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+  Status status_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  std::string last_key_;
+  bool pending_index_entry_ = false;
+  BlockHandle pending_handle_;
+  BloomFilterPolicy bloom_;
+  std::vector<std::string> filter_keys_;  // user keys for the bloom filter
+  bool closed_ = false;
+};
+
+using BlockCache = ShardedLRUCache<Block>;
+
+// Immutable reader for one SSTable.
+class Table {
+ public:
+  // Takes ownership of `file`. cache may be nullptr.
+  static Status Open(const Options& options, uint64_t table_id,
+                     std::unique_ptr<RandomAccessFile> file,
+                     uint64_t file_size, BlockCache* cache,
+                     std::unique_ptr<Table>* table);
+
+  ~Table() = default;
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  // Two-level iterator over internal keys.
+  Iterator* NewIterator(const ReadOptions& ro) const;
+
+  // Point lookup: positions at the first entry >= internal key `k` and, if
+  // it matches, invokes handle_result(key, value). The bloom filter is
+  // consulted first.
+  Status InternalGet(const ReadOptions& ro, const Slice& k,
+                     void* arg,
+                     void (*handle_result)(void*, const Slice&, const Slice&));
+
+  // Whether the table's bloom filter admits this user key.
+  bool KeyMayMatch(const Slice& user_key) const;
+
+ private:
+  friend class TableIterator;
+
+  Table(const Options& options, uint64_t table_id,
+        std::unique_ptr<RandomAccessFile> file, BlockCache* cache)
+      : options_(options),
+        table_id_(table_id),
+        file_(std::move(file)),
+        cache_(cache),
+        bloom_(options.bloom_bits_per_key > 0 ? options.bloom_bits_per_key
+                                              : 10) {}
+
+  // Reads (or fetches from cache) the block at `handle`.
+  Status ReadBlock(const BlockHandle& handle, bool fill_cache,
+                   std::shared_ptr<Block>* block) const;
+
+  const Options options_;
+  const uint64_t table_id_;
+  std::unique_ptr<RandomAccessFile> file_;
+  BlockCache* cache_;
+  BloomFilterPolicy bloom_;
+  std::string filter_data_;
+  std::unique_ptr<Block> index_block_;
+  InternalKeyComparator icmp_;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_TABLE_H_

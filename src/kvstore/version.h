@@ -1,0 +1,109 @@
+#ifndef TMAN_KVSTORE_VERSION_H_
+#define TMAN_KVSTORE_VERSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "kvstore/dbformat.h"
+#include "kvstore/iterator.h"
+#include "kvstore/options.h"
+#include "kvstore/table.h"
+
+namespace tman::kv {
+
+// One on-disk SSTable plus its open reader. The reader (and file
+// descriptor) stays open for the lifetime of the metadata object, so files
+// can be unlinked while old versions still read them.
+struct FileMetaData {
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  InternalKey smallest;
+  InternalKey largest;
+  std::unique_ptr<Table> table;
+};
+
+using FileMetaPtr = std::shared_ptr<FileMetaData>;
+
+// An immutable snapshot of the LSM tree's file layout. Readers hold a
+// shared_ptr<Version>; flush/compaction install a new Version.
+class Version {
+ public:
+  explicit Version(int num_levels) : files_(num_levels) {}
+
+  const std::vector<FileMetaPtr>& LevelFiles(int level) const {
+    return files_[level];
+  }
+  int num_levels() const { return static_cast<int>(files_.size()); }
+
+  // Point lookup across levels (L0 newest-first, deeper levels by range).
+  Status Get(const ReadOptions& ro, const LookupKey& key, std::string* value);
+
+  // Appends iterators covering all files to *iters.
+  void AddIterators(const ReadOptions& ro, std::vector<Iterator*>* iters);
+
+  uint64_t NumLevelBytes(int level) const;
+  int NumFiles(int level) const;
+
+  // True if no file in levels deeper than `level` overlaps user_key
+  // (tombstones can then be dropped during compaction at `level`).
+  bool IsBottommostForKey(int level, const Slice& user_key) const;
+
+ private:
+  friend class VersionSet;
+
+  std::vector<std::vector<FileMetaPtr>> files_;
+};
+
+using VersionPtr = std::shared_ptr<const Version>;
+
+// Owns the current Version and the MANIFEST. All mutations happen under the
+// DB mutex.
+class VersionSet {
+ public:
+  VersionSet(std::string dbname, const Options& options, Env* env,
+             BlockCache* cache);
+
+  // Loads the MANIFEST (if present) and opens all referenced tables.
+  Status Recover();
+
+  VersionPtr current() const { return current_; }
+
+  uint64_t NewFileNumber() { return next_file_number_++; }
+  uint64_t last_sequence() const { return last_sequence_; }
+  void SetLastSequence(uint64_t s) { last_sequence_ = s; }
+  uint64_t wal_number() const { return wal_number_; }
+  void SetWalNumber(uint64_t n) { wal_number_ = n; }
+
+  // Installs a new version that is `current` with `added` files placed at
+  // `level` and `removed` file numbers dropped, then persists the MANIFEST.
+  Status InstallVersion(int level, std::vector<FileMetaPtr> added,
+                        const std::vector<uint64_t>& removed_numbers,
+                        int removed_level_hint);
+
+  // Persists the MANIFEST for the current state (sequence/WAL numbers).
+  Status WriteSnapshot();
+
+  // Opens the table for `meta` (fills meta->table).
+  Status OpenTable(FileMetaData* meta);
+
+  // Returns numbers of all table files referenced by the current version.
+  std::vector<uint64_t> LiveFiles() const;
+
+ private:
+  std::string dbname_;
+  Options options_;
+  Env* env_;
+  BlockCache* cache_;
+  VersionPtr current_;
+  uint64_t next_file_number_ = 1;
+  uint64_t last_sequence_ = 0;
+  uint64_t wal_number_ = 0;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_VERSION_H_

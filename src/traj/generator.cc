@@ -1,0 +1,231 @@
+#include "traj/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tman::traj {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kMetersPerDegree = 111320.0;
+
+}  // namespace
+
+DatasetSpec TDriveLikeSpec() {
+  DatasetSpec spec;
+  spec.name = "tdrive";
+  spec.bounds = SpatialBounds{110.0, 35.0, 125.0, 45.0};
+  // Beijing proper, where taxis operate.
+  spec.core = SpatialBounds{116.0, 39.6, 116.8, 40.2};
+  spec.t0 = 1200000000;  // arbitrary fixed epoch for determinism
+  spec.horizon_seconds = 7 * 24 * 3600;  // one week
+  spec.sample_interval = 60;
+  // 66% < 2h, tail to 18h (99%).
+  spec.short_fraction = 0.66;
+  spec.short_min = 5 * 60;
+  spec.short_max = 2 * 3600;
+  spec.long_max = 18 * 3600;
+  // Drivers transport passengers 2.7-65 km.
+  spec.trip_min_meters = 2700;
+  spec.trip_max_meters = 65000;
+  spec.roaming_fraction = 0.0;
+  spec.trajectories_per_object = 25;  // taxis make many trips per week
+  return spec;
+}
+
+DatasetSpec LorryLikeSpec() {
+  DatasetSpec spec;
+  spec.name = "lorry";
+  spec.bounds = SpatialBounds{70.0, 0.0, 140.0, 55.0};
+  // Guangzhou metro area.
+  spec.core = SpatialBounds{112.9, 22.5, 113.9, 23.6};
+  spec.t0 = 1393632000;  // 2014-03-01
+  spec.horizon_seconds = 31LL * 24 * 3600;  // one month
+  spec.sample_interval = 60;
+  // 88% < 2h, tail to 14h (99%).
+  spec.short_fraction = 0.88;
+  spec.short_min = 10 * 60;
+  spec.short_max = 2 * 3600;
+  spec.long_max = 14 * 3600;
+  spec.trip_min_meters = 2000;
+  spec.trip_max_meters = 76000;
+  spec.roaming_fraction = 0.008;  // <1% inter-city transports
+  spec.trajectories_per_object = 8;
+  return spec;
+}
+
+namespace {
+
+// One random-walk trip of roughly `diameter_meters` extent and `duration`
+// seconds starting at `start` within `area`.
+std::vector<geo::TimedPoint> RandomWalk(Random* rnd, const SpatialBounds& area,
+                                        geo::Point start, double diameter_m,
+                                        int64_t start_time, int64_t duration,
+                                        int64_t interval) {
+  std::vector<geo::TimedPoint> points;
+  const size_t steps =
+      static_cast<size_t>(std::max<int64_t>(2, duration / interval));
+  points.reserve(steps);
+
+  // Speed chosen so the walk covers ~diameter over the trip: wandering
+  // roughly doubles path length vs displacement.
+  const double total_path_m = diameter_m * 2.0;
+  const double step_m = total_path_m / static_cast<double>(steps);
+  const double lat_mid = (area.min_lat + area.max_lat) / 2;
+  const double deg_per_m_lat = 1.0 / kMetersPerDegree;
+  const double cos_lat = std::max(0.1, std::cos(lat_mid * kPi / 180.0));
+  const double deg_per_m_lon = 1.0 / (kMetersPerDegree * cos_lat);
+
+  double heading = rnd->UniformDouble(0, 2 * kPi);
+  geo::Point pos = start;
+  int64_t t = start_time;
+  for (size_t i = 0; i < steps; i++) {
+    points.push_back(geo::TimedPoint{pos.x, pos.y, t});
+    // Heading drifts slowly: trips look like streets, not noise.
+    heading += rnd->UniformDouble(-0.5, 0.5);
+    double nx = pos.x + std::cos(heading) * step_m * deg_per_m_lon;
+    double ny = pos.y + std::sin(heading) * step_m * deg_per_m_lat;
+    // Reflect at the area boundary.
+    if (nx < area.min_lon || nx > area.max_lon) {
+      heading = kPi - heading;
+      nx = std::clamp(nx, area.min_lon, area.max_lon);
+    }
+    if (ny < area.min_lat || ny > area.max_lat) {
+      heading = -heading;
+      ny = std::clamp(ny, area.min_lat, area.max_lat);
+    }
+    pos = geo::Point{nx, ny};
+    t += interval;
+  }
+  return points;
+}
+
+int64_t SampleDuration(Random* rnd, const DatasetSpec& spec) {
+  if (rnd->Bernoulli(spec.short_fraction)) {
+    return spec.short_min +
+           static_cast<int64_t>(rnd->Uniform(
+               static_cast<uint64_t>(spec.short_max - spec.short_min)));
+  }
+  // Exponential-ish tail between short_max and long_max: most long trips
+  // are just a few hours; durations near long_max are rare (99th pct).
+  const double u = rnd->NextDouble();
+  const double frac = -std::log(1.0 - 0.98 * u) / 4.0;  // heavy head
+  const double clamped = std::min(1.0, frac);
+  return spec.short_max +
+         static_cast<int64_t>(clamped * static_cast<double>(spec.long_max -
+                                                            spec.short_max));
+}
+
+}  // namespace
+
+std::vector<Trajectory> Generate(const DatasetSpec& spec, size_t count,
+                                 uint64_t seed) {
+  Random rnd(seed ^ 0x74726a67);  // per-dataset deterministic stream
+  std::vector<Trajectory> result;
+  result.reserve(count);
+
+  const size_t num_objects =
+      std::max<size_t>(1, count / static_cast<size_t>(
+                                      spec.trajectories_per_object));
+  for (size_t i = 0; i < count; i++) {
+    Trajectory t;
+    const size_t object = rnd.Uniform(num_objects);
+    t.oid = spec.name + "-obj-" + std::to_string(object);
+    t.tid = spec.name + "-t-" + std::to_string(i);
+
+    const bool roaming = rnd.Bernoulli(spec.roaming_fraction);
+    const SpatialBounds& area = roaming ? spec.bounds : spec.core;
+    const geo::Point start{
+        rnd.UniformDouble(area.min_lon, area.max_lon),
+        rnd.UniformDouble(area.min_lat, area.max_lat)};
+
+    const int64_t duration = SampleDuration(&rnd, spec);
+    const int64_t latest_start = spec.horizon_seconds > duration
+                                     ? spec.horizon_seconds - duration
+                                     : 1;
+    const int64_t start_time =
+        spec.t0 + static_cast<int64_t>(
+                      rnd.Uniform(static_cast<uint64_t>(latest_start)));
+
+    double diameter = roaming
+                          ? rnd.UniformDouble(spec.trip_max_meters * 3,
+                                              spec.trip_max_meters * 20)
+                          : 0;
+    if (!roaming) {
+      // Log-uniform between min and max diameter.
+      const double lo = std::log(spec.trip_min_meters);
+      const double hi = std::log(spec.trip_max_meters);
+      diameter = std::exp(rnd.UniformDouble(lo, hi));
+    }
+
+    t.points = RandomWalk(&rnd, area, start, diameter, start_time, duration,
+                          spec.sample_interval);
+    result.push_back(std::move(t));
+  }
+  return result;
+}
+
+std::vector<Trajectory> Replicate(const DatasetSpec& spec,
+                                  const std::vector<Trajectory>& base,
+                                  int copies, uint64_t seed) {
+  Random rnd(seed ^ 0x7265706c);
+  std::vector<Trajectory> result;
+  result.reserve(base.size() * static_cast<size_t>(copies));
+  for (int c = 0; c < copies; c++) {
+    const int64_t time_offset = static_cast<int64_t>(c) * spec.horizon_seconds;
+    for (const Trajectory& t : base) {
+      Trajectory copy = t;
+      copy.tid = t.tid + "-r" + std::to_string(c);
+      copy.oid = t.oid + "-r" + std::to_string(c);
+      const double jitter_x = rnd.UniformDouble(-0.001, 0.001);
+      const double jitter_y = rnd.UniformDouble(-0.001, 0.001);
+      for (geo::TimedPoint& p : copy.points) {
+        p.t += time_offset;
+        p.x = std::clamp(p.x + jitter_x, spec.bounds.min_lon,
+                         spec.bounds.max_lon);
+        p.y = std::clamp(p.y + jitter_y, spec.bounds.min_lat,
+                         spec.bounds.max_lat);
+      }
+      result.push_back(std::move(copy));
+    }
+  }
+  return result;
+}
+
+std::vector<TimeWindow> RandomTimeWindows(const DatasetSpec& spec, size_t n,
+                                          int64_t length_seconds,
+                                          uint64_t seed) {
+  Random rnd(seed ^ 0x74777175);
+  std::vector<TimeWindow> windows;
+  windows.reserve(n);
+  const int64_t latest = std::max<int64_t>(1, spec.horizon_seconds -
+                                                  length_seconds);
+  for (size_t i = 0; i < n; i++) {
+    const int64_t ts =
+        spec.t0 +
+        static_cast<int64_t>(rnd.Uniform(static_cast<uint64_t>(latest)));
+    windows.push_back(TimeWindow{ts, ts + length_seconds});
+  }
+  return windows;
+}
+
+std::vector<SpaceWindow> RandomSpaceWindows(const DatasetSpec& spec, size_t n,
+                                            double side_meters,
+                                            uint64_t seed) {
+  Random rnd(seed ^ 0x73717175);
+  std::vector<SpaceWindow> windows;
+  windows.reserve(n);
+  const double lat_mid = (spec.core.min_lat + spec.core.max_lat) / 2;
+  const double h = geo::MetersToDegreesLat(side_meters);
+  const double w = geo::MetersToDegreesLon(side_meters, lat_mid);
+  for (size_t i = 0; i < n; i++) {
+    const double cx = rnd.UniformDouble(spec.core.min_lon, spec.core.max_lon);
+    const double cy = rnd.UniformDouble(spec.core.min_lat, spec.core.max_lat);
+    windows.push_back(SpaceWindow{
+        geo::MBR{cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2}});
+  }
+  return windows;
+}
+
+}  // namespace tman::traj

@@ -1,0 +1,76 @@
+#ifndef TMAN_TRAJ_GENERATOR_H_
+#define TMAN_TRAJ_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "traj/trajectory.h"
+
+namespace tman::traj {
+
+// Parameters of a synthetic trajectory workload. The two presets below are
+// calibrated to the published marginals of the paper's datasets (Fig. 14):
+// duration CDFs, spatial boundaries, and trip-diameter distributions.
+struct DatasetSpec {
+  std::string name;
+  SpatialBounds bounds;           // published dataset boundary
+  SpatialBounds core;             // where most trips start (the city proper)
+  int64_t t0 = 0;                 // dataset start time (UNIX seconds)
+  int64_t horizon_seconds = 0;    // dataset time span (week / month)
+  int64_t sample_interval = 30;   // seconds between GPS fixes
+  // Trip duration mixture: with probability short_fraction, a short trip
+  // uniform in [short_min, short_max] seconds; otherwise a long trip
+  // exponential-tailed up to long_max.
+  double short_fraction = 0.9;
+  int64_t short_min = 300;
+  int64_t short_max = 7200;
+  int64_t long_max = 48 * 3600;
+  // Trip diameter in meters (uniform log-scale between min and max).
+  double trip_min_meters = 1000;
+  double trip_max_meters = 60000;
+  // Fraction of trips that roam the full boundary (inter-city lorries).
+  double roaming_fraction = 0.0;
+  int trajectories_per_object = 8;  // average trips per moving object
+};
+
+// Beijing taxi workload (~T-Drive): 1 week, boundary (110,35,125,45),
+// 66% of trips < 2h, 99% < 18h, trip diameters 2.7-65 km.
+DatasetSpec TDriveLikeSpec();
+
+// Guangzhou lorry workload (~Lorry): 1 month, boundary (70,0,140,55),
+// 88% of trips < 2h, 99% < 14h, <1% inter-city roaming trips.
+DatasetSpec LorryLikeSpec();
+
+// Generates `count` trajectories deterministically from `seed`.
+std::vector<Trajectory> Generate(const DatasetSpec& spec, size_t count,
+                                 uint64_t seed);
+
+// Scalability replication (Fig. 22): `copies` shifted copies of the input;
+// copy i is offset in time by i * horizon and jittered in space.
+std::vector<Trajectory> Replicate(const DatasetSpec& spec,
+                                  const std::vector<Trajectory>& base,
+                                  int copies, uint64_t seed);
+
+// Query workload generators (paper §VI "Setting").
+struct TimeWindow {
+  int64_t ts;
+  int64_t te;
+};
+struct SpaceWindow {
+  geo::MBR rect;  // in lon/lat degrees
+};
+
+// `length_seconds` windows placed uniformly at random inside the horizon.
+std::vector<TimeWindow> RandomTimeWindows(const DatasetSpec& spec, size_t n,
+                                          int64_t length_seconds,
+                                          uint64_t seed);
+
+// Square windows of side `side_meters` centered in the core region.
+std::vector<SpaceWindow> RandomSpaceWindows(const DatasetSpec& spec, size_t n,
+                                            double side_meters, uint64_t seed);
+
+}  // namespace tman::traj
+
+#endif  // TMAN_TRAJ_GENERATOR_H_

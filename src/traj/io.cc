@@ -1,0 +1,181 @@
+#include "traj/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/coding.h"
+#include "compress/traj_codec.h"
+
+namespace tman::traj {
+
+namespace {
+
+// Splits a CSV line into at most `n` fields (no quoting: the formats this
+// reader targets never quote).
+int SplitFields(const std::string& line, std::string fields[], int n) {
+  int count = 0;
+  size_t start = 0;
+  while (count < n) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields[count++] = line.substr(start);
+      break;
+    }
+    fields[count++] = line.substr(start, comma - start);
+    start = comma + 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+Status ReadCsv(const std::string& path, std::vector<Trajectory>* out) {
+  FILE* f = fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+
+  std::map<std::string, Trajectory> by_tid;
+  char buf[512];
+  size_t line_no = 0;
+  while (fgets(buf, sizeof(buf), f) != nullptr) {
+    line_no++;
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    std::string fields[5];
+    if (SplitFields(line, fields, 5) != 5) {
+      fclose(f);
+      return Status::Corruption(path + ": bad field count at line " +
+                                std::to_string(line_no));
+    }
+    if (line_no == 1 && fields[4] == "timestamp") continue;  // header
+
+    char* end = nullptr;
+    const double lon = strtod(fields[2].c_str(), &end);
+    if (end == fields[2].c_str()) {
+      fclose(f);
+      return Status::Corruption(path + ": bad longitude at line " +
+                                std::to_string(line_no));
+    }
+    const double lat = strtod(fields[3].c_str(), &end);
+    const int64_t t = strtoll(fields[4].c_str(), &end, 10);
+
+    Trajectory& traj = by_tid[fields[1]];
+    if (traj.tid.empty()) {
+      traj.oid = fields[0];
+      traj.tid = fields[1];
+    }
+    traj.points.push_back(geo::TimedPoint{lon, lat, t});
+  }
+  fclose(f);
+
+  out->clear();
+  out->reserve(by_tid.size());
+  for (auto& [tid, traj] : by_tid) {
+    std::stable_sort(traj.points.begin(), traj.points.end(),
+                     [](const geo::TimedPoint& a, const geo::TimedPoint& b) {
+                       return a.t < b.t;
+                     });
+    out->push_back(std::move(traj));
+  }
+  return Status::OK();
+}
+
+Status WriteCsv(const std::string& path,
+                const std::vector<Trajectory>& trajectories) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  fputs("oid,tid,lon,lat,timestamp\n", f);
+  for (const Trajectory& t : trajectories) {
+    for (const geo::TimedPoint& p : t.points) {
+      fprintf(f, "%s,%s,%.7f,%.7f,%lld\n", t.oid.c_str(), t.tid.c_str(), p.x,
+              p.y, static_cast<long long>(p.t));
+    }
+  }
+  if (fclose(f) != 0) return Status::IOError("close failed for " + path);
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kBinaryMagic = 0x544d414a;  // "TMAJ"
+}  // namespace
+
+Status WriteBinary(const std::string& path,
+                   const std::vector<Trajectory>& trajectories) {
+  std::string blob;
+  PutFixed32(&blob, kBinaryMagic);
+  PutVarint64(&blob, trajectories.size());
+  for (const Trajectory& t : trajectories) {
+    PutLengthPrefixedSlice(&blob, t.oid);
+    PutLengthPrefixedSlice(&blob, t.tid);
+    compress::PointColumns columns;
+    for (const geo::TimedPoint& p : t.points) {
+      columns.lons.push_back(p.x);
+      columns.lats.push_back(p.y);
+      columns.timestamps.push_back(p.t);
+    }
+    std::string points;
+    if (!compress::EncodePoints(columns, &points)) {
+      return Status::InvalidArgument("unencodable trajectory " + t.tid);
+    }
+    PutLengthPrefixedSlice(&blob, points);
+  }
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = fwrite(blob.data(), 1, blob.size(), f);
+  fclose(f);
+  if (written != blob.size()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status ReadBinary(const std::string& path, std::vector<Trajectory>* out) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string blob;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) {
+    blob.append(buf, n);
+  }
+  fclose(f);
+
+  Slice input(blob);
+  if (input.size() < 4 || DecodeFixed32(input.data()) != kBinaryMagic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  input.remove_prefix(4);
+  uint64_t count;
+  if (!GetVarint64(&input, &count)) {
+    return Status::Corruption(path + ": bad count");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; i++) {
+    Slice oid, tid, points;
+    if (!GetLengthPrefixedSlice(&input, &oid) ||
+        !GetLengthPrefixedSlice(&input, &tid) ||
+        !GetLengthPrefixedSlice(&input, &points)) {
+      return Status::Corruption(path + ": truncated trajectory " +
+                                std::to_string(i));
+    }
+    Trajectory t;
+    t.oid = oid.ToString();
+    t.tid = tid.ToString();
+    compress::PointColumns columns;
+    if (!compress::DecodePoints(points.data(), points.size(), &columns)) {
+      return Status::Corruption(path + ": bad point column in trajectory " +
+                                std::to_string(i));
+    }
+    t.points.reserve(columns.timestamps.size());
+    for (size_t j = 0; j < columns.timestamps.size(); j++) {
+      t.points.push_back(geo::TimedPoint{columns.lons[j], columns.lats[j],
+                                         columns.timestamps[j]});
+    }
+    out->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace tman::traj

@@ -1,0 +1,31 @@
+#ifndef TMAN_TRAJ_IO_H_
+#define TMAN_TRAJ_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "traj/trajectory.h"
+
+namespace tman::traj {
+
+// Import/export of trajectory datasets.
+//
+// CSV format (one GPS fix per line, header optional):
+//   oid,tid,lon,lat,timestamp
+// Lines are grouped into trajectories by tid; points are sorted by
+// timestamp within each trajectory. This is the layout of the public
+// T-Drive release and of most fleet logs.
+Status ReadCsv(const std::string& path, std::vector<Trajectory>* out);
+Status WriteCsv(const std::string& path,
+                const std::vector<Trajectory>& trajectories);
+
+// Compact binary format (varint/Gorilla-compressed, one file per dataset):
+// much smaller and faster than CSV for benchmark snapshots.
+Status ReadBinary(const std::string& path, std::vector<Trajectory>* out);
+Status WriteBinary(const std::string& path,
+                   const std::vector<Trajectory>& trajectories);
+
+}  // namespace tman::traj
+
+#endif  // TMAN_TRAJ_IO_H_

@@ -1,0 +1,59 @@
+#ifndef TMAN_TRAJ_TRAJECTORY_H_
+#define TMAN_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace tman::traj {
+
+// A trajectory: the ordered GPS fixes of one trip by one moving object.
+struct Trajectory {
+  std::string oid;  // moving-object identifier (e.g. a vehicle)
+  std::string tid;  // globally unique trajectory identifier
+  std::vector<geo::TimedPoint> points;
+
+  int64_t start_time() const { return points.empty() ? 0 : points.front().t; }
+  int64_t end_time() const { return points.empty() ? 0 : points.back().t; }
+  int64_t duration() const { return end_time() - start_time(); }
+
+  geo::MBR ComputeMBR() const { return geo::ComputeMBR(points); }
+
+  bool IntersectsTimeRange(int64_t ts, int64_t te) const {
+    return !points.empty() && start_time() <= te && end_time() >= ts;
+  }
+};
+
+// The spatial extent of a dataset; trajectories are normalized into [0,1]^2
+// against these bounds before spatial indexing.
+struct SpatialBounds {
+  double min_lon = 0;
+  double min_lat = 0;
+  double max_lon = 0;
+  double max_lat = 0;
+
+  double width() const { return max_lon - min_lon; }
+  double height() const { return max_lat - min_lat; }
+
+  // Maps a lon/lat point to normalized [0,1]^2 coordinates.
+  geo::Point Normalize(const geo::Point& p) const {
+    return geo::Point{(p.x - min_lon) / width(), (p.y - min_lat) / height()};
+  }
+
+  geo::MBR Normalize(const geo::MBR& m) const {
+    return geo::MBR{(m.min_x - min_lon) / width(),
+                    (m.min_y - min_lat) / height(),
+                    (m.max_x - min_lon) / width(),
+                    (m.max_y - min_lat) / height()};
+  }
+
+  geo::MBR ToGeo() const {
+    return geo::MBR{min_lon, min_lat, max_lon, max_lat};
+  }
+};
+
+}  // namespace tman::traj
+
+#endif  // TMAN_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "baselines/similarity_baselines.h"
+#include "baselines/sthadoop.h"
+#include "baselines/trajmesa.h"
+#include "geo/similarity.h"
+#include "traj/generator.h"
+
+namespace tman::baselines {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  std::string dir = std::string(::testing::TempDir()) + "tman_base_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+class BaselineData : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new traj::DatasetSpec(traj::LorryLikeSpec());
+    data_ = new std::vector<traj::Trajectory>(traj::Generate(*spec_, 200, 71));
+  }
+  static void TearDownTestSuite() {
+    delete spec_;
+    delete data_;
+    spec_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static std::set<std::string> Tids(const std::vector<traj::Trajectory>& v) {
+    std::set<std::string> out;
+    for (const auto& t : v) out.insert(t.tid);
+    return out;
+  }
+
+  static traj::DatasetSpec* spec_;
+  static std::vector<traj::Trajectory>* data_;
+};
+
+traj::DatasetSpec* BaselineData::spec_ = nullptr;
+std::vector<traj::Trajectory>* BaselineData::data_ = nullptr;
+
+TEST_F(BaselineData, TrajMesaQueriesMatchBruteForce) {
+  TrajMesa::Options options;
+  options.bounds = spec_->bounds;
+  options.num_shards = 4;
+  options.num_servers = 2;
+  std::unique_ptr<TrajMesa> tm;
+  ASSERT_TRUE(TrajMesa::Open(options, TestDir("trajmesa"), &tm).ok());
+  ASSERT_TRUE(tm->Load(*data_).ok());
+
+  // TRQ.
+  const auto tw = traj::RandomTimeWindows(*spec_, 4, 6 * 3600, 2);
+  for (const auto& w : tw) {
+    std::vector<traj::Trajectory> results;
+    core::QueryStats stats;
+    ASSERT_TRUE(tm->TemporalRangeQuery(w.ts, w.te, &results, &stats).ok());
+    std::set<std::string> expected;
+    for (const auto& t : *data_) {
+      if (t.IntersectsTimeRange(w.ts, w.te)) expected.insert(t.tid);
+    }
+    EXPECT_EQ(Tids(results), expected);
+    EXPECT_GE(stats.candidates, results.size());
+  }
+
+  // SRQ.
+  const auto sw = traj::RandomSpaceWindows(*spec_, 4, 4000, 2);
+  for (const auto& w : sw) {
+    std::vector<traj::Trajectory> results;
+    ASSERT_TRUE(tm->SpatialRangeQuery(w.rect, &results, nullptr).ok());
+    std::set<std::string> expected;
+    for (const auto& t : *data_) {
+      if (geo::PolylineIntersectsRect(t.points, w.rect)) expected.insert(t.tid);
+    }
+    EXPECT_EQ(Tids(results), expected);
+  }
+
+  // STRQ + IDT.
+  const auto w = tw[0];
+  const auto s = sw[0];
+  std::vector<traj::Trajectory> results;
+  ASSERT_TRUE(
+      tm->SpatioTemporalRangeQuery(s.rect, w.ts, w.te, &results, nullptr)
+          .ok());
+  std::set<std::string> expected;
+  for (const auto& t : *data_) {
+    if (t.IntersectsTimeRange(w.ts, w.te) &&
+        geo::PolylineIntersectsRect(t.points, s.rect)) {
+      expected.insert(t.tid);
+    }
+  }
+  EXPECT_EQ(Tids(results), expected);
+
+  const std::string oid = (*data_)[0].oid;
+  results.clear();
+  ASSERT_TRUE(tm->IDTemporalQuery(oid, spec_->t0,
+                                  spec_->t0 + spec_->horizon_seconds, &results,
+                                  nullptr)
+                  .ok());
+  expected.clear();
+  for (const auto& t : *data_) {
+    if (t.oid == oid) expected.insert(t.tid);
+  }
+  EXPECT_EQ(Tids(results), expected);
+  EXPECT_GT(tm->StorageBytes(), 0u);
+}
+
+TEST_F(BaselineData, STHadoopPointQueriesMatchBruteForce) {
+  STHadoop::Options options;
+  options.bounds = spec_->bounds;
+  options.job_startup_micros = 0;  // no artificial latency in tests
+  std::unique_ptr<STHadoop> sth;
+  ASSERT_TRUE(STHadoop::Open(options, TestDir("sth"), &sth).ok());
+  ASSERT_TRUE(sth->Load(*data_).ok());
+
+  const auto tw = traj::RandomTimeWindows(*spec_, 3, 6 * 3600, 4);
+  for (const auto& w : tw) {
+    std::vector<std::string> tids;
+    core::QueryStats stats;
+    ASSERT_TRUE(sth->TemporalRangeQuery(w.ts, w.te, &tids, &stats).ok());
+    // Point-level semantics: a trajectory matches if a sampled point falls
+    // in the window.
+    std::set<std::string> expected;
+    for (const auto& t : *data_) {
+      for (const auto& p : t.points) {
+        if (p.t >= w.ts && p.t <= w.te) {
+          expected.insert(t.tid);
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(std::set<std::string>(tids.begin(), tids.end()), expected);
+    // Candidates are points: vastly more than trajectories.
+    EXPECT_GT(stats.candidates, expected.size());
+  }
+
+  const auto sw = traj::RandomSpaceWindows(*spec_, 3, 4000, 4);
+  for (const auto& w : sw) {
+    std::vector<std::string> tids;
+    ASSERT_TRUE(sth->SpatialRangeQuery(w.rect, &tids, nullptr).ok());
+    std::set<std::string> expected;
+    for (const auto& t : *data_) {
+      for (const auto& p : t.points) {
+        if (w.rect.Contains(geo::Point{p.x, p.y})) {
+          expected.insert(t.tid);
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(std::set<std::string>(tids.begin(), tids.end()), expected);
+  }
+}
+
+// Every similarity baseline must return exactly the brute-force threshold
+// result set and the true top-k distances.
+template <typename B>
+void CheckSimilarityBaseline(B* baseline,
+                             const std::vector<traj::Trajectory>& data) {
+  const traj::Trajectory& query = data[11];
+  const double threshold = 0.05;
+  for (auto measure : {geo::SimilarityMeasure::kFrechet,
+                       geo::SimilarityMeasure::kHausdorff,
+                       geo::SimilarityMeasure::kDTW}) {
+    SimilarityStats stats;
+    const auto results =
+        baseline->Threshold(query, measure, threshold, &stats);
+    std::set<std::string> expected;
+    for (const auto& t : data) {
+      if (geo::ExactDistance(measure, query.points, t.points) <= threshold) {
+        expected.insert(t.tid);
+      }
+    }
+    std::set<std::string> got;
+    for (const auto& r : results) got.insert(r.tid);
+    EXPECT_EQ(got, expected);
+  }
+
+  // Top-k distances match brute force.
+  const size_t k = 5;
+  SimilarityStats stats;
+  const auto topk =
+      baseline->TopK(query, geo::SimilarityMeasure::kFrechet, k, &stats);
+  ASSERT_EQ(topk.size(), k);
+  std::vector<double> all;
+  for (const auto& t : data) {
+    if (t.tid == query.tid) continue;
+    all.push_back(geo::DiscreteFrechet(query.points, t.points));
+  }
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < k; i++) {
+    EXPECT_NEAR(topk[i].distance, all[i], 1e-12) << i;
+  }
+}
+
+TEST_F(BaselineData, DFTSimilarityCorrect) {
+  DFT::Options options;
+  options.bounds = spec_->bounds;
+  DFT dft(options);
+  dft.Load(*data_);
+  CheckSimilarityBaseline(&dft, *data_);
+}
+
+TEST_F(BaselineData, DITASimilarityCorrect) {
+  DITA::Options options;
+  options.bounds = spec_->bounds;
+  DITA dita(options);
+  dita.Load(*data_);
+  CheckSimilarityBaseline(&dita, *data_);
+}
+
+TEST_F(BaselineData, REPOSESimilarityCorrect) {
+  REPOSE::Options options;
+  options.bounds = spec_->bounds;
+  REPOSE repose(options);
+  repose.Load(*data_);
+  CheckSimilarityBaseline(&repose, *data_);
+}
+
+}  // namespace
+}  // namespace tman::baselines

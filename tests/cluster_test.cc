@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "cluster/cluster.h"
+#include "common/coding.h"
+
+namespace tman::cluster {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  std::string dir = std::string(::testing::TempDir()) + "tman_cluster_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string Key(uint8_t shard, uint64_t value) {
+  std::string key(1, static_cast<char>(shard));
+  PutBigEndian64(&key, value);
+  return key;
+}
+
+TEST(ClusterTest, CreateGetDropTable) {
+  Cluster cluster(TestDir("tables"), 3, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t1", 4).ok());
+  EXPECT_FALSE(cluster.CreateTable("t1", 4).ok());  // duplicate
+  EXPECT_NE(cluster.GetTable("t1"), nullptr);
+  EXPECT_EQ(cluster.GetTable("missing"), nullptr);
+  ASSERT_TRUE(cluster.DropTable("t1").ok());
+  EXPECT_EQ(cluster.GetTable("t1"), nullptr);
+}
+
+TEST(ClusterTest, PutGetRoutesByShard) {
+  Cluster cluster(TestDir("route"), 2, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t", 4).ok());
+  ClusterTable* table = cluster.GetTable("t");
+  for (uint8_t shard = 0; shard < 4; shard++) {
+    ASSERT_TRUE(table->Put(Key(shard, 100), "v" + std::to_string(shard)).ok());
+  }
+  for (uint8_t shard = 0; shard < 4; shard++) {
+    std::string value;
+    ASSERT_TRUE(table->Get(Key(shard, 100), &value).ok());
+    EXPECT_EQ(value, "v" + std::to_string(shard));
+  }
+}
+
+TEST(ClusterTest, ParallelScanAcrossShards) {
+  Cluster cluster(TestDir("scan"), 5, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t", 8).ok());
+  ClusterTable* table = cluster.GetTable("t");
+
+  std::vector<Row> rows;
+  for (uint8_t shard = 0; shard < 8; shard++) {
+    for (uint64_t v = 0; v < 100; v++) {
+      rows.push_back(Row{Key(shard, v), "x"});
+    }
+  }
+  ASSERT_TRUE(table->BatchPut(rows).ok());
+
+  // One window per shard over values [10, 20).
+  std::vector<KeyRange> windows;
+  for (uint8_t shard = 0; shard < 8; shard++) {
+    windows.push_back(KeyRange{Key(shard, 10), Key(shard, 20)});
+  }
+  std::vector<Row> out;
+  kv::ScanStats stats;
+  ASSERT_TRUE(table->ParallelScan(windows, nullptr, 0, &out, &stats).ok());
+  EXPECT_EQ(out.size(), 8u * 10);
+  EXPECT_EQ(stats.scanned, 80u);
+}
+
+struct ValuePrefixFilter : public kv::ScanFilter {
+  explicit ValuePrefixFilter(std::string p) : prefix(std::move(p)) {}
+  bool Matches(const Slice&, const Slice& value) const override {
+    return value.starts_with(prefix);
+  }
+  std::string prefix;
+};
+
+TEST(ClusterTest, PushdownVsClientSideFiltering) {
+  Cluster cluster(TestDir("pushdown"), 3, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t", 4).ok());
+  ClusterTable* table = cluster.GetTable("t");
+
+  std::vector<Row> rows;
+  for (uint64_t v = 0; v < 200; v++) {
+    for (uint8_t shard = 0; shard < 4; shard++) {
+      rows.push_back(Row{Key(shard, v), v % 10 == 0 ? "hit" : "miss"});
+    }
+  }
+  ASSERT_TRUE(table->BatchPut(rows).ok());
+
+  std::vector<KeyRange> windows;
+  for (uint8_t shard = 0; shard < 4; shard++) {
+    windows.push_back(KeyRange{Key(shard, 0), Key(shard, 200)});
+  }
+  ValuePrefixFilter filter("hit");
+
+  std::vector<Row> pushed;
+  kv::ScanStats pushed_stats;
+  ASSERT_TRUE(
+      table->ParallelScan(windows, &filter, 0, &pushed, &pushed_stats).ok());
+
+  std::vector<Row> shipped;
+  kv::ScanStats shipped_stats;
+  ASSERT_TRUE(
+      table->ScanWithoutPushdown(windows, &filter, &shipped, &shipped_stats)
+          .ok());
+
+  // Same results either way; same rows touched in storage; but the
+  // non-pushdown path ships every candidate to the client.
+  EXPECT_EQ(pushed.size(), shipped.size());
+  EXPECT_EQ(pushed.size(), 4u * 20);
+  EXPECT_EQ(pushed_stats.scanned, shipped_stats.scanned);
+  EXPECT_EQ(pushed_stats.matched, 80u);
+}
+
+TEST(ClusterTest, BatchPutGroupsAtomicallyPerShard) {
+  Cluster cluster(TestDir("batch"), 2, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t", 2).ok());
+  ClusterTable* table = cluster.GetTable("t");
+  std::vector<Row> rows = {{Key(0, 1), "a"}, {Key(1, 1), "b"},
+                           {Key(0, 2), "c"}};
+  ASSERT_TRUE(table->BatchPut(rows).ok());
+  std::string value;
+  EXPECT_TRUE(table->Get(Key(0, 2), &value).ok());
+  EXPECT_EQ(value, "c");
+}
+
+TEST(ClusterTest, DeleteRemovesRow) {
+  Cluster cluster(TestDir("delete"), 2, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t", 2).ok());
+  ClusterTable* table = cluster.GetTable("t");
+  ASSERT_TRUE(table->Put(Key(0, 5), "v").ok());
+  ASSERT_TRUE(table->Delete(Key(0, 5)).ok());
+  std::string value;
+  EXPECT_TRUE(table->Get(Key(0, 5), &value).IsNotFound());
+}
+
+TEST(ClusterTest, ScanLimitPerRange) {
+  Cluster cluster(TestDir("limit"), 2, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t", 1).ok());
+  ClusterTable* table = cluster.GetTable("t");
+  for (uint64_t v = 0; v < 50; v++) {
+    ASSERT_TRUE(table->Put(Key(0, v), "x").ok());
+  }
+  std::vector<KeyRange> windows = {KeyRange{Key(0, 0), Key(0, 50)}};
+  std::vector<Row> out;
+  ASSERT_TRUE(table->ParallelScan(windows, nullptr, 7, &out, nullptr).ok());
+  EXPECT_EQ(out.size(), 7u);
+}
+
+}  // namespace
+}  // namespace tman::cluster

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "compress/gorilla.h"
+#include "compress/simple8b.h"
+#include "compress/traj_codec.h"
+
+namespace tman::compress {
+namespace {
+
+TEST(Simple8bTest, RoundTripSmallValues) {
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 1000; i++) values.push_back(i % 7);
+  std::string blob;
+  ASSERT_TRUE(Simple8bEncode(values, &blob));
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(Simple8bDecode(blob.data(), blob.size(), values.size(),
+                             &decoded));
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(Simple8bTest, RoundTripMixedMagnitudes) {
+  Random rnd(9);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 500; i++) {
+    const int bits = static_cast<int>(rnd.Uniform(59)) + 1;
+    values.push_back(rnd.Next() & ((1ULL << bits) - 1));
+  }
+  std::string blob;
+  ASSERT_TRUE(Simple8bEncode(values, &blob));
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(Simple8bDecode(blob.data(), blob.size(), values.size(),
+                             &decoded));
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(Simple8bTest, ZeroRunsPackDensely) {
+  std::vector<uint64_t> values(960, 0);
+  std::string blob;
+  ASSERT_TRUE(Simple8bEncode(values, &blob));
+  // 960 zeros = 4 words of 240 -> 32 bytes vs 7680 raw.
+  EXPECT_LE(blob.size(), 64u);
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(Simple8bDecode(blob.data(), blob.size(), values.size(),
+                             &decoded));
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(Simple8bTest, RejectsOversizedValues) {
+  std::vector<uint64_t> values = {1ULL << 60};
+  std::string blob;
+  EXPECT_FALSE(Simple8bEncode(values, &blob));
+}
+
+TEST(Simple8bTest, EmptyInput) {
+  std::string blob;
+  ASSERT_TRUE(Simple8bEncode({}, &blob));
+  EXPECT_TRUE(blob.empty());
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(Simple8bDecode(blob.data(), blob.size(), 0, &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(GorillaTest, RoundTripGPSLikeSeries) {
+  Random rnd(11);
+  std::vector<double> values;
+  double lon = 116.40;
+  for (int i = 0; i < 2000; i++) {
+    lon += rnd.UniformDouble(-0.0005, 0.0005);
+    values.push_back(lon);
+  }
+  GorillaEncoder enc;
+  for (double v : values) enc.Add(v);
+  const std::string blob = enc.Finish();
+  // Gorilla on smooth series: well under 8 bytes per value.
+  EXPECT_LT(blob.size(), values.size() * 8);
+
+  GorillaDecoder dec(blob.data(), blob.size());
+  std::vector<double> decoded;
+  ASSERT_TRUE(dec.Decode(values.size(), &decoded));
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); i++) {
+    EXPECT_EQ(decoded[i], values[i]) << i;  // bit-exact lossless
+  }
+}
+
+TEST(GorillaTest, RoundTripConstantsAndSpecials) {
+  const std::vector<double> values = {0.0,  0.0,   -0.0,  1.5,
+                                      1.5,  1e300, -1e300, 3.14159};
+  GorillaEncoder enc;
+  for (double v : values) enc.Add(v);
+  const std::string blob = enc.Finish();
+  GorillaDecoder dec(blob.data(), blob.size());
+  std::vector<double> decoded;
+  ASSERT_TRUE(dec.Decode(values.size(), &decoded));
+  for (size_t i = 0; i < values.size(); i++) {
+    EXPECT_EQ(std::signbit(decoded[i]), std::signbit(values[i]));
+    EXPECT_EQ(decoded[i], values[i]);
+  }
+}
+
+TEST(GorillaTest, TruncatedInputFailsCleanly) {
+  GorillaEncoder enc;
+  for (int i = 0; i < 100; i++) enc.Add(i * 0.1);
+  std::string blob = enc.Finish();
+  blob.resize(blob.size() / 2);
+  GorillaDecoder dec(blob.data(), blob.size());
+  std::vector<double> decoded;
+  EXPECT_FALSE(dec.Decode(100, &decoded));
+}
+
+TEST(DeltaOfDeltaTest, RegularTimestampsCompressToZeros) {
+  std::vector<int64_t> ts;
+  for (int i = 0; i < 100; i++) ts.push_back(1400000000 + i * 30);
+  std::vector<uint64_t> encoded;
+  DeltaOfDeltaEncode(ts, &encoded);
+  // After the first two entries every delta-of-delta is zero.
+  for (size_t i = 2; i < encoded.size(); i++) {
+    EXPECT_EQ(encoded[i], 0u);
+  }
+  std::vector<int64_t> decoded;
+  DeltaOfDeltaDecode(encoded, &decoded);
+  EXPECT_EQ(decoded, ts);
+}
+
+TEST(TrajCodecTest, RoundTripAndCompressionRatio) {
+  Random rnd(23);
+  PointColumns columns;
+  double lon = 113.3, lat = 23.1;
+  int64_t t = 1393632000;
+  for (int i = 0; i < 1000; i++) {
+    lon += rnd.UniformDouble(-0.0004, 0.0004);
+    lat += rnd.UniformDouble(-0.0004, 0.0004);
+    t += 28 + static_cast<int64_t>(rnd.Uniform(5));
+    columns.lons.push_back(lon);
+    columns.lats.push_back(lat);
+    columns.timestamps.push_back(t);
+  }
+  std::string blob;
+  ASSERT_TRUE(EncodePoints(columns, &blob));
+  const size_t raw_size = 1000 * (8 + 8 + 8);
+  EXPECT_LT(blob.size(), raw_size) << "codec must beat raw layout";
+
+  PointColumns decoded;
+  ASSERT_TRUE(DecodePoints(blob.data(), blob.size(), &decoded));
+  EXPECT_EQ(decoded.timestamps, columns.timestamps);
+  EXPECT_EQ(decoded.lons, columns.lons);
+  EXPECT_EQ(decoded.lats, columns.lats);
+}
+
+TEST(TrajCodecTest, RejectsMismatchedColumns) {
+  PointColumns columns;
+  columns.timestamps = {1, 2, 3};
+  columns.lons = {1.0, 2.0};
+  columns.lats = {1.0, 2.0, 3.0};
+  std::string blob;
+  EXPECT_FALSE(EncodePoints(columns, &blob));
+}
+
+TEST(TrajCodecTest, SinglePoint) {
+  PointColumns columns;
+  columns.timestamps = {1400000000};
+  columns.lons = {116.5};
+  columns.lats = {39.9};
+  std::string blob;
+  ASSERT_TRUE(EncodePoints(columns, &blob));
+  PointColumns decoded;
+  ASSERT_TRUE(DecodePoints(blob.data(), blob.size(), &decoded));
+  EXPECT_EQ(decoded.timestamps, columns.timestamps);
+  EXPECT_EQ(decoded.lons, columns.lons);
+}
+
+}  // namespace
+}  // namespace tman::compress

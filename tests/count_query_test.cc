@@ -1,0 +1,106 @@
+// Count-only (push-down aggregation) queries: results must equal the
+// materializing queries' result sizes, with no rows shipped.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/tman.h"
+#include "traj/generator.h"
+
+namespace tman::core {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  std::string dir = std::string(::testing::TempDir()) + "tman_count_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+class CountQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new traj::DatasetSpec(traj::TDriveLikeSpec());
+    data_ = new std::vector<traj::Trajectory>(traj::Generate(*spec_, 250, 88));
+    tman_ = new std::unique_ptr<TMan>;
+    TManOptions options;
+    options.bounds = spec_->bounds;
+    options.tr.period_seconds = 3600;
+    options.tr.max_periods = 24;
+    options.num_shards = 4;
+    options.num_servers = 2;
+    options.genetic.generations = 5;
+    ASSERT_TRUE(TMan::Open(options, TestDir("main"), tman_).ok());
+    ASSERT_TRUE((*tman_)->BulkLoad(*data_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete tman_;
+    delete data_;
+    delete spec_;
+  }
+
+  static traj::DatasetSpec* spec_;
+  static std::vector<traj::Trajectory>* data_;
+  static std::unique_ptr<TMan>* tman_;
+};
+
+traj::DatasetSpec* CountQueryTest::spec_ = nullptr;
+std::vector<traj::Trajectory>* CountQueryTest::data_ = nullptr;
+std::unique_ptr<TMan>* CountQueryTest::tman_ = nullptr;
+
+TEST_F(CountQueryTest, TemporalCountMatchesQuery) {
+  for (const auto& w : traj::RandomTimeWindows(*spec_, 8, 8 * 3600, 4)) {
+    uint64_t count = 0;
+    QueryStats stats;
+    ASSERT_TRUE((*tman_)->TemporalRangeCount(w.ts, w.te, &count, &stats).ok());
+    std::vector<traj::Trajectory> out;
+    ASSERT_TRUE((*tman_)->TemporalRangeQuery(w.ts, w.te, &out, nullptr).ok());
+    EXPECT_EQ(count, out.size());
+  }
+}
+
+TEST_F(CountQueryTest, SpatialCountMatchesQuery) {
+  for (const auto& w : traj::RandomSpaceWindows(*spec_, 8, 3000, 4)) {
+    uint64_t count = 0;
+    QueryStats stats;
+    ASSERT_TRUE((*tman_)->SpatialRangeCount(w.rect, &count, &stats).ok());
+    std::vector<traj::Trajectory> out;
+    ASSERT_TRUE((*tman_)->SpatialRangeQuery(w.rect, &out, nullptr).ok());
+    EXPECT_EQ(count, out.size());
+    EXPECT_EQ(stats.results, count);
+  }
+}
+
+TEST_F(CountQueryTest, SpatioTemporalCountMatchesQuery) {
+  const auto tws = traj::RandomTimeWindows(*spec_, 5, 12 * 3600, 5);
+  const auto sws = traj::RandomSpaceWindows(*spec_, 5, 5000, 5);
+  for (size_t i = 0; i < tws.size(); i++) {
+    uint64_t count = 0;
+    ASSERT_TRUE((*tman_)
+                    ->SpatioTemporalRangeCount(sws[i].rect, tws[i].ts,
+                                               tws[i].te, &count, nullptr)
+                    .ok());
+    std::vector<traj::Trajectory> out;
+    ASSERT_TRUE((*tman_)
+                    ->SpatioTemporalRangeQuery(sws[i].rect, tws[i].ts,
+                                               tws[i].te, &out, nullptr)
+                    .ok());
+    EXPECT_EQ(count, out.size());
+  }
+}
+
+TEST_F(CountQueryTest, CountTouchesSameCandidates) {
+  const auto w = traj::RandomSpaceWindows(*spec_, 1, 3000, 6)[0];
+  QueryStats count_stats, query_stats;
+  uint64_t count = 0;
+  ASSERT_TRUE((*tman_)->SpatialRangeCount(w.rect, &count, &count_stats).ok());
+  std::vector<traj::Trajectory> out;
+  ASSERT_TRUE((*tman_)->SpatialRangeQuery(w.rect, &out, &query_stats).ok());
+  // Identical index usage, identical storage touch.
+  EXPECT_EQ(count_stats.candidates, query_stats.candidates);
+  EXPECT_EQ(count_stats.windows, query_stats.windows);
+}
+
+}  // namespace
+}  // namespace tman::core

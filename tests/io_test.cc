@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "traj/generator.h"
+#include "traj/io.h"
+
+namespace tman::traj {
+namespace {
+
+std::string TestFile(const std::string& name) {
+  return std::string(::testing::TempDir()) + "tman_io_" + name;
+}
+
+TEST(CsvIoTest, RoundTrip) {
+  const DatasetSpec spec = TDriveLikeSpec();
+  const auto data = Generate(spec, 20, 44);
+  const std::string path = TestFile("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(path, data).ok());
+
+  std::vector<Trajectory> loaded;
+  ASSERT_TRUE(ReadCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), data.size());
+
+  std::map<std::string, const Trajectory*> by_tid;
+  for (const auto& t : data) by_tid[t.tid] = &t;
+  for (const auto& t : loaded) {
+    ASSERT_TRUE(by_tid.count(t.tid)) << t.tid;
+    const Trajectory& original = *by_tid[t.tid];
+    EXPECT_EQ(t.oid, original.oid);
+    ASSERT_EQ(t.points.size(), original.points.size());
+    for (size_t i = 0; i < t.points.size(); i++) {
+      EXPECT_NEAR(t.points[i].x, original.points[i].x, 1e-6);
+      EXPECT_NEAR(t.points[i].y, original.points[i].y, 1e-6);
+      EXPECT_EQ(t.points[i].t, original.points[i].t);
+    }
+  }
+}
+
+TEST(CsvIoTest, SortsOutOfOrderPoints) {
+  const std::string path = TestFile("unsorted.csv");
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("oid,tid,lon,lat,timestamp\n", f);
+  fputs("o1,t1,116.30,39.90,300\n", f);
+  fputs("o1,t1,116.10,39.90,100\n", f);
+  fputs("o1,t1,116.20,39.90,200\n", f);
+  fclose(f);
+
+  std::vector<Trajectory> loaded;
+  ASSERT_TRUE(ReadCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 1u);
+  ASSERT_EQ(loaded[0].points.size(), 3u);
+  EXPECT_EQ(loaded[0].points[0].t, 100);
+  EXPECT_DOUBLE_EQ(loaded[0].points[0].x, 116.10);
+  EXPECT_EQ(loaded[0].points[2].t, 300);
+}
+
+TEST(CsvIoTest, RejectsMalformedLines) {
+  const std::string path = TestFile("bad.csv");
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("o1,t1,notanumber\n", f);
+  fclose(f);
+  std::vector<Trajectory> loaded;
+  EXPECT_FALSE(ReadCsv(path, &loaded).ok());
+}
+
+TEST(CsvIoTest, MissingFileIsIOError) {
+  std::vector<Trajectory> loaded;
+  EXPECT_TRUE(ReadCsv("/nonexistent/nope.csv", &loaded).IsIOError());
+}
+
+TEST(BinaryIoTest, RoundTripBitExact) {
+  const DatasetSpec spec = LorryLikeSpec();
+  const auto data = Generate(spec, 30, 45);
+  const std::string path = TestFile("roundtrip.bin");
+  ASSERT_TRUE(WriteBinary(path, data).ok());
+
+  std::vector<Trajectory> loaded;
+  ASSERT_TRUE(ReadBinary(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), data.size());
+  for (size_t i = 0; i < data.size(); i++) {
+    EXPECT_EQ(loaded[i].oid, data[i].oid);
+    EXPECT_EQ(loaded[i].tid, data[i].tid);
+    ASSERT_EQ(loaded[i].points.size(), data[i].points.size());
+    for (size_t j = 0; j < data[i].points.size(); j++) {
+      // The binary format is lossless (Gorilla), so bit-exact.
+      EXPECT_EQ(loaded[i].points[j].x, data[i].points[j].x);
+      EXPECT_EQ(loaded[i].points[j].y, data[i].points[j].y);
+      EXPECT_EQ(loaded[i].points[j].t, data[i].points[j].t);
+    }
+  }
+}
+
+TEST(BinaryIoTest, SmallerThanCsv) {
+  const DatasetSpec spec = LorryLikeSpec();
+  const auto data = Generate(spec, 50, 46);
+  const std::string csv = TestFile("size.csv");
+  const std::string bin = TestFile("size.bin");
+  ASSERT_TRUE(WriteCsv(csv, data).ok());
+  ASSERT_TRUE(WriteBinary(bin, data).ok());
+  EXPECT_LT(std::filesystem::file_size(bin),
+            std::filesystem::file_size(csv) / 3);
+}
+
+TEST(BinaryIoTest, DetectsCorruption) {
+  const DatasetSpec spec = LorryLikeSpec();
+  const auto data = Generate(spec, 5, 47);
+  const std::string path = TestFile("corrupt.bin");
+  ASSERT_TRUE(WriteBinary(path, data).ok());
+  // Truncate the file.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  std::vector<Trajectory> loaded;
+  EXPECT_TRUE(ReadBinary(path, &loaded).IsCorruption());
+
+  // Bad magic.
+  FILE* f = fopen(path.c_str(), "r+b");
+  fputs("XXXX", f);
+  fclose(f);
+  EXPECT_TRUE(ReadBinary(path, &loaded).IsCorruption());
+}
+
+}  // namespace
+}  // namespace tman::traj

@@ -1,0 +1,116 @@
+// Edge cases of the similarity kernels and the push-down similarity
+// filter.
+
+#include <gtest/gtest.h>
+
+#include "core/filters.h"
+#include "core/record.h"
+#include "geo/similarity.h"
+
+namespace tman::geo {
+namespace {
+
+std::vector<TimedPoint> Line(double x0, double y0, double x1, double y1,
+                             int n) {
+  std::vector<TimedPoint> points;
+  for (int i = 0; i < n; i++) {
+    const double f = n == 1 ? 0 : static_cast<double>(i) / (n - 1);
+    points.push_back(
+        TimedPoint{x0 + f * (x1 - x0), y0 + f * (y1 - y0), i * 10});
+  }
+  return points;
+}
+
+TEST(SimilarityEdgeTest, SinglePointTrajectories) {
+  const auto a = Line(0, 0, 0, 0, 1);
+  const auto b = Line(3, 4, 3, 4, 1);
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(DTWDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 5.0);
+}
+
+TEST(SimilarityEdgeTest, EmptyTrajectoryIsInfinitelyFar) {
+  const std::vector<TimedPoint> empty;
+  const auto a = Line(0, 0, 1, 1, 5);
+  EXPECT_GT(DiscreteFrechet(empty, a), 1e200);
+  EXPECT_GT(DTWDistance(a, empty), 1e200);
+  EXPECT_GT(HausdorffDistance(empty, empty), 1e200);
+}
+
+TEST(SimilarityEdgeTest, AsymmetricLengths) {
+  // The same line sampled at different densities: the discrete measures
+  // see at most half the coarser sampling interval (0.02 here).
+  const auto sparse = Line(0, 0, 1, 0, 51);   // spacing 0.02
+  const auto dense = Line(0, 0, 1, 0, 101);   // spacing 0.01
+  EXPECT_LT(DiscreteFrechet(sparse, dense), 0.0201);
+  EXPECT_LT(HausdorffDistance(sparse, dense), 0.0101);
+}
+
+TEST(SimilarityEdgeTest, FrechetRespectsOrdering) {
+  // The same point set traversed in opposite directions: Hausdorff is 0,
+  // Fréchet is not (it must couple endpoints monotonically).
+  const auto forward = Line(0, 0, 1, 0, 10);
+  auto backward = forward;
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_LT(HausdorffDistance(forward, backward), 1e-9);
+  EXPECT_NEAR(DiscreteFrechet(forward, backward), 1.0, 1e-9);
+}
+
+TEST(SimilarityEdgeTest, DTWTriangleSanity) {
+  // DTW of identical is 0; shifting by d adds >= d.
+  const auto a = Line(0, 0, 1, 1, 20);
+  auto shifted = a;
+  for (auto& p : shifted) p.x += 0.3;
+  EXPECT_GE(DTWDistance(a, shifted), 0.3);
+}
+
+}  // namespace
+}  // namespace tman::geo
+
+namespace tman::core {
+namespace {
+
+traj::Trajectory MakeTrajectory(double x0, double y0, int n) {
+  traj::Trajectory t;
+  t.oid = "o";
+  t.tid = "t";
+  for (int i = 0; i < n; i++) {
+    t.points.push_back(geo::TimedPoint{x0 + i * 0.01, y0, i * 30});
+  }
+  return t;
+}
+
+TEST(SimilarityFilterTest, PassesNearAndRejectsFar) {
+  const traj::Trajectory query = MakeTrajectory(0, 0, 10);
+  const geo::DPFeatures query_features =
+      geo::ExtractDPFeatures(query.points, 4);
+  SimilarityFilter filter(query_features, 0.05);
+
+  std::string near_value, far_value;
+  ASSERT_TRUE(EncodeRecord(MakeTrajectory(0, 0.01, 10), 4, &near_value));
+  ASSERT_TRUE(EncodeRecord(MakeTrajectory(0, 5.0, 10), 4, &far_value));
+  EXPECT_TRUE(filter.Matches("k", near_value));
+  EXPECT_FALSE(filter.Matches("k", far_value));
+  EXPECT_FALSE(filter.Matches("k", "garbage"));
+}
+
+TEST(SimilarityFilterTest, NeverRejectsTrueMatches) {
+  // Soundness: any trajectory within the threshold must pass the filter.
+  const traj::Trajectory query = MakeTrajectory(0, 0, 20);
+  const geo::DPFeatures query_features =
+      geo::ExtractDPFeatures(query.points, 6);
+  const double threshold = 0.1;
+  SimilarityFilter filter(query_features, threshold);
+  for (double dy : {0.0, 0.02, 0.05, 0.099}) {
+    const traj::Trajectory candidate = MakeTrajectory(0, dy, 20);
+    const double d = geo::DiscreteFrechet(query.points, candidate.points);
+    if (d <= threshold) {
+      std::string value;
+      ASSERT_TRUE(EncodeRecord(candidate, 6, &value));
+      EXPECT_TRUE(filter.Matches("k", value)) << "dy=" << dy;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tman::core

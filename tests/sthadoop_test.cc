@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "baselines/sthadoop.h"
+#include "traj/generator.h"
+
+namespace tman::baselines {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  std::string dir = std::string(::testing::TempDir()) + "tman_sth_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+traj::Trajectory MakeTrajectory(const std::string& tid, double lon,
+                                double lat, int64_t t0, int64_t step,
+                                int n) {
+  traj::Trajectory t;
+  t.oid = "o-" + tid;
+  t.tid = tid;
+  for (int i = 0; i < n; i++) {
+    t.points.push_back(
+        geo::TimedPoint{lon + i * 0.001, lat, t0 + i * step});
+  }
+  return t;
+}
+
+TEST(STHadoopTest, SliceBoundaryStraddling) {
+  STHadoop::Options options;
+  options.bounds = traj::SpatialBounds{100, 20, 120, 40};
+  options.slice_seconds = 1000;
+  options.job_startup_micros = 0;
+  std::unique_ptr<STHadoop> sth;
+  ASSERT_TRUE(STHadoop::Open(options, TestDir("slices"), &sth).ok());
+
+  // Trajectory spanning slices 0..3 (points at t = 500..3500).
+  ASSERT_TRUE(
+      sth->Load({MakeTrajectory("straddler", 110, 30, 500, 1000, 4)}).ok());
+
+  // A query touching only slice 2 still finds it (per-point storage).
+  std::vector<std::string> tids;
+  ASSERT_TRUE(sth->TemporalRangeQuery(2100, 2900, &tids, nullptr).ok());
+  ASSERT_EQ(tids.size(), 1u);
+  EXPECT_EQ(tids[0], "straddler");
+
+  // A query in a gap between points finds nothing (the known point-level
+  // semantics of the ST-Hadoop layout).
+  tids.clear();
+  ASSERT_TRUE(sth->TemporalRangeQuery(600, 900, &tids, nullptr).ok());
+  EXPECT_TRUE(tids.empty());
+}
+
+TEST(STHadoopTest, CandidatesCountPoints) {
+  STHadoop::Options options;
+  options.bounds = traj::SpatialBounds{100, 20, 120, 40};
+  options.job_startup_micros = 0;
+  std::unique_ptr<STHadoop> sth;
+  ASSERT_TRUE(STHadoop::Open(options, TestDir("points"), &sth).ok());
+  ASSERT_TRUE(sth->Load({MakeTrajectory("a", 105, 25, 1000, 60, 100),
+                         MakeTrajectory("b", 115, 35, 1000, 60, 100)})
+                  .ok());
+  std::vector<std::string> tids;
+  core::QueryStats stats;
+  ASSERT_TRUE(
+      sth->TemporalRangeQuery(0, 100000, &tids, &stats).ok());
+  EXPECT_EQ(tids.size(), 2u);
+  EXPECT_EQ(stats.candidates, 200u) << "candidates are points, not rows";
+}
+
+TEST(STHadoopTest, SpatialGridPrunesCells) {
+  STHadoop::Options options;
+  options.bounds = traj::SpatialBounds{100, 20, 120, 40};
+  options.grid_bits = 4;
+  options.job_startup_micros = 0;
+  std::unique_ptr<STHadoop> sth;
+  ASSERT_TRUE(STHadoop::Open(options, TestDir("grid"), &sth).ok());
+  // Two trajectories in far-apart corners.
+  ASSERT_TRUE(sth->Load({MakeTrajectory("sw", 101, 21, 1000, 60, 50),
+                         MakeTrajectory("ne", 119, 39, 1000, 60, 50)})
+                  .ok());
+  std::vector<std::string> tids;
+  core::QueryStats stats;
+  ASSERT_TRUE(sth->SpatialRangeQuery(geo::MBR{100.5, 20.5, 102, 22}, &tids,
+                                     &stats)
+                  .ok());
+  ASSERT_EQ(tids.size(), 1u);
+  EXPECT_EQ(tids[0], "sw");
+  // Grid pruning kept the NE trajectory's points out of the scan.
+  EXPECT_LT(stats.candidates, 100u);
+}
+
+TEST(STHadoopTest, JobStartupAddsLatency) {
+  STHadoop::Options options;
+  options.bounds = traj::SpatialBounds{100, 20, 120, 40};
+  options.job_startup_micros = 20000;
+  std::unique_ptr<STHadoop> sth;
+  ASSERT_TRUE(STHadoop::Open(options, TestDir("startup"), &sth).ok());
+  ASSERT_TRUE(sth->Load({MakeTrajectory("x", 110, 30, 1000, 60, 10)}).ok());
+  std::vector<std::string> tids;
+  core::QueryStats stats;
+  ASSERT_TRUE(sth->TemporalRangeQuery(0, 10000, &tids, &stats).ok());
+  EXPECT_GE(stats.execution_ms, 20.0);
+}
+
+}  // namespace
+}  // namespace tman::baselines

@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "core/tman.h"
+#include "geo/similarity.h"
+#include "traj/generator.h"
+
+namespace tman::core {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  std::string dir = std::string(::testing::TempDir()) + "tman_core_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TManOptions SmallOptions(const traj::DatasetSpec& spec) {
+  TManOptions options;
+  options.bounds = spec.bounds;
+  options.tr.origin = 0;
+  options.tr.period_seconds = 3600;
+  options.tr.max_periods = 24;
+  options.xzt.origin = 0;
+  options.tshape.max_resolution = 15;
+  options.num_shards = 4;
+  options.num_servers = 3;
+  options.genetic.generations = 10;  // keep tests fast
+  options.kv.write_buffer_size = 256 * 1024;
+  return options;
+}
+
+// Shared fixture: one loaded TMan instance + the raw data for brute force.
+class TManQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new traj::DatasetSpec(traj::TDriveLikeSpec());
+    data_ = new std::vector<traj::Trajectory>(traj::Generate(*spec_, 400, 99));
+    tman_ = new std::unique_ptr<TMan>;
+    TManOptions options = SmallOptions(*spec_);
+    ASSERT_TRUE(TMan::Open(options, TestDir("query"), tman_).ok());
+    ASSERT_TRUE((*tman_)->BulkLoad(*data_).ok());
+    ASSERT_TRUE((*tman_)->Flush().ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete tman_;
+    delete data_;
+    delete spec_;
+    tman_ = nullptr;
+    data_ = nullptr;
+    spec_ = nullptr;
+  }
+
+  static std::set<std::string> Tids(const std::vector<traj::Trajectory>& v) {
+    std::set<std::string> tids;
+    for (const auto& t : v) tids.insert(t.tid);
+    return tids;
+  }
+
+  static traj::DatasetSpec* spec_;
+  static std::vector<traj::Trajectory>* data_;
+  static std::unique_ptr<TMan>* tman_;
+};
+
+traj::DatasetSpec* TManQueryTest::spec_ = nullptr;
+std::vector<traj::Trajectory>* TManQueryTest::data_ = nullptr;
+std::unique_ptr<TMan>* TManQueryTest::tman_ = nullptr;
+
+TEST_F(TManQueryTest, TemporalRangeQueryMatchesBruteForce) {
+  const auto windows = traj::RandomTimeWindows(*spec_, 10, 6 * 3600, 5);
+  for (const auto& w : windows) {
+    std::vector<traj::Trajectory> results;
+    QueryStats stats;
+    ASSERT_TRUE(
+        (*tman_)->TemporalRangeQuery(w.ts, w.te, &results, &stats).ok());
+
+    std::set<std::string> expected;
+    for (const auto& t : *data_) {
+      if (t.IntersectsTimeRange(w.ts, w.te)) expected.insert(t.tid);
+    }
+    EXPECT_EQ(Tids(results), expected);
+    EXPECT_GE(stats.candidates, results.size());
+  }
+}
+
+TEST_F(TManQueryTest, SpatialRangeQueryMatchesBruteForce) {
+  const auto windows = traj::RandomSpaceWindows(*spec_, 10, 3000, 5);
+  for (const auto& w : windows) {
+    std::vector<traj::Trajectory> results;
+    QueryStats stats;
+    ASSERT_TRUE((*tman_)->SpatialRangeQuery(w.rect, &results, &stats).ok());
+
+    std::set<std::string> expected;
+    for (const auto& t : *data_) {
+      if (geo::PolylineIntersectsRect(t.points, w.rect)) expected.insert(t.tid);
+    }
+    EXPECT_EQ(Tids(results), expected);
+  }
+}
+
+TEST_F(TManQueryTest, SpatioTemporalQueryMatchesBruteForce) {
+  const auto tws = traj::RandomTimeWindows(*spec_, 6, 12 * 3600, 8);
+  const auto sws = traj::RandomSpaceWindows(*spec_, 6, 5000, 8);
+  for (size_t i = 0; i < tws.size(); i++) {
+    std::vector<traj::Trajectory> results;
+    QueryStats stats;
+    ASSERT_TRUE((*tman_)
+                    ->SpatioTemporalRangeQuery(sws[i].rect, tws[i].ts,
+                                               tws[i].te, &results, &stats)
+                    .ok());
+    std::set<std::string> expected;
+    for (const auto& t : *data_) {
+      if (t.IntersectsTimeRange(tws[i].ts, tws[i].te) &&
+          geo::PolylineIntersectsRect(t.points, sws[i].rect)) {
+        expected.insert(t.tid);
+      }
+    }
+    EXPECT_EQ(Tids(results), expected) << "window " << i;
+  }
+}
+
+TEST_F(TManQueryTest, IDTemporalQueryMatchesBruteForce) {
+  // Pick a few objects that exist in the data.
+  std::set<std::string> oids;
+  for (const auto& t : *data_) {
+    oids.insert(t.oid);
+    if (oids.size() >= 5) break;
+  }
+  const int64_t ts = spec_->t0;
+  const int64_t te = spec_->t0 + spec_->horizon_seconds / 2;
+  for (const auto& oid : oids) {
+    std::vector<traj::Trajectory> results;
+    QueryStats stats;
+    ASSERT_TRUE((*tman_)->IDTemporalQuery(oid, ts, te, &results, &stats).ok());
+    std::set<std::string> expected;
+    for (const auto& t : *data_) {
+      if (t.oid == oid && t.IntersectsTimeRange(ts, te)) expected.insert(t.tid);
+    }
+    EXPECT_EQ(Tids(results), expected) << oid;
+    for (const auto& t : results) EXPECT_EQ(t.oid, oid);
+  }
+}
+
+TEST_F(TManQueryTest, ThresholdSimilarityMatchesBruteForce) {
+  const traj::Trajectory& query = (*data_)[7];
+  const double threshold = 0.02;  // degrees
+  for (auto measure : {geo::SimilarityMeasure::kFrechet,
+                       geo::SimilarityMeasure::kHausdorff}) {
+    std::vector<traj::Trajectory> results;
+    QueryStats stats;
+    ASSERT_TRUE((*tman_)
+                    ->ThresholdSimilarityQuery(query, measure, threshold,
+                                               &results, &stats)
+                    .ok());
+    std::set<std::string> expected;
+    for (const auto& t : *data_) {
+      if (geo::ExactDistance(measure, query.points, t.points) <= threshold) {
+        expected.insert(t.tid);
+      }
+    }
+    EXPECT_EQ(Tids(results), expected);
+    // Pruning must have avoided computing every exact distance.
+    EXPECT_LT(stats.exact_distance_computations, data_->size());
+  }
+}
+
+TEST_F(TManQueryTest, TopKSimilarityMatchesBruteForce) {
+  const traj::Trajectory& query = (*data_)[3];
+  const size_t k = 5;
+  std::vector<traj::Trajectory> results;
+  QueryStats stats;
+  ASSERT_TRUE((*tman_)
+                  ->TopKSimilarityQuery(query, geo::SimilarityMeasure::kFrechet,
+                                        k, &results, &stats)
+                  .ok());
+  ASSERT_EQ(results.size(), k);
+
+  // Brute force: k smallest Fréchet distances (excluding the query itself).
+  std::vector<std::pair<double, std::string>> all;
+  for (const auto& t : *data_) {
+    if (t.tid == query.tid) continue;
+    all.emplace_back(geo::DiscreteFrechet(query.points, t.points), t.tid);
+  }
+  std::sort(all.begin(), all.end());
+  // Distances (not necessarily identities, on ties) must match.
+  for (size_t i = 0; i < k; i++) {
+    const double got =
+        geo::DiscreteFrechet(query.points, results[i].points);
+    EXPECT_NEAR(got, all[i].first, 1e-12) << i;
+  }
+}
+
+TEST_F(TManQueryTest, StatsArepopulated) {
+  std::vector<traj::Trajectory> results;
+  QueryStats stats;
+  const auto w = traj::RandomTimeWindows(*spec_, 1, 3600, 77)[0];
+  ASSERT_TRUE((*tman_)->TemporalRangeQuery(w.ts, w.te, &results, &stats).ok());
+  EXPECT_GT(stats.windows, 0u);
+  EXPECT_FALSE(stats.plan.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Configuration matrix: every index combination answers queries correctly.
+
+struct ConfigCase {
+  const char* name;
+  SpatialIndexKind spatial;
+  TemporalIndexKind temporal;
+  PrimaryIndexKind primary;
+  bool use_cache;
+  bool push_down;
+};
+
+class TManConfigTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(TManConfigTest, QueriesMatchBruteForce) {
+  const ConfigCase& c = GetParam();
+  const traj::DatasetSpec spec = traj::LorryLikeSpec();
+  const auto data = traj::Generate(spec, 150, 31);
+
+  TManOptions options = SmallOptions(spec);
+  options.spatial = c.spatial;
+  options.temporal = c.temporal;
+  options.primary = c.primary;
+  options.use_index_cache = c.use_cache;
+  options.push_down = c.push_down;
+
+  std::unique_ptr<TMan> tman;
+  ASSERT_TRUE(TMan::Open(options, TestDir(std::string("cfg_") + c.name),
+                         &tman)
+                  .ok());
+  ASSERT_TRUE(tman->BulkLoad(data).ok());
+
+  // TRQ.
+  const auto tw = traj::RandomTimeWindows(spec, 4, 6 * 3600, 13);
+  for (const auto& w : tw) {
+    std::vector<traj::Trajectory> results;
+    ASSERT_TRUE(tman->TemporalRangeQuery(w.ts, w.te, &results, nullptr).ok());
+    std::set<std::string> expected, got;
+    for (const auto& t : data) {
+      if (t.IntersectsTimeRange(w.ts, w.te)) expected.insert(t.tid);
+    }
+    for (const auto& t : results) got.insert(t.tid);
+    EXPECT_EQ(got, expected) << c.name;
+  }
+
+  // SRQ (only with a spatial primary).
+  if (c.primary == PrimaryIndexKind::kSpatial) {
+    const auto sw = traj::RandomSpaceWindows(spec, 4, 4000, 13);
+    for (const auto& w : sw) {
+      std::vector<traj::Trajectory> results;
+      ASSERT_TRUE(tman->SpatialRangeQuery(w.rect, &results, nullptr).ok());
+      std::set<std::string> expected, got;
+      for (const auto& t : data) {
+        if (geo::PolylineIntersectsRect(t.points, w.rect)) {
+          expected.insert(t.tid);
+        }
+      }
+      for (const auto& t : results) got.insert(t.tid);
+      EXPECT_EQ(got, expected) << c.name;
+    }
+  }
+
+  // STRQ works under all configurations.
+  const auto w = traj::RandomTimeWindows(spec, 1, 24 * 3600, 17)[0];
+  const auto s = traj::RandomSpaceWindows(spec, 1, 8000, 17)[0];
+  std::vector<traj::Trajectory> results;
+  ASSERT_TRUE(
+      tman->SpatioTemporalRangeQuery(s.rect, w.ts, w.te, &results, nullptr)
+          .ok());
+  std::set<std::string> expected, got;
+  for (const auto& t : data) {
+    if (t.IntersectsTimeRange(w.ts, w.te) &&
+        geo::PolylineIntersectsRect(t.points, s.rect)) {
+      expected.insert(t.tid);
+    }
+  }
+  for (const auto& t : results) got.insert(t.tid);
+  EXPECT_EQ(got, expected) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TManConfigTest,
+    ::testing::Values(
+        ConfigCase{"tshape_tr_spatial", SpatialIndexKind::kTShape,
+                   TemporalIndexKind::kTR, PrimaryIndexKind::kSpatial, true,
+                   true},
+        ConfigCase{"xz2_tr_spatial", SpatialIndexKind::kXZ2,
+                   TemporalIndexKind::kTR, PrimaryIndexKind::kSpatial, true,
+                   true},
+        ConfigCase{"xzstar_tr_spatial", SpatialIndexKind::kXZStar,
+                   TemporalIndexKind::kTR, PrimaryIndexKind::kSpatial, true,
+                   true},
+        ConfigCase{"tshape_xzt_spatial", SpatialIndexKind::kTShape,
+                   TemporalIndexKind::kXZT, PrimaryIndexKind::kSpatial, true,
+                   true},
+        ConfigCase{"tshape_tr_temporal", SpatialIndexKind::kTShape,
+                   TemporalIndexKind::kTR, PrimaryIndexKind::kTemporal, true,
+                   true},
+        ConfigCase{"tshape_tr_st", SpatialIndexKind::kTShape,
+                   TemporalIndexKind::kTR, PrimaryIndexKind::kST, true, true},
+        ConfigCase{"nocache", SpatialIndexKind::kTShape,
+                   TemporalIndexKind::kTR, PrimaryIndexKind::kSpatial, false,
+                   true},
+        ConfigCase{"nopushdown", SpatialIndexKind::kTShape,
+                   TemporalIndexKind::kTR, PrimaryIndexKind::kSpatial, true,
+                   false}),
+    [](const ::testing::TestParamInfo<ConfigCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Update path (§IV-C)
+
+TEST(TManUpdateTest, InsertTriggersReencodeAndStaysQueryable) {
+  const traj::DatasetSpec spec = traj::TDriveLikeSpec();
+  TManOptions options = SmallOptions(spec);
+  options.buffer_shape_threshold = 16;  // force re-encodes quickly
+  std::unique_ptr<TMan> tman;
+  ASSERT_TRUE(TMan::Open(options, TestDir("update"), &tman).ok());
+
+  const auto initial = traj::Generate(spec, 100, 1);
+  ASSERT_TRUE(tman->BulkLoad(initial).ok());
+
+  // Insert in several batches; new shapes accumulate in the buffer shape
+  // cache and trigger re-encoding.
+  auto more = traj::Generate(spec, 300, 2);
+  for (auto& t : more) t.tid += "-new";
+  for (size_t off = 0; off < more.size(); off += 50) {
+    std::vector<traj::Trajectory> batch(
+        more.begin() + off,
+        more.begin() + std::min(off + 50, more.size()));
+    ASSERT_TRUE(tman->Insert(batch).ok());
+  }
+  EXPECT_GT(tman->reencode_count(), 0u);
+
+  // After re-encoding every trajectory must still be retrievable.
+  std::vector<traj::Trajectory> all_data = initial;
+  all_data.insert(all_data.end(), more.begin(), more.end());
+  const auto sw = traj::RandomSpaceWindows(spec, 5, 4000, 3);
+  for (const auto& w : sw) {
+    std::vector<traj::Trajectory> results;
+    ASSERT_TRUE(tman->SpatialRangeQuery(w.rect, &results, nullptr).ok());
+    std::set<std::string> expected, got;
+    for (const auto& t : all_data) {
+      if (geo::PolylineIntersectsRect(t.points, w.rect)) expected.insert(t.tid);
+    }
+    for (const auto& t : results) got.insert(t.tid);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(TManStorageTest, SingleRowPerTrajectoryInPrimary) {
+  // TrajMesa-style multi-table storage stores each trajectory ~3 times;
+  // TMan's primary holds it once (secondaries store only small key rows).
+  const traj::DatasetSpec spec = traj::LorryLikeSpec();
+  TManOptions options = SmallOptions(spec);
+  std::unique_ptr<TMan> tman;
+  ASSERT_TRUE(TMan::Open(options, TestDir("storage"), &tman).ok());
+  const auto data = traj::Generate(spec, 100, 4);
+  ASSERT_TRUE(tman->BulkLoad(data).ok());
+  ASSERT_TRUE(tman->Flush().ok());
+  EXPECT_GT(tman->StorageBytes(), 0u);
+
+  // A full spatial scan returns exactly one row per trajectory.
+  std::vector<traj::Trajectory> results;
+  ASSERT_TRUE(
+      tman->SpatialRangeQuery(spec.bounds.ToGeo(), &results, nullptr).ok());
+  EXPECT_EQ(results.size(), data.size());
+}
+
+TEST(TManStorageTest, RejectsEmptyTrajectory) {
+  const traj::DatasetSpec spec = traj::LorryLikeSpec();
+  TManOptions options = SmallOptions(spec);
+  std::unique_ptr<TMan> tman;
+  ASSERT_TRUE(TMan::Open(options, TestDir("reject"), &tman).ok());
+  traj::Trajectory empty;
+  empty.tid = "empty";
+  EXPECT_FALSE(tman->BulkLoad({empty}).ok());
+}
+
+TEST(TManStorageTest, RecordRoundTrip) {
+  const traj::DatasetSpec spec = traj::TDriveLikeSpec();
+  const auto data = traj::Generate(spec, 3, 8);
+  for (const auto& t : data) {
+    std::string value;
+    ASSERT_TRUE(EncodeRecord(t, 8, &value));
+    RecordHeader header;
+    ASSERT_TRUE(DecodeRecordHeader(value, &header));
+    EXPECT_EQ(header.oid.ToString(), t.oid);
+    EXPECT_EQ(header.tid.ToString(), t.tid);
+    EXPECT_EQ(header.ts, t.start_time());
+    EXPECT_EQ(header.te, t.end_time());
+
+    traj::Trajectory decoded;
+    ASSERT_TRUE(DecodeRecord(value, &decoded));
+    ASSERT_EQ(decoded.points.size(), t.points.size());
+    for (size_t i = 0; i < t.points.size(); i++) {
+      EXPECT_EQ(decoded.points[i].x, t.points[i].x);
+      EXPECT_EQ(decoded.points[i].y, t.points[i].y);
+      EXPECT_EQ(decoded.points[i].t, t.points[i].t);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tman::core
