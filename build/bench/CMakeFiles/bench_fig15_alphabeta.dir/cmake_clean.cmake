@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_alphabeta.dir/bench_fig15_alphabeta.cc.o"
+  "CMakeFiles/bench_fig15_alphabeta.dir/bench_fig15_alphabeta.cc.o.d"
+  "bench_fig15_alphabeta"
+  "bench_fig15_alphabeta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_alphabeta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

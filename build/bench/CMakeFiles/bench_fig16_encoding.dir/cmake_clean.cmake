@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_encoding.dir/bench_fig16_encoding.cc.o"
+  "CMakeFiles/bench_fig16_encoding.dir/bench_fig16_encoding.cc.o.d"
+  "bench_fig16_encoding"
+  "bench_fig16_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_trq.dir/bench_fig17_trq.cc.o"
+  "CMakeFiles/bench_fig17_trq.dir/bench_fig17_trq.cc.o.d"
+  "bench_fig17_trq"
+  "bench_fig17_trq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_trq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

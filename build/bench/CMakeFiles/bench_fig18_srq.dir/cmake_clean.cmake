@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_srq.dir/bench_fig18_srq.cc.o"
+  "CMakeFiles/bench_fig18_srq.dir/bench_fig18_srq.cc.o.d"
+  "bench_fig18_srq"
+  "bench_fig18_srq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_srq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

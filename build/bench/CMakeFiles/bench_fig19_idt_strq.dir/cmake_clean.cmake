@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_idt_strq.dir/bench_fig19_idt_strq.cc.o"
+  "CMakeFiles/bench_fig19_idt_strq.dir/bench_fig19_idt_strq.cc.o.d"
+  "bench_fig19_idt_strq"
+  "bench_fig19_idt_strq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_idt_strq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

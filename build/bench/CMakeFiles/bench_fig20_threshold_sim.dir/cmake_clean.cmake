@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_threshold_sim.dir/bench_fig20_threshold_sim.cc.o"
+  "CMakeFiles/bench_fig20_threshold_sim.dir/bench_fig20_threshold_sim.cc.o.d"
+  "bench_fig20_threshold_sim"
+  "bench_fig20_threshold_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_threshold_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

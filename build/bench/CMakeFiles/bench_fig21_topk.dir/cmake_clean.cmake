@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_topk.dir/bench_fig21_topk.cc.o"
+  "CMakeFiles/bench_fig21_topk.dir/bench_fig21_topk.cc.o.d"
+  "bench_fig21_topk"
+  "bench_fig21_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

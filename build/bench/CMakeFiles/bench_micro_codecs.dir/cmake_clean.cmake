@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_codecs.dir/bench_micro_codecs.cc.o"
+  "CMakeFiles/bench_micro_codecs.dir/bench_micro_codecs.cc.o.d"
+  "bench_micro_codecs"
+  "bench_micro_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

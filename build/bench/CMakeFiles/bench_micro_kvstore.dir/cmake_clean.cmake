@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_kvstore.dir/bench_micro_kvstore.cc.o"
+  "CMakeFiles/bench_micro_kvstore.dir/bench_micro_kvstore.cc.o.d"
+  "bench_micro_kvstore"
+  "bench_micro_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

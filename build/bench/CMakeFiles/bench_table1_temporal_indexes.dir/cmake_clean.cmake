@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_temporal_indexes.dir/bench_table1_temporal_indexes.cc.o"
+  "CMakeFiles/bench_table1_temporal_indexes.dir/bench_table1_temporal_indexes.cc.o.d"
+  "bench_table1_temporal_indexes"
+  "bench_table1_temporal_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_temporal_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_tool.dir/dataset_tool.cpp.o"
+  "CMakeFiles/dataset_tool.dir/dataset_tool.cpp.o.d"
+  "dataset_tool"
+  "dataset_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

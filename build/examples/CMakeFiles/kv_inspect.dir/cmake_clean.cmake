@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_inspect.dir/kv_inspect.cpp.o"
+  "CMakeFiles/kv_inspect.dir/kv_inspect.cpp.o.d"
+  "kv_inspect"
+  "kv_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_similarity.dir/urban_similarity.cpp.o"
+  "CMakeFiles/urban_similarity.dir/urban_similarity.cpp.o.d"
+  "urban_similarity"
+  "urban_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_baselines.dir/similarity_baselines.cc.o"
+  "CMakeFiles/tman_baselines.dir/similarity_baselines.cc.o.d"
+  "CMakeFiles/tman_baselines.dir/sthadoop.cc.o"
+  "CMakeFiles/tman_baselines.dir/sthadoop.cc.o.d"
+  "CMakeFiles/tman_baselines.dir/trajmesa.cc.o"
+  "CMakeFiles/tman_baselines.dir/trajmesa.cc.o.d"
+  "libtman_baselines.a"
+  "libtman_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

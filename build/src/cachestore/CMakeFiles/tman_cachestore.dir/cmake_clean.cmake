@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_cachestore.dir/redis_like.cc.o"
+  "CMakeFiles/tman_cachestore.dir/redis_like.cc.o.d"
+  "libtman_cachestore.a"
+  "libtman_cachestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_cachestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

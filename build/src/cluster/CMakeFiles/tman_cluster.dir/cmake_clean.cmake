@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_cluster.dir/cluster.cc.o"
+  "CMakeFiles/tman_cluster.dir/cluster.cc.o.d"
+  "libtman_cluster.a"
+  "libtman_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_common.dir/coding.cc.o"
+  "CMakeFiles/tman_common.dir/coding.cc.o.d"
+  "CMakeFiles/tman_common.dir/hash.cc.o"
+  "CMakeFiles/tman_common.dir/hash.cc.o.d"
+  "CMakeFiles/tman_common.dir/status.cc.o"
+  "CMakeFiles/tman_common.dir/status.cc.o.d"
+  "CMakeFiles/tman_common.dir/thread_pool.cc.o"
+  "CMakeFiles/tman_common.dir/thread_pool.cc.o.d"
+  "libtman_common.a"
+  "libtman_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/gorilla.cc" "src/compress/CMakeFiles/tman_compress.dir/gorilla.cc.o" "gcc" "src/compress/CMakeFiles/tman_compress.dir/gorilla.cc.o.d"
+  "/root/repo/src/compress/simple8b.cc" "src/compress/CMakeFiles/tman_compress.dir/simple8b.cc.o" "gcc" "src/compress/CMakeFiles/tman_compress.dir/simple8b.cc.o.d"
+  "/root/repo/src/compress/traj_codec.cc" "src/compress/CMakeFiles/tman_compress.dir/traj_codec.cc.o" "gcc" "src/compress/CMakeFiles/tman_compress.dir/traj_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_compress.dir/gorilla.cc.o"
+  "CMakeFiles/tman_compress.dir/gorilla.cc.o.d"
+  "CMakeFiles/tman_compress.dir/simple8b.cc.o"
+  "CMakeFiles/tman_compress.dir/simple8b.cc.o.d"
+  "CMakeFiles/tman_compress.dir/traj_codec.cc.o"
+  "CMakeFiles/tman_compress.dir/traj_codec.cc.o.d"
+  "libtman_compress.a"
+  "libtman_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_core.dir/filters.cc.o"
+  "CMakeFiles/tman_core.dir/filters.cc.o.d"
+  "CMakeFiles/tman_core.dir/index_cache.cc.o"
+  "CMakeFiles/tman_core.dir/index_cache.cc.o.d"
+  "CMakeFiles/tman_core.dir/record.cc.o"
+  "CMakeFiles/tman_core.dir/record.cc.o.d"
+  "CMakeFiles/tman_core.dir/rowkey.cc.o"
+  "CMakeFiles/tman_core.dir/rowkey.cc.o.d"
+  "CMakeFiles/tman_core.dir/tman.cc.o"
+  "CMakeFiles/tman_core.dir/tman.cc.o.d"
+  "libtman_core.a"
+  "libtman_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

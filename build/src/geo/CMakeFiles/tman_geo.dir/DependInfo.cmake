@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/douglas_peucker.cc" "src/geo/CMakeFiles/tman_geo.dir/douglas_peucker.cc.o" "gcc" "src/geo/CMakeFiles/tman_geo.dir/douglas_peucker.cc.o.d"
+  "/root/repo/src/geo/geometry.cc" "src/geo/CMakeFiles/tman_geo.dir/geometry.cc.o" "gcc" "src/geo/CMakeFiles/tman_geo.dir/geometry.cc.o.d"
+  "/root/repo/src/geo/similarity.cc" "src/geo/CMakeFiles/tman_geo.dir/similarity.cc.o" "gcc" "src/geo/CMakeFiles/tman_geo.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

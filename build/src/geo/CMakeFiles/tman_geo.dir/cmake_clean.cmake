@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_geo.dir/douglas_peucker.cc.o"
+  "CMakeFiles/tman_geo.dir/douglas_peucker.cc.o.d"
+  "CMakeFiles/tman_geo.dir/geometry.cc.o"
+  "CMakeFiles/tman_geo.dir/geometry.cc.o.d"
+  "CMakeFiles/tman_geo.dir/similarity.cc.o"
+  "CMakeFiles/tman_geo.dir/similarity.cc.o.d"
+  "libtman_geo.a"
+  "libtman_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/quadkey.cc" "src/index/CMakeFiles/tman_index.dir/quadkey.cc.o" "gcc" "src/index/CMakeFiles/tman_index.dir/quadkey.cc.o.d"
+  "/root/repo/src/index/shape_encoding.cc" "src/index/CMakeFiles/tman_index.dir/shape_encoding.cc.o" "gcc" "src/index/CMakeFiles/tman_index.dir/shape_encoding.cc.o.d"
+  "/root/repo/src/index/tr_index.cc" "src/index/CMakeFiles/tman_index.dir/tr_index.cc.o" "gcc" "src/index/CMakeFiles/tman_index.dir/tr_index.cc.o.d"
+  "/root/repo/src/index/tshape_index.cc" "src/index/CMakeFiles/tman_index.dir/tshape_index.cc.o" "gcc" "src/index/CMakeFiles/tman_index.dir/tshape_index.cc.o.d"
+  "/root/repo/src/index/value_range.cc" "src/index/CMakeFiles/tman_index.dir/value_range.cc.o" "gcc" "src/index/CMakeFiles/tman_index.dir/value_range.cc.o.d"
+  "/root/repo/src/index/xz2_index.cc" "src/index/CMakeFiles/tman_index.dir/xz2_index.cc.o" "gcc" "src/index/CMakeFiles/tman_index.dir/xz2_index.cc.o.d"
+  "/root/repo/src/index/xzt_index.cc" "src/index/CMakeFiles/tman_index.dir/xzt_index.cc.o" "gcc" "src/index/CMakeFiles/tman_index.dir/xzt_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tman_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tman_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

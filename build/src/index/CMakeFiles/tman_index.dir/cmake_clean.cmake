@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_index.dir/quadkey.cc.o"
+  "CMakeFiles/tman_index.dir/quadkey.cc.o.d"
+  "CMakeFiles/tman_index.dir/shape_encoding.cc.o"
+  "CMakeFiles/tman_index.dir/shape_encoding.cc.o.d"
+  "CMakeFiles/tman_index.dir/tr_index.cc.o"
+  "CMakeFiles/tman_index.dir/tr_index.cc.o.d"
+  "CMakeFiles/tman_index.dir/tshape_index.cc.o"
+  "CMakeFiles/tman_index.dir/tshape_index.cc.o.d"
+  "CMakeFiles/tman_index.dir/value_range.cc.o"
+  "CMakeFiles/tman_index.dir/value_range.cc.o.d"
+  "CMakeFiles/tman_index.dir/xz2_index.cc.o"
+  "CMakeFiles/tman_index.dir/xz2_index.cc.o.d"
+  "CMakeFiles/tman_index.dir/xzt_index.cc.o"
+  "CMakeFiles/tman_index.dir/xzt_index.cc.o.d"
+  "libtman_index.a"
+  "libtman_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

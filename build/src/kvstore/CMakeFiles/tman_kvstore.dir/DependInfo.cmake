@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/block.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/block.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/block.cc.o.d"
+  "/root/repo/src/kvstore/block_builder.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/block_builder.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/block_builder.cc.o.d"
+  "/root/repo/src/kvstore/bloom.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/bloom.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/bloom.cc.o.d"
+  "/root/repo/src/kvstore/db.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/db.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/db.cc.o.d"
+  "/root/repo/src/kvstore/env.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/env.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/env.cc.o.d"
+  "/root/repo/src/kvstore/log.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/log.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/log.cc.o.d"
+  "/root/repo/src/kvstore/memtable.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/memtable.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/memtable.cc.o.d"
+  "/root/repo/src/kvstore/merge_iterator.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/merge_iterator.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/merge_iterator.cc.o.d"
+  "/root/repo/src/kvstore/table.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/table.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/table.cc.o.d"
+  "/root/repo/src/kvstore/version.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/version.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/version.cc.o.d"
+  "/root/repo/src/kvstore/write_batch.cc" "src/kvstore/CMakeFiles/tman_kvstore.dir/write_batch.cc.o" "gcc" "src/kvstore/CMakeFiles/tman_kvstore.dir/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_kvstore.dir/block.cc.o"
+  "CMakeFiles/tman_kvstore.dir/block.cc.o.d"
+  "CMakeFiles/tman_kvstore.dir/block_builder.cc.o"
+  "CMakeFiles/tman_kvstore.dir/block_builder.cc.o.d"
+  "CMakeFiles/tman_kvstore.dir/bloom.cc.o"
+  "CMakeFiles/tman_kvstore.dir/bloom.cc.o.d"
+  "CMakeFiles/tman_kvstore.dir/db.cc.o"
+  "CMakeFiles/tman_kvstore.dir/db.cc.o.d"
+  "CMakeFiles/tman_kvstore.dir/env.cc.o"
+  "CMakeFiles/tman_kvstore.dir/env.cc.o.d"
+  "CMakeFiles/tman_kvstore.dir/log.cc.o"
+  "CMakeFiles/tman_kvstore.dir/log.cc.o.d"
+  "CMakeFiles/tman_kvstore.dir/memtable.cc.o"
+  "CMakeFiles/tman_kvstore.dir/memtable.cc.o.d"
+  "CMakeFiles/tman_kvstore.dir/merge_iterator.cc.o"
+  "CMakeFiles/tman_kvstore.dir/merge_iterator.cc.o.d"
+  "CMakeFiles/tman_kvstore.dir/table.cc.o"
+  "CMakeFiles/tman_kvstore.dir/table.cc.o.d"
+  "CMakeFiles/tman_kvstore.dir/version.cc.o"
+  "CMakeFiles/tman_kvstore.dir/version.cc.o.d"
+  "CMakeFiles/tman_kvstore.dir/write_batch.cc.o"
+  "CMakeFiles/tman_kvstore.dir/write_batch.cc.o.d"
+  "libtman_kvstore.a"
+  "libtman_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

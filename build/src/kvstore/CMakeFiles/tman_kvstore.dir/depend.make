@@ -1,0 +1,2 @@
+# Empty dependencies file for tman_kvstore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_traj.dir/generator.cc.o"
+  "CMakeFiles/tman_traj.dir/generator.cc.o.d"
+  "CMakeFiles/tman_traj.dir/io.cc.o"
+  "CMakeFiles/tman_traj.dir/io.cc.o.d"
+  "libtman_traj.a"
+  "libtman_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachestore_test.dir/cachestore_test.cc.o"
+  "CMakeFiles/cachestore_test.dir/cachestore_test.cc.o.d"
+  "cachestore_test"
+  "cachestore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

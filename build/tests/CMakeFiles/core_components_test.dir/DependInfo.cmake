@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_components_test.cc" "tests/CMakeFiles/core_components_test.dir/core_components_test.cc.o" "gcc" "tests/CMakeFiles/core_components_test.dir/core_components_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tman_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tman_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/tman_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachestore/CMakeFiles/tman_cachestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/tman_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/tman_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tman_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tman_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tman_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_query_test.dir/count_query_test.cc.o"
+  "CMakeFiles/count_query_test.dir/count_query_test.cc.o.d"
+  "count_query_test"
+  "count_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

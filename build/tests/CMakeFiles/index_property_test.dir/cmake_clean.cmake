@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_property_test.dir/index_property_test.cc.o"
+  "CMakeFiles/index_property_test.dir/index_property_test.cc.o.d"
+  "index_property_test"
+  "index_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

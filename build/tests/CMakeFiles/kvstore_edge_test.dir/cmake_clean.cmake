@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_edge_test.dir/kvstore_edge_test.cc.o"
+  "CMakeFiles/kvstore_edge_test.dir/kvstore_edge_test.cc.o.d"
+  "kvstore_edge_test"
+  "kvstore_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_test.dir/kvstore_test.cc.o"
+  "CMakeFiles/kvstore_test.dir/kvstore_test.cc.o.d"
+  "kvstore_test"
+  "kvstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_edge_test.dir/similarity_edge_test.cc.o"
+  "CMakeFiles/similarity_edge_test.dir/similarity_edge_test.cc.o.d"
+  "similarity_edge_test"
+  "similarity_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_index_test.dir/spatial_index_test.cc.o"
+  "CMakeFiles/spatial_index_test.dir/spatial_index_test.cc.o.d"
+  "spatial_index_test"
+  "spatial_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sthadoop_test.dir/sthadoop_test.cc.o"
+  "CMakeFiles/sthadoop_test.dir/sthadoop_test.cc.o.d"
+  "sthadoop_test"
+  "sthadoop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sthadoop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

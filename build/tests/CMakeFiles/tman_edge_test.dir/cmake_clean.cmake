@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_edge_test.dir/tman_edge_test.cc.o"
+  "CMakeFiles/tman_edge_test.dir/tman_edge_test.cc.o.d"
+  "tman_edge_test"
+  "tman_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

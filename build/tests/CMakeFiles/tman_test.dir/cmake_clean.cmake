@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tman_test.dir/tman_test.cc.o"
+  "CMakeFiles/tman_test.dir/tman_test.cc.o.d"
+  "tman_test"
+  "tman_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

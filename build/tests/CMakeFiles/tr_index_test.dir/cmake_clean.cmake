@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_index_test.dir/tr_index_test.cc.o"
+  "CMakeFiles/tr_index_test.dir/tr_index_test.cc.o.d"
+  "tr_index_test"
+  "tr_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
