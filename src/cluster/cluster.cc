@@ -1,7 +1,9 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
+#include <mutex>
 
 #include "kvstore/write_batch.h"
 
@@ -10,18 +12,35 @@ namespace tman::cluster {
 // ---------------------------------------------------------------------------
 // Region
 
+namespace {
+
+// Adapter collecting streamed rows into the vector-returning APIs.
+class CollectRowsSink : public kv::RowSink {
+ public:
+  explicit CollectRowsSink(std::vector<Row>* out) : out_(out) {}
+
+  bool Accept(const Slice& key, const Slice& value) override {
+    out_->push_back(Row{key.ToString(), value.ToString()});
+    return true;
+  }
+
+ private:
+  std::vector<Row>* out_;
+};
+
+}  // namespace
+
 Status Region::Scan(const KeyRange& range, const kv::ScanFilter* filter,
                     size_t limit, std::vector<Row>* out,
                     kv::ScanStats* stats) {
-  std::vector<std::pair<std::string, std::string>> rows;
-  Status s = db_->Scan(kv::ReadOptions(), range.start, range.end, filter,
-                       limit, &rows, stats);
-  if (!s.ok()) return s;
-  out->reserve(out->size() + rows.size());
-  for (auto& [k, v] : rows) {
-    out->push_back(Row{std::move(k), std::move(v)});
-  }
-  return Status::OK();
+  CollectRowsSink sink(out);
+  return Scan(range, filter, limit, &sink, stats);
+}
+
+Status Region::Scan(const KeyRange& range, const kv::ScanFilter* filter,
+                    size_t limit, kv::RowSink* sink, kv::ScanStats* stats) {
+  return db_->Scan(kv::ReadOptions(), range.start, range.end, filter, limit,
+                   sink, stats);
 }
 
 // ---------------------------------------------------------------------------
@@ -61,40 +80,42 @@ Status ClusterTable::BatchPut(const std::vector<Row>& rows) {
   for (const Row& row : rows) {
     batches[ShardOf(row.key) % num_shards()].Put(row.key, row.value);
   }
+  std::vector<std::future<Status>> futures;
   for (size_t i = 0; i < regions_.size(); i++) {
     if (batches[i].Count() == 0) continue;
-    Status s = regions_[i]->db()->Write(kv::WriteOptions(), &batches[i]);
-    if (!s.ok()) return s;
+    futures.push_back(pool_->Submit([this, i, &batches] {
+      return regions_[i]->db()->Write(kv::WriteOptions(), &batches[i]);
+    }));
   }
-  return Status::OK();
+  Status result;
+  for (auto& f : futures) {
+    Status s = f.get();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  return result;
 }
 
 std::vector<Region*> ClusterTable::RoutingRegions(const KeyRange& range) {
   // The shard byte is the routing dimension: a range [start, end) touches
-  // shard s iff s is in [start[0], end[0]] (end exclusive unless more key
-  // bytes follow). Empty start means shard 0; empty end means the last one.
-  std::vector<Region*> result;
-  unsigned first = range.start.empty()
-                       ? 0u
-                       : static_cast<uint8_t>(range.start[0]) %
-                             static_cast<unsigned>(num_shards());
-  unsigned first_raw =
+  // every key byte in [start[0], end[0]] (end[0] exclusive only when the
+  // end key has no further bytes), and byte b lives in region b % shards.
+  // Empty start means byte 0; empty end means byte 255.
+  const unsigned first_byte =
       range.start.empty() ? 0u : static_cast<uint8_t>(range.start[0]);
-  unsigned last_raw = range.end.empty()
-                          ? 255u
-                          : static_cast<uint8_t>(range.end[0]);
-  if (!range.end.empty() && range.end.size() == 1 && last_raw > 0) {
-    last_raw--;  // end is exclusive and has no further bytes
+  unsigned last_byte =
+      range.end.empty() ? 255u : static_cast<uint8_t>(range.end[0]);
+  if (!range.end.empty() && range.end.size() == 1 && last_byte > 0) {
+    last_byte--;  // end is exclusive and has no further bytes
   }
-  (void)first;
+  std::vector<Region*> result;
   std::vector<bool> seen(regions_.size(), false);
-  for (unsigned b = first_raw; b <= last_raw; b++) {
-    unsigned shard = b % static_cast<unsigned>(num_shards());
+  for (unsigned b = first_byte;
+       b <= last_byte && result.size() < regions_.size(); b++) {
+    const unsigned shard = b % static_cast<unsigned>(num_shards());
     if (!seen[shard]) {
       seen[shard] = true;
       result.push_back(regions_[shard].get());
     }
-    if (result.size() == regions_.size()) break;
   }
   return result;
 }
@@ -103,37 +124,71 @@ Status ClusterTable::ParallelScan(const std::vector<KeyRange>& ranges,
                                   const kv::ScanFilter* filter, size_t limit,
                                   std::vector<Row>* out,
                                   kv::ScanStats* stats) {
+  CollectRowsSink sink(out);
+  return ParallelScan(ranges, filter, limit, &sink, stats);
+}
+
+namespace {
+
+// Serializes concurrent region deliveries into one caller sink and
+// broadcasts early termination: once the inner sink declines a row, every
+// in-flight region scan observes the stop flag and ends.
+class SerializedSink : public kv::RowSink {
+ public:
+  explicit SerializedSink(kv::RowSink* inner) : inner_(inner) {}
+
+  bool Accept(const Slice& key, const Slice& value) override {
+    if (stopped_.load(std::memory_order_relaxed)) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_.load(std::memory_order_relaxed)) return false;
+    if (!inner_->Accept(key, value)) {
+      stopped_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  kv::RowSink* inner_;
+  std::mutex mu_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace
+
+Status ClusterTable::ParallelScan(const std::vector<KeyRange>& ranges,
+                                  const kv::ScanFilter* filter, size_t limit,
+                                  kv::RowSink* sink, kv::ScanStats* stats) {
   struct Task {
     Region* region;
     const KeyRange* range;
-    std::vector<Row> rows;
     kv::ScanStats stats;
     Status status;
   };
   std::vector<Task> tasks;
   for (const KeyRange& range : ranges) {
     for (Region* region : RoutingRegions(range)) {
-      tasks.push_back(Task{region, &range, {}, {}, Status::OK()});
+      tasks.push_back(Task{region, &range, {}, Status::OK()});
     }
   }
 
+  SerializedSink shared(sink);
   std::vector<std::future<void>> futures;
   futures.reserve(tasks.size());
   for (Task& task : tasks) {
-    futures.push_back(pool_->Submit([&task, filter, limit] {
-      task.status = task.region->Scan(*task.range, filter, limit, &task.rows,
+    futures.push_back(pool_->Submit([&task, &shared, filter, limit] {
+      task.status = task.region->Scan(*task.range, filter, limit, &shared,
                                       &task.stats);
     }));
   }
   for (auto& f : futures) f.get();
 
+  Status result;
   for (Task& task : tasks) {
-    if (!task.status.ok()) return task.status;
+    if (result.ok() && !task.status.ok()) result = task.status;
     if (stats != nullptr) *stats += task.stats;
-    out->insert(out->end(), std::make_move_iterator(task.rows.begin()),
-                std::make_move_iterator(task.rows.end()));
   }
-  return Status::OK();
+  return result;
 }
 
 Status ClusterTable::ScanWithoutPushdown(const std::vector<KeyRange>& ranges,

@@ -44,6 +44,11 @@ class Region {
   Status Scan(const KeyRange& range, const kv::ScanFilter* filter,
               size_t limit, std::vector<Row>* out, kv::ScanStats* stats);
 
+  // Streaming variant: matching rows are delivered to `sink` as the region
+  // iterator produces them; the sink returning false stops the scan.
+  Status Scan(const KeyRange& range, const kv::ScanFilter* filter,
+              size_t limit, kv::RowSink* sink, kv::ScanStats* stats);
+
  private:
   uint8_t shard_;
   std::unique_ptr<kv::DB> db_;
@@ -65,16 +70,27 @@ class ClusterTable {
   Status Delete(const Slice& key);
   Status Get(const Slice& key, std::string* value);
 
-  // Groups the batch rows by shard and writes one batch per region.
+  // Groups the batch rows by shard and writes one batch per region, in
+  // parallel on the cluster thread pool (each region owns its own LSM
+  // store, so cross-region writes never contend).
   Status BatchPut(const std::vector<Row>& rows);
 
   // Scans all `ranges` in parallel with the filter pushed down to the
   // regions. Results are concatenated (callers needing global key order
   // sort afterwards). limit==0 means unlimited; a non-zero limit applies
-  // per range.
+  // per range. Thin adapter over the sink-based overload below.
   Status ParallelScan(const std::vector<KeyRange>& ranges,
                       const kv::ScanFilter* filter, size_t limit,
                       std::vector<Row>* out, kv::ScanStats* stats);
+
+  // Streaming variant: rows from all regions are serialized into `sink` as
+  // they are produced (arrival order across regions is unspecified). The
+  // sink returning false broadcasts early termination to every in-flight
+  // region scan, so rows past the stop are not scanned. The sink needs no
+  // internal locking; deliveries are serialized here.
+  Status ParallelScan(const std::vector<KeyRange>& ranges,
+                      const kv::ScanFilter* filter, size_t limit,
+                      kv::RowSink* sink, kv::ScanStats* stats);
 
   // Same windows, but without push-down: all rows in the ranges are
   // shipped back and the filter is applied caller-side. Models systems that

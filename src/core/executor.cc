@@ -1,0 +1,236 @@
+#include "core/executor.h"
+
+#include <algorithm>
+
+namespace tman::core {
+
+Executor::Executor(cluster::ClusterTable* primary,
+                   cluster::ClusterTable* tr_table,
+                   cluster::ClusterTable* idt_table, bool push_down)
+    : primary_(primary),
+      tr_table_(tr_table),
+      idt_table_(idt_table),
+      push_down_(push_down) {}
+
+cluster::ClusterTable* Executor::Table(PlanTable table) const {
+  switch (table) {
+    case PlanTable::kPrimary:
+      return primary_;
+    case PlanTable::kTRSecondary:
+      return tr_table_;
+    case PlanTable::kIDTSecondary:
+      return idt_table_;
+  }
+  return primary_;
+}
+
+namespace {
+
+// Applies a filter on the client side of the scan (push-down disabled).
+class ClientFilterSink : public kv::RowSink {
+ public:
+  ClientFilterSink(const kv::ScanFilter* filter, kv::RowSink* inner)
+      : filter_(filter), inner_(inner) {}
+
+  bool Accept(const Slice& key, const Slice& value) override {
+    if (filter_ != nullptr && !filter_->Matches(key, value)) return true;
+    return inner_->Accept(key, value);
+  }
+
+ private:
+  const kv::ScanFilter* filter_;
+  kv::RowSink* inner_;
+};
+
+// Enforces a global cross-window row limit through early termination.
+class LimitSink : public kv::RowSink {
+ public:
+  LimitSink(size_t limit, kv::RowSink* inner) : limit_(limit), inner_(inner) {}
+
+  bool Accept(const Slice& key, const Slice& value) override {
+    if (accepted_ >= limit_) return false;
+    if (!inner_->Accept(key, value)) return false;
+    return ++accepted_ < limit_;
+  }
+
+ private:
+  size_t limit_;
+  kv::RowSink* inner_;
+  size_t accepted_ = 0;
+};
+
+// Fetch stage of secondary-index plans: each streamed secondary row names a
+// primary key in its value; the primary row is fetched, filtered, and
+// forwarded without materializing the secondary result set.
+class FetchPrimarySink : public kv::RowSink {
+ public:
+  FetchPrimarySink(cluster::ClusterTable* primary,
+                   const kv::ScanFilter* filter, kv::RowSink* inner,
+                   QueryStats* stats)
+      : primary_(primary), filter_(filter), inner_(inner), stats_(stats) {}
+
+  bool Accept(const Slice& key, const Slice& value) override {
+    (void)key;
+    std::string row_value;
+    Status s = primary_->Get(value, &row_value);
+    if (s.IsNotFound()) return true;  // row rewritten concurrently
+    if (!s.ok()) {
+      status_ = s;
+      return false;
+    }
+    if (stats_ != nullptr) stats_->candidates++;
+    if (filter_ != nullptr && !filter_->Matches(value, row_value)) return true;
+    return inner_->Accept(value, row_value);
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  cluster::ClusterTable* primary_;
+  const kv::ScanFilter* filter_;
+  kv::RowSink* inner_;
+  QueryStats* stats_;
+  Status status_;
+};
+
+}  // namespace
+
+Status Executor::Execute(const QueryPlan& plan, kv::RowSink* sink,
+                         QueryStats* stats) {
+  switch (plan.kind) {
+    case PlanKind::kPrimaryScan:
+      return ExecutePrimaryScan(plan, sink, stats);
+    case PlanKind::kSecondaryFetch:
+      return ExecuteSecondaryFetch(plan, sink, stats);
+  }
+  return Status::InvalidArgument("unknown plan kind");
+}
+
+Status Executor::ExecutePrimaryScan(const QueryPlan& plan, kv::RowSink* sink,
+                                    QueryStats* stats) {
+  kv::RowSink* stage = sink;
+  LimitSink limiter(plan.limit, stage);
+  if (plan.limit != 0) stage = &limiter;
+  ClientFilterSink client_filter(plan.filter.get(), stage);
+  const kv::ScanFilter* pushed = nullptr;
+  if (push_down_) {
+    pushed = plan.filter.get();
+  } else if (plan.filter != nullptr) {
+    stage = &client_filter;
+  }
+
+  kv::ScanStats scan_stats;
+  Status s = Table(plan.scan_table)
+                 ->ParallelScan(plan.windows, pushed, 0, stage, &scan_stats);
+  if (stats != nullptr) {
+    stats->windows += plan.windows.size();
+    stats->candidates += scan_stats.scanned;
+  }
+  return s;
+}
+
+Status Executor::ExecuteSecondaryFetch(const QueryPlan& plan,
+                                       kv::RowSink* sink, QueryStats* stats) {
+  kv::RowSink* stage = sink;
+  LimitSink limiter(plan.limit, stage);
+  if (plan.limit != 0) stage = &limiter;
+  // The secondary scan is unfiltered; the filter chain applies to the
+  // fetched primary rows (their values carry the trajectory record).
+  FetchPrimarySink fetch(primary_, plan.filter.get(), stage, stats);
+
+  kv::ScanStats scan_stats;
+  Status s = Table(plan.scan_table)
+                 ->ParallelScan(plan.windows, nullptr, 0, &fetch, &scan_stats);
+  if (stats != nullptr) {
+    stats->windows += plan.windows.size();
+    stats->candidates += scan_stats.scanned;
+  }
+  if (s.ok()) s = fetch.status();
+  return s;
+}
+
+// --- Sinks -----------------------------------------------------------------
+
+bool DecodeTrajectoriesSink::Accept(const Slice& key, const Slice& value) {
+  (void)key;
+  traj::Trajectory t;
+  if (!DecodeRecord(value, &t)) {
+    status_ = Status::Corruption("bad trajectory record at key");
+    return false;
+  }
+  out_->push_back(std::move(t));
+  accepted_++;
+  return limit_ == 0 || accepted_ < limit_;
+}
+
+bool ThresholdVerifySink::Accept(const Slice& key, const Slice& value) {
+  (void)key;
+  RecordHeader header;
+  if (!DecodeRecordHeader(value, &header)) {
+    status_ = Status::Corruption("bad record during similarity query");
+    return false;
+  }
+  std::vector<geo::TimedPoint> points;
+  if (!DecodeRecordPoints(header, &points)) {
+    status_ = Status::Corruption("bad point column during similarity query");
+    return false;
+  }
+  if (stats_ != nullptr) stats_->exact_distance_computations++;
+  if (geo::ExactDistance(measure_, query_->points, points) <= threshold_) {
+    traj::Trajectory t;
+    t.oid = header.oid.ToString();
+    t.tid = header.tid.ToString();
+    t.points = std::move(points);
+    out_->push_back(std::move(t));
+    accepted_++;
+  }
+  return true;
+}
+
+bool TopKSink::Accept(const Slice& key, const Slice& value) {
+  (void)key;
+  // Heap cutoff: with k results at or below the cutoff, no row the scan has
+  // yet to deliver (all beyond the previous radius) can improve the result.
+  if (Full() && KthBound() <= cutoff_) return false;
+
+  RecordHeader header;
+  if (!DecodeRecordHeader(value, &header)) return true;
+  const std::string tid = header.tid.ToString();
+  if (tid == query_->tid || !seen_.insert(tid).second) return true;
+
+  const double kth_bound = Full() ? KthBound() : 1e300;
+  geo::DPFeatures features;
+  if (DecodeRecordFeatures(header, &features) &&
+      geo::DPFeatureLowerBound(query_features_, features) > kth_bound) {
+    return true;
+  }
+  std::vector<geo::TimedPoint> points;
+  if (!DecodeRecordPoints(header, &points)) return true;
+  if (stats_ != nullptr) stats_->exact_distance_computations++;
+  const double d = geo::ExactDistance(measure_, query_->points, points);
+  if (d >= kth_bound) return true;
+
+  Scored scored{d, traj::Trajectory{}};
+  scored.trajectory.oid = header.oid.ToString();
+  scored.trajectory.tid = tid;
+  scored.trajectory.points = std::move(points);
+  best_.insert(std::upper_bound(best_.begin(), best_.end(), scored,
+                                [](const Scored& a, const Scored& b) {
+                                  return a.distance < b.distance;
+                                }),
+               std::move(scored));
+  if (best_.size() > k_) best_.resize(k_);
+  return !(Full() && KthBound() <= cutoff_);
+}
+
+std::vector<traj::Trajectory> TopKSink::TakeResults() {
+  std::vector<traj::Trajectory> results;
+  results.reserve(best_.size());
+  for (Scored& scored : best_) {
+    results.push_back(std::move(scored.trajectory));
+  }
+  best_.clear();
+  return results;
+}
+
+}  // namespace tman::core

@@ -23,6 +23,13 @@ bool SpatialRangeFilter::Matches(const Slice& key, const Slice& value) const {
   return geo::PolylineIntersectsRect(points, rect_);
 }
 
+bool MBRDistanceFilter::Matches(const Slice& key, const Slice& value) const {
+  (void)key;
+  RecordHeader header;
+  if (!DecodeRecordHeader(value, &header)) return false;
+  return geo::MBRLowerBound(header.mbr, query_mbr_) <= radius_;
+}
+
 bool SimilarityFilter::Matches(const Slice& key, const Slice& value) const {
   (void)key;
   RecordHeader header;

@@ -1,11 +1,14 @@
 #ifndef TMAN_CORE_FILTERS_H_
 #define TMAN_CORE_FILTERS_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/record.h"
 #include "geo/geometry.h"
+#include "geo/similarity.h"
 #include "kvstore/scan_filter.h"
 
 namespace tman::core {
@@ -55,6 +58,46 @@ class SimilarityFilter : public kv::ScanFilter {
  private:
   geo::DPFeatures query_features_;
   double threshold_;
+};
+
+// Keeps rows whose trajectory MBR is within `radius` of the query MBR
+// (lower-bound test on the row header only). The pushed-down global filter
+// of the expanding-radius top-k search.
+class MBRDistanceFilter : public kv::ScanFilter {
+ public:
+  MBRDistanceFilter(const geo::MBR& query_mbr, double radius)
+      : query_mbr_(query_mbr), radius_(radius) {}
+
+  bool Matches(const Slice& key, const Slice& value) const override;
+
+ private:
+  geo::MBR query_mbr_;
+  double radius_;
+};
+
+// Counts matches inside the storage layer and rejects every row, so the
+// scan ships nothing back — count queries are pure push-down aggregation.
+class CountingFilter : public kv::ScanFilter {
+ public:
+  // Counts rows matching `inner`; a null inner counts every row. If
+  // `owned` is supplied it keeps the inner filter alive.
+  explicit CountingFilter(const kv::ScanFilter* inner,
+                          std::unique_ptr<kv::ScanFilter> owned = nullptr)
+      : inner_(inner), owned_(std::move(owned)) {}
+
+  bool Matches(const Slice& key, const Slice& value) const override {
+    if (inner_ == nullptr || inner_->Matches(key, value)) {
+      count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  const kv::ScanFilter* inner_;
+  std::unique_ptr<kv::ScanFilter> owned_;
+  mutable std::atomic<uint64_t> count_{0};
 };
 
 // Conjunction of filters (the paper's filter chain).

@@ -1,0 +1,29 @@
+#ifndef TMAN_CORE_QUERY_STATS_H_
+#define TMAN_CORE_QUERY_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tman::core {
+
+// Per-query accounting. "candidates" is the number of trajectory rows the
+// storage layer touched (the paper's candidate count); "results" the rows
+// returned after all filtering. Every query populates `plan` (the RBO/CBO
+// decision), `planning_ms` (index lookups + window generation) and
+// `execution_ms` (total wall time including planning).
+struct QueryStats {
+  uint64_t windows = 0;
+  uint64_t index_values = 0;
+  uint64_t candidates = 0;
+  uint64_t results = 0;
+  uint64_t elements_visited = 0;
+  uint64_t shapes_checked = 0;
+  uint64_t exact_distance_computations = 0;
+  double planning_ms = 0;
+  double execution_ms = 0;
+  std::string plan;  // RBO/CBO decision, e.g. "primary:tshape"
+};
+
+}  // namespace tman::core
+
+#endif  // TMAN_CORE_QUERY_STATS_H_

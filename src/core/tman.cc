@@ -15,27 +15,7 @@ namespace tman::core {
 
 namespace {
 
-constexpr size_t kWriteChunk = 4096;     // rows per batch write
-constexpr uint64_t kFineWindowBudget = 4096;  // CBO bound for ST fine plans
-
-// Header-only filter: trajectory MBR within `radius` of the query MBR.
-// Used as the pushed-down global filter of similarity queries.
-class MBRDistanceFilter : public kv::ScanFilter {
- public:
-  MBRDistanceFilter(const geo::MBR& query_mbr, double radius)
-      : query_mbr_(query_mbr), radius_(radius) {}
-
-  bool Matches(const Slice& key, const Slice& value) const override {
-    (void)key;
-    RecordHeader header;
-    if (!DecodeRecordHeader(value, &header)) return false;
-    return geo::MBRLowerBound(header.mbr, query_mbr_) <= radius_;
-  }
-
- private:
-  geo::MBR query_mbr_;
-  double radius_;
-};
+constexpr size_t kWriteChunk = 4096;  // rows per batch write
 
 }  // namespace
 
@@ -82,6 +62,13 @@ Status TMan::Init() {
   index_cache_ =
       std::make_unique<IndexCache>(&redis_, options_.index_cache_capacity);
 
+  planner_ = std::make_unique<QueryPlanner>(
+      &options_, tr_index_.get(), xzt_index_.get(), tshape_index_.get(),
+      xz2_index_.get(), xzstar_index_.get(),
+      options_.use_index_cache ? index_cache_.get() : nullptr);
+  executor_ = std::make_unique<Executor>(primary_, tr_table_, idt_table_,
+                                         options_.push_down);
+
   // Metadata table (§IV-B(4)): index parameters and user configuration.
   std::string meta;
   meta += "alpha=" + std::to_string(options_.tshape.alpha);
@@ -105,26 +92,10 @@ std::vector<geo::TimedPoint> TMan::Normalize(
   return norm;
 }
 
-geo::MBR TMan::NormalizeRect(const geo::MBR& rect) const {
-  geo::MBR norm = options_.bounds.Normalize(rect);
-  norm.min_x = std::clamp(norm.min_x, 0.0, 1.0);
-  norm.min_y = std::clamp(norm.min_y, 0.0, 1.0);
-  norm.max_x = std::clamp(norm.max_x, 0.0, 1.0);
-  norm.max_y = std::clamp(norm.max_y, 0.0, 1.0);
-  return norm;
-}
-
 uint64_t TMan::TemporalValue(int64_t ts, int64_t te) const {
   return options_.temporal == TemporalIndexKind::kTR
              ? tr_index_->Encode(ts, te)
              : xzt_index_->Encode(ts, te);
-}
-
-std::vector<index::ValueRange> TMan::TemporalQueryRanges(int64_t ts,
-                                                         int64_t te) const {
-  return options_.temporal == TemporalIndexKind::kTR
-             ? tr_index_->QueryRanges(ts, te)
-             : xzt_index_->QueryRanges(ts, te);
 }
 
 uint64_t TMan::SpatialValue(const traj::Trajectory& t, bool allow_register,
@@ -163,42 +134,6 @@ uint64_t TMan::SpatialValue(const traj::Trajectory& t, bool allow_register,
     if (registered_new != nullptr) *registered_new = true;
   }
   return tshape_index_->IndexValue(enc.quad_code, final_code);
-}
-
-std::vector<index::ValueRange> TMan::SpatialQueryRanges(
-    const geo::MBR& norm_rect, QueryStats* stats) {
-  switch (options_.spatial) {
-    case SpatialIndexKind::kXZ2: {
-      index::XZ2Index::QueryStats qs;
-      auto ranges = xz2_index_->QueryRanges(norm_rect, &qs);
-      if (stats != nullptr) stats->elements_visited += qs.elements_visited;
-      return ranges;
-    }
-    case SpatialIndexKind::kXZStar: {
-      index::TShapeIndex::QueryStats qs;
-      auto ranges = xzstar_index_->QueryRanges(norm_rect, &qs);
-      if (stats != nullptr) {
-        stats->elements_visited += qs.elements_visited;
-        stats->shapes_checked += qs.shapes_checked;
-      }
-      return ranges;
-    }
-    case SpatialIndexKind::kTShape:
-      break;
-  }
-  index::TShapeIndex::QueryStats qs;
-  std::vector<index::ValueRange> ranges;
-  if (options_.use_index_cache) {
-    index::ShapeLookup lookup = index_cache_->AsLookup();
-    ranges = tshape_index_->QueryRanges(norm_rect, &lookup, &qs);
-  } else {
-    ranges = tshape_index_->QueryRanges(norm_rect, nullptr, &qs);
-  }
-  if (stats != nullptr) {
-    stats->elements_visited += qs.elements_visited;
-    stats->shapes_checked += qs.shapes_checked;
-  }
-  return ranges;
 }
 
 std::string TMan::PrimaryKeyOf(const traj::Trajectory& t,
@@ -508,128 +443,60 @@ Status TMan::CompactAll() {
   return s;
 }
 
-Status TMan::RunPrimaryScan(const std::vector<cluster::KeyRange>& windows,
-                            const kv::ScanFilter* filter,
-                            std::vector<cluster::Row>* rows,
-                            QueryStats* stats) {
-  kv::ScanStats scan_stats;
-  Status s;
-  if (options_.push_down) {
-    s = primary_->ParallelScan(windows, filter, 0, rows, &scan_stats);
-  } else {
-    s = primary_->ScanWithoutPushdown(windows, filter, rows, &scan_stats);
-  }
-  if (stats != nullptr) {
-    stats->windows += windows.size();
-    stats->candidates += scan_stats.scanned;
-  }
-  return s;
-}
-
-Status TMan::FetchByPrimaryKeys(const std::vector<cluster::Row>& secondary_rows,
-                                const kv::ScanFilter* filter,
-                                std::vector<cluster::Row>* rows,
-                                QueryStats* stats) {
-  for (const cluster::Row& srow : secondary_rows) {
-    std::string value;
-    Status s = primary_->Get(srow.value, &value);
-    if (s.IsNotFound()) continue;  // row rewritten concurrently
-    if (!s.ok()) return s;
-    if (stats != nullptr) stats->candidates++;
-    if (filter == nullptr || filter->Matches(srow.value, value)) {
-      rows->push_back(cluster::Row{srow.value, std::move(value)});
-    }
-  }
-  return Status::OK();
-}
-
-Status TMan::DecodeRows(const std::vector<cluster::Row>& rows,
-                        std::vector<traj::Trajectory>* out) {
-  out->reserve(out->size() + rows.size());
-  for (const cluster::Row& row : rows) {
-    traj::Trajectory t;
-    if (!DecodeRecord(row.value, &t)) {
-      return Status::Corruption("bad trajectory record at key");
-    }
-    out->push_back(std::move(t));
-  }
-  return Status::OK();
-}
-
 // ---------------------------------------------------------------------------
-// Queries
+// Queries: thin plan -> execute -> stats entry points. Window generation and
+// RBO/CBO branching live in QueryPlanner; row flow lives in Executor.
+
+void TMan::MergePlanningStats(const QueryPlan& plan, const Stopwatch& planning,
+                              QueryStats* stats) {
+  if (stats == nullptr) return;
+  stats->plan = plan.name;
+  stats->planning_ms += planning.ElapsedMillis();
+  stats->index_values += plan.index_values;
+  stats->elements_visited += plan.elements_visited;
+  stats->shapes_checked += plan.shapes_checked;
+}
 
 Status TMan::TemporalRangeQuery(int64_t ts, int64_t te,
                                 std::vector<traj::Trajectory>* out,
                                 QueryStats* stats) {
   Stopwatch total;
-  const std::vector<index::ValueRange> ranges = TemporalQueryRanges(ts, te);
-  if (stats != nullptr) stats->index_values += index::TotalCount(ranges);
-  TemporalRangeFilter filter(ts, te);
-  std::vector<cluster::Row> rows;
-  Status s;
-
-  if (options_.primary == PrimaryIndexKind::kTemporal) {
-    // RBO: the primary index serves the query directly.
-    if (stats != nullptr) stats->plan = "primary:temporal";
-    const auto windows = WindowsForRanges(ranges, options_.num_shards);
-    s = RunPrimaryScan(windows, &filter, &rows, stats);
-  } else if (options_.primary == PrimaryIndexKind::kST) {
-    // The tr value is the key prefix, so tr intervals are contiguous key
-    // windows over the ST primary as well.
-    if (stats != nullptr) stats->plan = "primary:st-prefix";
-    const auto windows = WindowsForTRIntervals(ranges, options_.num_shards);
-    s = RunPrimaryScan(windows, &filter, &rows, stats);
-  } else {
-    // Secondary TR table, then fetch from the primary (§V-G(1)).
-    if (stats != nullptr) stats->plan = "secondary:tr";
-    const auto windows = WindowsForRanges(ranges, options_.num_shards);
-    std::vector<cluster::Row> secondary_rows;
-    kv::ScanStats sstats;
-    s = tr_table_->ParallelScan(windows, nullptr, 0, &secondary_rows, &sstats);
-    if (stats != nullptr) {
-      stats->windows += windows.size();
-      stats->candidates += sstats.scanned;
-    }
-    if (s.ok()) s = FetchByPrimaryKeys(secondary_rows, &filter, &rows, stats);
-  }
+  Stopwatch planning;
+  QueryPlan plan;
+  Status s = planner_->PlanTemporalRange(ts, te, &plan);
   if (!s.ok()) return s;
-  s = DecodeRows(rows, out);
+  MergePlanningStats(plan, planning, stats);
+
+  DecodeTrajectoriesSink sink(out);
+  s = executor_->Execute(plan, &sink, stats);
+  if (s.ok()) s = sink.status();
+  if (!s.ok()) return s;
   if (stats != nullptr) {
-    stats->results += rows.size();
+    stats->results += sink.accepted();
     stats->execution_ms += total.ElapsedMillis();
   }
-  return s;
+  return Status::OK();
 }
 
 Status TMan::SpatialRangeQuery(const geo::MBR& rect,
                                std::vector<traj::Trajectory>* out,
                                QueryStats* stats) {
   Stopwatch total;
-  if (options_.primary != PrimaryIndexKind::kSpatial) {
-    return Status::NotSupported(
-        "spatial range query requires a spatial primary index");
-  }
   Stopwatch planning;
-  const geo::MBR norm_rect = NormalizeRect(rect);
-  const std::vector<index::ValueRange> ranges =
-      SpatialQueryRanges(norm_rect, stats);
-  if (stats != nullptr) {
-    stats->index_values += ranges.size();
-    stats->planning_ms += planning.ElapsedMillis();
-    stats->plan = "primary:spatial";
-  }
-  SpatialRangeFilter filter(rect);
-  std::vector<cluster::Row> rows;
-  const auto windows = WindowsForRanges(ranges, options_.num_shards);
-  Status s = RunPrimaryScan(windows, &filter, &rows, stats);
+  QueryPlan plan;
+  Status s = planner_->PlanSpatialRange(rect, &plan);
   if (!s.ok()) return s;
-  s = DecodeRows(rows, out);
+  MergePlanningStats(plan, planning, stats);
+
+  DecodeTrajectoriesSink sink(out);
+  s = executor_->Execute(plan, &sink, stats);
+  if (s.ok()) s = sink.status();
+  if (!s.ok()) return s;
   if (stats != nullptr) {
-    stats->results += rows.size();
+    stats->results += sink.accepted();
     stats->execution_ms += total.ElapsedMillis();
   }
-  return s;
+  return Status::OK();
 }
 
 Status TMan::SpatioTemporalRangeQuery(const geo::MBR& rect, int64_t ts,
@@ -637,108 +504,42 @@ Status TMan::SpatioTemporalRangeQuery(const geo::MBR& rect, int64_t ts,
                                       std::vector<traj::Trajectory>* out,
                                       QueryStats* stats) {
   Stopwatch total;
-  FilterChain chain;
-  chain.Add(std::make_unique<TemporalRangeFilter>(ts, te));
-  chain.Add(std::make_unique<SpatialRangeFilter>(rect));
-
-  const std::vector<index::ValueRange> tr_ranges = TemporalQueryRanges(ts, te);
-  std::vector<cluster::Row> rows;
-  Status s;
-
-  if (options_.primary == PrimaryIndexKind::kST) {
-    const geo::MBR norm_rect = NormalizeRect(rect);
-    const std::vector<index::ValueRange> sp_ranges =
-        SpatialQueryRanges(norm_rect, stats);
-    const uint64_t tr_count = index::TotalCount(tr_ranges);
-    const uint64_t fine_windows =
-        tr_count * sp_ranges.size() * static_cast<uint64_t>(options_.num_shards);
-    if (fine_windows <= kFineWindowBudget) {
-      // CBO plan A: one window batch per discrete tr value, crossed with
-      // the spatial ranges (§V-E).
-      if (stats != nullptr) stats->plan = "primary:st-fine";
-      std::vector<cluster::KeyRange> windows;
-      for (const index::ValueRange& r : tr_ranges) {
-        for (uint64_t v = r.lo; v <= r.hi; v++) {
-          auto w = WindowsForSTRanges(v, sp_ranges, options_.num_shards);
-          windows.insert(windows.end(), std::make_move_iterator(w.begin()),
-                         std::make_move_iterator(w.end()));
-        }
-      }
-      s = RunPrimaryScan(windows, &chain, &rows, stats);
-    } else {
-      // CBO plan B: coarse tr-interval windows; spatial predicate pushed
-      // down only as a filter.
-      if (stats != nullptr) stats->plan = "primary:st-coarse";
-      const auto windows =
-          WindowsForTRIntervals(tr_ranges, options_.num_shards);
-      s = RunPrimaryScan(windows, &chain, &rows, stats);
-    }
-  } else if (options_.primary == PrimaryIndexKind::kSpatial) {
-    if (stats != nullptr) stats->plan = "primary:spatial+tfilter";
-    const geo::MBR norm_rect = NormalizeRect(rect);
-    const std::vector<index::ValueRange> sp_ranges =
-        SpatialQueryRanges(norm_rect, stats);
-    const auto windows = WindowsForRanges(sp_ranges, options_.num_shards);
-    s = RunPrimaryScan(windows, &chain, &rows, stats);
-  } else {
-    if (stats != nullptr) stats->plan = "primary:temporal+sfilter";
-    const auto windows = WindowsForRanges(tr_ranges, options_.num_shards);
-    s = RunPrimaryScan(windows, &chain, &rows, stats);
-  }
+  Stopwatch planning;
+  QueryPlan plan;
+  Status s = planner_->PlanSpatioTemporalRange(rect, ts, te, &plan);
   if (!s.ok()) return s;
-  s = DecodeRows(rows, out);
+  MergePlanningStats(plan, planning, stats);
+
+  DecodeTrajectoriesSink sink(out);
+  s = executor_->Execute(plan, &sink, stats);
+  if (s.ok()) s = sink.status();
+  if (!s.ok()) return s;
   if (stats != nullptr) {
-    stats->results += rows.size();
+    stats->results += sink.accepted();
     stats->execution_ms += total.ElapsedMillis();
   }
-  return s;
+  return Status::OK();
 }
 
 Status TMan::IDTemporalQuery(const std::string& oid, int64_t ts, int64_t te,
                              std::vector<traj::Trajectory>* out,
                              QueryStats* stats) {
   Stopwatch total;
-  const std::vector<index::ValueRange> tr_ranges = TemporalQueryRanges(ts, te);
-  const auto windows = WindowsForIDT(oid, tr_ranges, options_.num_shards);
-  std::vector<cluster::Row> secondary_rows;
-  kv::ScanStats sstats;
-  Status s =
-      idt_table_->ParallelScan(windows, nullptr, 0, &secondary_rows, &sstats);
+  Stopwatch planning;
+  QueryPlan plan;
+  Status s = planner_->PlanIDTemporal(oid, ts, te, &plan);
+  if (!s.ok()) return s;
+  MergePlanningStats(plan, planning, stats);
+
+  DecodeTrajectoriesSink sink(out);
+  s = executor_->Execute(plan, &sink, stats);
+  if (s.ok()) s = sink.status();
   if (!s.ok()) return s;
   if (stats != nullptr) {
-    stats->plan = "secondary:idt";
-    stats->windows += windows.size();
-    stats->candidates += sstats.scanned;
-  }
-  TemporalRangeFilter filter(ts, te);
-  std::vector<cluster::Row> rows;
-  s = FetchByPrimaryKeys(secondary_rows, &filter, &rows, stats);
-  if (!s.ok()) return s;
-  s = DecodeRows(rows, out);
-  if (stats != nullptr) {
-    stats->results += rows.size();
+    stats->results += sink.accepted();
     stats->execution_ms += total.ElapsedMillis();
   }
-  return s;
-}
-
-Status TMan::SimilarityCandidates(const traj::Trajectory& query, double radius,
-                                  const kv::ScanFilter* filter,
-                                  std::vector<cluster::Row>* rows,
-                                  QueryStats* stats) {
-  const geo::MBR qmbr = query.ComputeMBR();
-  // Expand per axis: the radius is in data coordinates.
-  geo::MBR expanded = qmbr;
-  expanded.min_x -= radius;
-  expanded.max_x += radius;
-  expanded.min_y -= radius;
-  expanded.max_y += radius;
-
-  const geo::MBR norm_rect = NormalizeRect(expanded);
-  const std::vector<index::ValueRange> ranges =
-      SpatialQueryRanges(norm_rect, stats);
-  const auto windows = WindowsForRanges(ranges, options_.num_shards);
-  return RunPrimaryScan(windows, filter, rows, stats);
+  return Status::OK();
 }
 
 Status TMan::ThresholdSimilarityQuery(const traj::Trajectory& query,
@@ -747,43 +548,28 @@ Status TMan::ThresholdSimilarityQuery(const traj::Trajectory& query,
                                       std::vector<traj::Trajectory>* out,
                                       QueryStats* stats) {
   Stopwatch total;
-  if (options_.primary != PrimaryIndexKind::kSpatial) {
-    return Status::NotSupported(
-        "similarity queries require a spatial primary index");
-  }
-  if (stats != nullptr) stats->plan = "similarity:threshold";
-
-  const geo::DPFeatures query_features =
+  geo::DPFeatures query_features =
       geo::ExtractDPFeatures(query.points, options_.max_dp_features);
 
   // Global pruning via the spatial index plus the pushed-down similarity
   // filter (MBR + DP-feature lower bounds evaluated in the storage layer,
-  // §V-G): only rows that could be within the threshold are shipped back.
-  SimilarityFilter filter(query_features, threshold);
-  std::vector<cluster::Row> rows;
-  Status s = SimilarityCandidates(query, threshold, &filter, &rows, stats);
+  // §V-G): only rows that could be within the threshold stream to the
+  // exact verification sink.
+  Stopwatch planning;
+  QueryPlan plan;
+  Status s = planner_->PlanSimilarityCandidates(
+      query.ComputeMBR(), threshold,
+      std::make_unique<SimilarityFilter>(query_features, threshold),
+      "similarity:threshold", &plan);
   if (!s.ok()) return s;
+  MergePlanningStats(plan, planning, stats);
 
-  for (const cluster::Row& row : rows) {
-    RecordHeader header;
-    if (!DecodeRecordHeader(row.value, &header)) {
-      return Status::Corruption("bad record during similarity query");
-    }
-    std::vector<geo::TimedPoint> points;
-    if (!DecodeRecordPoints(header, &points)) {
-      return Status::Corruption("bad point column during similarity query");
-    }
-    if (stats != nullptr) stats->exact_distance_computations++;
-    if (geo::ExactDistance(measure, query.points, points) <= threshold) {
-      traj::Trajectory t;
-      t.oid = header.oid.ToString();
-      t.tid = header.tid.ToString();
-      t.points = std::move(points);
-      out->push_back(std::move(t));
-    }
-  }
+  ThresholdVerifySink sink(&query, measure, threshold, out, stats);
+  s = executor_->Execute(plan, &sink, stats);
+  if (s.ok()) s = sink.status();
+  if (!s.ok()) return s;
   if (stats != nullptr) {
-    stats->results += out->size();
+    stats->results += sink.accepted();
     stats->execution_ms += total.ElapsedMillis();
   }
   return Status::OK();
@@ -799,115 +585,85 @@ Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
         "similarity queries require a spatial primary index");
   }
   if (k == 0) return Status::OK();
-  if (stats != nullptr) stats->plan = "similarity:topk";
 
-  struct Scored {
-    double distance;
-    traj::Trajectory trajectory;
-  };
-  std::vector<Scored> best;  // kept sorted ascending by distance
-  std::unordered_set<std::string> seen;
-  const geo::DPFeatures query_features =
-      geo::ExtractDPFeatures(query.points, options_.max_dp_features);
+  const geo::MBR qmbr = query.ComputeMBR();
+  TopKSink sink(&query, measure, k,
+                geo::ExtractDPFeatures(query.points, options_.max_dp_features),
+                stats);
 
   double radius =
       std::max(options_.bounds.width(), options_.bounds.height()) / 512.0;
   const double max_radius =
       2.0 * std::max(options_.bounds.width(), options_.bounds.height());
+  double previous_radius = 0;
 
   while (true) {
-    std::vector<cluster::Row> rows;
-    const geo::MBR qmbr = query.ComputeMBR();
-    MBRDistanceFilter filter(qmbr, radius);
-    Status s = SimilarityCandidates(query, radius, &filter, &rows, stats);
+    Stopwatch planning;
+    QueryPlan plan;
+    Status s = planner_->PlanSimilarityCandidates(
+        qmbr, radius, std::make_unique<MBRDistanceFilter>(qmbr, radius),
+        "similarity:topk", &plan);
     if (!s.ok()) return s;
+    MergePlanningStats(plan, planning, stats);
 
-    for (const cluster::Row& row : rows) {
-      RecordHeader header;
-      if (!DecodeRecordHeader(row.value, &header)) continue;
-      const std::string tid = header.tid.ToString();
-      if (tid == query.tid || !seen.insert(tid).second) continue;
-
-      const double kth_bound = best.size() >= k ? best[k - 1].distance : 1e300;
-      geo::DPFeatures features;
-      if (DecodeRecordFeatures(header, &features) &&
-          geo::DPFeatureLowerBound(query_features, features) > kth_bound) {
-        continue;
-      }
-      std::vector<geo::TimedPoint> points;
-      if (!DecodeRecordPoints(header, &points)) continue;
-      if (stats != nullptr) stats->exact_distance_computations++;
-      const double d = geo::ExactDistance(measure, query.points, points);
-      if (d >= kth_bound) continue;
-
-      Scored scored{d, traj::Trajectory{}};
-      scored.trajectory.oid = header.oid.ToString();
-      scored.trajectory.tid = tid;
-      scored.trajectory.points = std::move(points);
-      best.insert(std::upper_bound(best.begin(), best.end(), scored,
-                                   [](const Scored& a, const Scored& b) {
-                                     return a.distance < b.distance;
-                                   }),
-                  std::move(scored));
-      if (best.size() > k) best.resize(k);
-    }
+    // Rows the sink has not seen yet all lie beyond the previous radius
+    // (smaller windows were scanned to completion, and rows rejected by
+    // this round's MBR filter are farther than `radius`), so once the
+    // heap's k-th bound drops to the previous radius the sink terminates
+    // the scan mid-round instead of draining every window.
+    sink.set_cutoff(previous_radius);
+    s = executor_->Execute(plan, &sink, stats);
+    if (!s.ok()) return s;
 
     // Stop once the k-th best distance is certainly inside the searched
     // radius (no unexplored trajectory can beat it).
-    if (best.size() >= k && best[k - 1].distance <= radius) break;
+    if (sink.Full() && sink.KthBound() <= radius) break;
     if (radius >= max_radius) break;
+    previous_radius = radius;
     radius *= 2;
   }
 
-  out->reserve(out->size() + best.size());
-  for (Scored& scored : best) {
-    out->push_back(std::move(scored.trajectory));
-  }
+  std::vector<traj::Trajectory> results = sink.TakeResults();
   if (stats != nullptr) {
-    stats->results += best.size();
+    stats->results += results.size();
     stats->execution_ms += total.ElapsedMillis();
   }
+  out->reserve(out->size() + results.size());
+  std::move(results.begin(), results.end(), std::back_inserter(*out));
   return Status::OK();
 }
 
-namespace {
+// ---------------------------------------------------------------------------
+// Count queries: the row query's plan runs with its filter chain wrapped in
+// a CountingFilter, so matches are counted inside the storage layer and no
+// rows are shipped back.
 
-// Counts matches inside the storage layer and rejects every row, so the
-// scan ships nothing back — count queries are pure push-down aggregation.
-class CountingFilter : public kv::ScanFilter {
- public:
-  explicit CountingFilter(const kv::ScanFilter* inner) : inner_(inner) {}
+Status TMan::ExecuteCount(QueryPlan plan, const std::string& count_plan_name,
+                          uint64_t* count, QueryStats* stats) {
+  const kv::ScanFilter* inner = plan.filter.get();
+  auto counting = std::make_unique<CountingFilter>(inner, std::move(plan.filter));
+  CountingFilter* counter = counting.get();
+  plan.filter = std::move(counting);
 
-  bool Matches(const Slice& key, const Slice& value) const override {
-    if (inner_ == nullptr || inner_->Matches(key, value)) {
-      count_.fetch_add(1, std::memory_order_relaxed);
-    }
-    return false;
-  }
-
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-
- private:
-  const kv::ScanFilter* inner_;
-  mutable std::atomic<uint64_t> count_{0};
-};
-
-}  // namespace
+  NullSink sink;
+  Status s = executor_->Execute(plan, &sink, stats);
+  *count = counter->count();
+  if (stats != nullptr) stats->plan = count_plan_name;
+  return s;
+}
 
 Status TMan::TemporalRangeCount(int64_t ts, int64_t te, uint64_t* count,
                                 QueryStats* stats) {
   Stopwatch total;
   *count = 0;
-  const std::vector<index::ValueRange> ranges = TemporalQueryRanges(ts, te);
-  TemporalRangeFilter filter(ts, te);
-  CountingFilter counter(&filter);
-  std::vector<cluster::Row> rows;
-  Status s;
-  if (options_.primary == PrimaryIndexKind::kTemporal ||
-      options_.primary == PrimaryIndexKind::kST) {
-    const auto windows = WindowsForRanges(ranges, options_.num_shards);
-    s = RunPrimaryScan(windows, &counter, &rows, stats);
-    *count = counter.count();
+  Stopwatch planning;
+  QueryPlan plan;
+  Status s = planner_->PlanTemporalRange(ts, te, &plan);
+  if (!s.ok()) return s;
+
+  if (plan.kind == PlanKind::kPrimaryScan) {
+    MergePlanningStats(plan, planning, stats);
+    s = ExecuteCount(std::move(plan), "count:temporal", count, stats);
   } else {
     // Through the secondary: count distinct matching primary rows.
     std::vector<traj::Trajectory> out;
@@ -917,10 +673,11 @@ Status TMan::TemporalRangeCount(int64_t ts, int64_t te, uint64_t* count,
     if (stats != nullptr) {
       stats->windows += sub.windows;
       stats->candidates += sub.candidates;
+      stats->planning_ms += sub.planning_ms;
+      stats->plan = "count:temporal";
     }
   }
   if (stats != nullptr) {
-    stats->plan = "count:temporal";
     stats->results = *count;
     stats->execution_ms += total.ElapsedMillis();
   }
@@ -931,21 +688,13 @@ Status TMan::SpatialRangeCount(const geo::MBR& rect, uint64_t* count,
                                QueryStats* stats) {
   Stopwatch total;
   *count = 0;
-  if (options_.primary != PrimaryIndexKind::kSpatial) {
-    return Status::NotSupported(
-        "spatial count requires a spatial primary index");
-  }
-  const geo::MBR norm_rect = NormalizeRect(rect);
-  const std::vector<index::ValueRange> ranges =
-      SpatialQueryRanges(norm_rect, stats);
-  SpatialRangeFilter filter(rect);
-  CountingFilter counter(&filter);
-  std::vector<cluster::Row> rows;
-  const auto windows = WindowsForRanges(ranges, options_.num_shards);
-  Status s = RunPrimaryScan(windows, &counter, &rows, stats);
-  *count = counter.count();
+  Stopwatch planning;
+  QueryPlan plan;
+  Status s = planner_->PlanSpatialRange(rect, &plan);
+  if (!s.ok()) return s;
+  MergePlanningStats(plan, planning, stats);
+  s = ExecuteCount(std::move(plan), "count:spatial", count, stats);
   if (stats != nullptr) {
-    stats->plan = "count:spatial";
     stats->results = *count;
     stats->execution_ms += total.ElapsedMillis();
   }
@@ -957,25 +706,13 @@ Status TMan::SpatioTemporalRangeCount(const geo::MBR& rect, int64_t ts,
                                       QueryStats* stats) {
   Stopwatch total;
   *count = 0;
-  FilterChain chain;
-  chain.Add(std::make_unique<TemporalRangeFilter>(ts, te));
-  chain.Add(std::make_unique<SpatialRangeFilter>(rect));
-  CountingFilter counter(&chain);
-  std::vector<cluster::Row> rows;
-  Status s;
-  if (options_.primary == PrimaryIndexKind::kSpatial) {
-    const geo::MBR norm_rect = NormalizeRect(rect);
-    const auto ranges = SpatialQueryRanges(norm_rect, stats);
-    s = RunPrimaryScan(WindowsForRanges(ranges, options_.num_shards),
-                       &counter, &rows, stats);
-  } else {
-    const auto ranges = TemporalQueryRanges(ts, te);
-    s = RunPrimaryScan(WindowsForTRIntervals(ranges, options_.num_shards),
-                       &counter, &rows, stats);
-  }
-  *count = counter.count();
+  Stopwatch planning;
+  QueryPlan plan;
+  Status s = planner_->PlanSpatioTemporalRange(rect, ts, te, &plan);
+  if (!s.ok()) return s;
+  MergePlanningStats(plan, planning, stats);
+  s = ExecuteCount(std::move(plan), "count:spatio-temporal", count, stats);
   if (stats != nullptr) {
-    stats->plan = "count:spatio-temporal";
     stats->results = *count;
     stats->execution_ms += total.ElapsedMillis();
   }

@@ -8,8 +8,12 @@
 #include "cachestore/redis_like.h"
 #include "cluster/cluster.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/executor.h"
 #include "core/index_cache.h"
 #include "core/options.h"
+#include "core/planner.h"
+#include "core/query_stats.h"
 #include "core/record.h"
 #include "geo/similarity.h"
 #include "index/tr_index.h"
@@ -20,22 +24,6 @@
 #include "traj/trajectory.h"
 
 namespace tman::core {
-
-// Per-query accounting. "candidates" is the number of trajectory rows the
-// storage layer touched (the paper's candidate count); "results" the rows
-// returned after all filtering.
-struct QueryStats {
-  uint64_t windows = 0;
-  uint64_t index_values = 0;
-  uint64_t candidates = 0;
-  uint64_t results = 0;
-  uint64_t elements_visited = 0;
-  uint64_t shapes_checked = 0;
-  uint64_t exact_distance_computations = 0;
-  double planning_ms = 0;
-  double execution_ms = 0;
-  std::string plan;  // RBO/CBO decision, e.g. "primary:tshape"
-};
 
 // TMan: trajectory storage and query processing over the simulated
 // key-value cluster. One instance manages one dataset.
@@ -113,6 +101,8 @@ class TMan {
   // --- Introspection ---
 
   uint64_t StorageBytes();
+  const QueryPlanner* planner() const { return planner_.get(); }
+  Executor* executor() { return executor_.get(); }
   IndexCache* index_cache() { return index_cache_.get(); }
   cache::RedisLikeStore* redis() { return &redis_; }
   uint64_t reencode_count() const { return reencode_count_; }
@@ -128,19 +118,13 @@ class TMan {
   // Normalizes points into [0,1]^2.
   std::vector<geo::TimedPoint> Normalize(
       const std::vector<geo::TimedPoint>& points) const;
-  geo::MBR NormalizeRect(const geo::MBR& rect) const;
 
   // Temporal index value of a trajectory (TR or XZT).
   uint64_t TemporalValue(int64_t ts, int64_t te) const;
-  std::vector<index::ValueRange> TemporalQueryRanges(int64_t ts,
-                                                     int64_t te) const;
 
   // Spatial index value; for TShape with cache this is the optimized code.
   uint64_t SpatialValue(const traj::Trajectory& t, bool allow_register,
                         bool* registered_new);
-
-  std::vector<index::ValueRange> SpatialQueryRanges(const geo::MBR& norm_rect,
-                                                    QueryStats* stats);
 
   // Primary-table rowkey of a trajectory.
   std::string PrimaryKeyOf(const traj::Trajectory& t, uint64_t temporal_value,
@@ -151,27 +135,15 @@ class TMan {
                    const std::vector<uint64_t>& temporal_values,
                    const std::vector<uint64_t>& spatial_values);
 
-  // Executes windows against the primary table, honoring push_down.
-  Status RunPrimaryScan(const std::vector<cluster::KeyRange>& windows,
-                        const kv::ScanFilter* filter,
-                        std::vector<cluster::Row>* rows, QueryStats* stats);
+  // Folds a finished plan's cost-model numbers and the planning time into
+  // the caller's QueryStats.
+  static void MergePlanningStats(const QueryPlan& plan,
+                                 const Stopwatch& planning, QueryStats* stats);
 
-  // Fetches primary rows named by secondary values, applying `filter`.
-  Status FetchByPrimaryKeys(const std::vector<cluster::Row>& secondary_rows,
-                            const kv::ScanFilter* filter,
-                            std::vector<cluster::Row>* rows,
-                            QueryStats* stats);
-
-  Status DecodeRows(const std::vector<cluster::Row>& rows,
-                    std::vector<traj::Trajectory>* out);
-
-  // Shared candidate retrieval for similarity queries: spatial index
-  // ranges around the query expanded by `radius`, scanned with `filter`
-  // pushed down.
-  Status SimilarityCandidates(const traj::Trajectory& query, double radius,
-                              const kv::ScanFilter* filter,
-                              std::vector<cluster::Row>* rows,
-                              QueryStats* stats);
+  // Runs a count plan: the filter chain is wrapped in a CountingFilter so
+  // the storage layer counts matches and ships nothing back.
+  Status ExecuteCount(QueryPlan plan, const std::string& count_plan_name,
+                      uint64_t* count, QueryStats* stats);
 
   // Re-encode pass over elements with buffered shapes (§IV-C).
   Status ReencodeBufferedElements();
@@ -192,6 +164,8 @@ class TMan {
 
   cache::RedisLikeStore redis_;
   std::unique_ptr<IndexCache> index_cache_;
+  std::unique_ptr<QueryPlanner> planner_;
+  std::unique_ptr<Executor> executor_;
   BufferShapeCache buffer_cache_;
   uint64_t reencode_count_ = 0;
   uint64_t rows_rewritten_ = 0;

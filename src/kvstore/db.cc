@@ -251,9 +251,36 @@ Iterator* DB::NewIterator(const ReadOptions& ro) {
   return new DBIter(snap.mem, snap.version, snap.sequence, internal);
 }
 
+namespace {
+
+// Adapter giving the vector-returning Scan the streaming code path.
+class CollectPairsSink : public RowSink {
+ public:
+  explicit CollectPairsSink(
+      std::vector<std::pair<std::string, std::string>>* out)
+      : out_(out) {}
+
+  bool Accept(const Slice& key, const Slice& value) override {
+    out_->emplace_back(key.ToString(), value.ToString());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>>* out_;
+};
+
+}  // namespace
+
 Status DB::Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
                 const ScanFilter* filter, size_t limit,
                 std::vector<std::pair<std::string, std::string>>* out,
+                ScanStats* stats) {
+  CollectPairsSink sink(out);
+  return Scan(ro, start, end, filter, limit, &sink, stats);
+}
+
+Status DB::Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
+                const ScanFilter* filter, size_t limit, RowSink* sink,
                 ScanStats* stats) {
   std::unique_ptr<Iterator> iter(NewIterator(ro));
   ScanStats local;
@@ -262,7 +289,7 @@ Status DB::Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
     local.scanned++;
     if (filter == nullptr || filter->Matches(iter->key(), iter->value())) {
       local.matched++;
-      out->emplace_back(iter->key().ToString(), iter->value().ToString());
+      if (!sink->Accept(iter->key(), iter->value())) break;
       if (limit != 0 && local.matched >= limit) break;
     }
   }

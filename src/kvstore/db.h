@@ -48,9 +48,17 @@ class DB {
 
   // Filtered range scan [start, end); the filter (may be nullptr) runs
   // inside the storage layer ("push-down"). limit==0 means unlimited.
+  // Thin adapter over the sink-based overload below.
   Status Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
               const ScanFilter* filter, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out,
+              ScanStats* stats);
+
+  // Streaming scan: matching rows are delivered to `sink` as the iterator
+  // produces them; the sink returning false stops the scan immediately
+  // (rows past the stop are neither scanned nor counted).
+  Status Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
+              const ScanFilter* filter, size_t limit, RowSink* sink,
               ScanStats* stats);
 
   // Forces a memtable flush to L0 (no-op when empty).

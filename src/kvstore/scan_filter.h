@@ -20,6 +20,24 @@ class ScanFilter {
   virtual bool Matches(const Slice& key, const Slice& value) const = 0;
 };
 
+// Streaming consumer of scan results. Rows matching the pushed-down filter
+// are delivered one at a time instead of being materialized into a vector,
+// so multi-stage pipelines (scan -> merge -> decode -> accumulate) compose
+// without intermediate copies. Accept returning false terminates the scan
+// (early termination: global limits, top-k cutoffs). The slices are only
+// valid for the duration of the call.
+//
+// Thread model: DB::Scan invokes a sink from the scanning thread only;
+// cluster-level parallel scans serialize deliveries before reaching a
+// caller-provided sink, so implementations need no internal locking.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+
+  // Consumes one matching row. Returns false to stop the scan.
+  virtual bool Accept(const Slice& key, const Slice& value) = 0;
+};
+
 // Counters reported by a filtered scan; "scanned" is the number of rows the
 // storage layer touched (the paper's "candidates"), "matched" the number
 // returned to the caller.

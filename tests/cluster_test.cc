@@ -151,5 +151,119 @@ TEST(ClusterTest, ScanLimitPerRange) {
   EXPECT_EQ(out.size(), 7u);
 }
 
+TEST(ClusterTest, ScanLimitAppliesToEachRange) {
+  Cluster cluster(TestDir("limit_multi"), 2, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t", 1).ok());
+  ClusterTable* table = cluster.GetTable("t");
+  for (uint64_t v = 0; v < 50; v++) {
+    ASSERT_TRUE(table->Put(Key(0, v), "x").ok());
+  }
+  // The limit is per range, not global: two disjoint windows with limit 7
+  // each contribute up to 7 rows.
+  std::vector<KeyRange> windows = {KeyRange{Key(0, 0), Key(0, 20)},
+                                   KeyRange{Key(0, 20), Key(0, 50)}};
+  std::vector<Row> out;
+  ASSERT_TRUE(table->ParallelScan(windows, nullptr, 7, &out, nullptr).ok());
+  EXPECT_EQ(out.size(), 14u);
+}
+
+// Routing regression: a range whose shard bytes extend past num_shards must
+// wrap onto the regions that actually host those bytes (byte % num_shards)
+// instead of scanning nothing or every region.
+TEST(ClusterTest, RoutingWrapsPastShardCount) {
+  Cluster cluster(TestDir("route_wrap"), 2, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t", 4).ok());
+  ClusterTable* table = cluster.GetTable("t");
+  // Keys with shard bytes 4..9 land on regions 0..3 via byte % 4.
+  for (uint8_t b = 4; b <= 9; b++) {
+    for (uint64_t v = 0; v < 5; v++) {
+      ASSERT_TRUE(table->Put(Key(b, v), std::to_string(b)).ok());
+    }
+  }
+  // [byte 5, byte 9): exactly the rows with shard bytes 5..8.
+  std::vector<KeyRange> windows = {KeyRange{Key(5, 0), Key(9, 0)}};
+  std::vector<Row> out;
+  ASSERT_TRUE(table->ParallelScan(windows, nullptr, 0, &out, nullptr).ok());
+  ASSERT_EQ(out.size(), 4u * 5);
+  for (const Row& row : out) {
+    const uint8_t b = static_cast<uint8_t>(row.key[0]);
+    EXPECT_GE(b, 5);
+    EXPECT_LE(b, 8);
+  }
+
+  // A one-byte end key excludes its byte entirely ([byte 5, "\x08")).
+  std::vector<KeyRange> exclusive = {
+      KeyRange{Key(5, 0), std::string(1, '\x08')}};
+  out.clear();
+  ASSERT_TRUE(table->ParallelScan(exclusive, nullptr, 0, &out, nullptr).ok());
+  ASSERT_EQ(out.size(), 3u * 5);
+  for (const Row& row : out) {
+    EXPECT_LE(static_cast<uint8_t>(row.key[0]), 7);
+  }
+}
+
+// Sink scans must stop every in-flight region once the sink declines a row.
+class TakeNSink : public kv::RowSink {
+ public:
+  explicit TakeNSink(size_t n) : n_(n) {}
+  bool Accept(const Slice& key, const Slice&) override {
+    keys.push_back(key.ToString());
+    return keys.size() < n_;
+  }
+  std::vector<std::string> keys;
+
+ private:
+  size_t n_;
+};
+
+TEST(ClusterTest, SinkScanBroadcastsEarlyTermination) {
+  Cluster cluster(TestDir("sink_stop"), 4, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t", 4).ok());
+  ClusterTable* table = cluster.GetTable("t");
+  std::vector<Row> rows;
+  for (uint8_t shard = 0; shard < 4; shard++) {
+    for (uint64_t v = 0; v < 500; v++) {
+      rows.push_back(Row{Key(shard, v), "x"});
+    }
+  }
+  ASSERT_TRUE(table->BatchPut(rows).ok());
+
+  std::vector<KeyRange> windows;
+  for (uint8_t shard = 0; shard < 4; shard++) {
+    windows.push_back(KeyRange{Key(shard, 0), Key(shard, 500)});
+  }
+  TakeNSink sink(5);
+  kv::ScanStats stats;
+  ASSERT_TRUE(table->ParallelScan(windows, nullptr, 0, &sink, &stats).ok());
+  EXPECT_EQ(sink.keys.size(), 5u);
+  // The stop must propagate to all four region scans well before they
+  // drain their 500-row windows.
+  EXPECT_LT(stats.scanned, rows.size() / 2);
+}
+
+TEST(ClusterTest, ParallelBatchPutWritesEveryRegion) {
+  Cluster cluster(TestDir("batch_parallel"), 3, kv::Options());
+  ASSERT_TRUE(cluster.CreateTable("t", 8).ok());
+  ClusterTable* table = cluster.GetTable("t");
+  std::vector<Row> rows;
+  for (uint8_t shard = 0; shard < 8; shard++) {
+    for (uint64_t v = 0; v < 400; v++) {
+      rows.push_back(Row{Key(shard, v), std::to_string(shard * 1000 + v)});
+    }
+  }
+  ASSERT_TRUE(table->BatchPut(rows).ok());
+
+  std::vector<KeyRange> windows;
+  for (uint8_t shard = 0; shard < 8; shard++) {
+    windows.push_back(KeyRange{Key(shard, 0), Key(shard, 400)});
+  }
+  std::vector<Row> out;
+  ASSERT_TRUE(table->ParallelScan(windows, nullptr, 0, &out, nullptr).ok());
+  ASSERT_EQ(out.size(), rows.size());
+  std::string value;
+  ASSERT_TRUE(table->Get(Key(7, 399), &value).ok());
+  EXPECT_EQ(value, "7399");
+}
+
 }  // namespace
 }  // namespace tman::cluster
