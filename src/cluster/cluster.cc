@@ -228,6 +228,33 @@ Status ClusterTable::CompactAll() {
   return Status::OK();
 }
 
+kv::DB::Stats ClusterTable::GetStorageStats() {
+  kv::DB::Stats total;
+  for (auto& region : regions_) {
+    kv::DB::Stats s = region->db()->GetStats();
+    if (total.files_per_level.size() < s.files_per_level.size()) {
+      total.files_per_level.resize(s.files_per_level.size(), 0);
+      total.bytes_per_level.resize(s.bytes_per_level.size(), 0);
+    }
+    for (size_t l = 0; l < s.files_per_level.size(); l++) {
+      total.files_per_level[l] += s.files_per_level[l];
+      total.bytes_per_level[l] += s.bytes_per_level[l];
+    }
+    total.memtable_bytes += s.memtable_bytes;
+    total.imm_memtable_bytes += s.imm_memtable_bytes;
+    total.block_cache_hits += s.block_cache_hits;
+    total.block_cache_misses += s.block_cache_misses;
+    total.flush_count += s.flush_count;
+    total.compaction_count += s.compaction_count;
+    total.compaction_bytes_read += s.compaction_bytes_read;
+    total.compaction_bytes_written += s.compaction_bytes_written;
+    total.stall_count += s.stall_count;
+    total.stall_micros += s.stall_micros;
+    total.wal_syncs += s.wal_syncs;
+  }
+  return total;
+}
+
 uint64_t ClusterTable::TotalBytes() {
   uint64_t total = 0;
   for (auto& region : regions_) {
@@ -245,7 +272,13 @@ Cluster::Cluster(std::string base_dir, int num_servers, kv::Options options)
     : base_dir_(std::move(base_dir)),
       num_servers_(num_servers),
       options_(options),
-      pool_(static_cast<size_t>(num_servers)) {
+      pool_(static_cast<size_t>(num_servers)),
+      bg_pool_(static_cast<size_t>(num_servers)) {
+  // All region stores share the cluster's maintenance pool unless the
+  // caller wired a specific one (or disabled background work entirely).
+  if (options_.background_flush && options_.background_pool == nullptr) {
+    options_.background_pool = &bg_pool_;
+  }
   std::filesystem::create_directories(base_dir_);
 }
 

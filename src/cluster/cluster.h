@@ -72,7 +72,9 @@ class ClusterTable {
 
   // Groups the batch rows by shard and writes one batch per region, in
   // parallel on the cluster thread pool (each region owns its own LSM
-  // store, so cross-region writes never contend).
+  // store, so cross-region writes never contend). With background flushes
+  // enabled each write only pays WAL append + memtable insert; flush and
+  // compaction latency moves off this path onto the maintenance pool.
   Status BatchPut(const std::vector<Row>& rows);
 
   // Scans all `ranges` in parallel with the filter pushed down to the
@@ -106,6 +108,10 @@ class ClusterTable {
   // Total SSTable bytes across regions (storage-cost accounting).
   uint64_t TotalBytes();
 
+  // Element-wise aggregate of the per-region storage-engine stats (level
+  // file counts/bytes, flush/compaction work, write-stall time).
+  kv::DB::Stats GetStorageStats();
+
  private:
   // Regions whose shard range intersects [range.start, range.end).
   std::vector<Region*> RoutingRegions(const KeyRange& range);
@@ -117,7 +123,11 @@ class ClusterTable {
 
 // A simulated cluster: `num_servers` logical region servers sharing a
 // thread pool with one thread per server. Tables are created with a shard
-// count; shard i is hosted by server (i % num_servers).
+// count; shard i is hosted by server (i % num_servers). A second pool of
+// the same size runs background memtable flushes and compactions for all
+// region stores (the HBase flusher/compactor threads analogue); it is kept
+// separate from the request pool so maintenance work queued behind writer
+// tasks can never deadlock a BatchPut that is stalled on backpressure.
 class Cluster {
  public:
   // base_dir is created if missing; each table gets a subdirectory.
@@ -137,7 +147,8 @@ class Cluster {
   std::string base_dir_;
   int num_servers_;
   kv::Options options_;
-  ThreadPool pool_;
+  ThreadPool pool_;     // request execution (scans, batched writes)
+  ThreadPool bg_pool_;  // flush/compaction; outlives tables_ (decl. order)
   std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<ClusterTable>> tables_;
 };

@@ -24,6 +24,22 @@ struct QueryStats {
   std::string plan;  // RBO/CBO decision, e.g. "primary:tshape"
 };
 
+// System-wide storage-engine accounting, aggregated over every table and
+// region store: background flush/compaction work and write backpressure.
+// Complements the per-query numbers above with the ingest-side costs the
+// paper's sustained-loading experiments measure.
+struct StorageStats {
+  uint64_t flush_count = 0;               // memtable -> L0 flushes
+  uint64_t compaction_count = 0;          // merge compactions
+  uint64_t compaction_bytes_read = 0;     // compaction input bytes
+  uint64_t compaction_bytes_written = 0;  // compaction output bytes
+  uint64_t stall_count = 0;               // writer slowdowns + hard stalls
+  uint64_t stall_micros = 0;              // total throttled writer time
+  uint64_t wal_syncs = 0;                 // fsyncs for sync writes
+  uint64_t sstable_bytes = 0;             // on-disk bytes across levels
+  uint64_t memtable_bytes = 0;            // active + frozen memtables
+};
+
 }  // namespace tman::core
 
 #endif  // TMAN_CORE_QUERY_STATS_H_

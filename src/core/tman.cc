@@ -443,6 +443,25 @@ Status TMan::CompactAll() {
   return s;
 }
 
+StorageStats TMan::GetStorageStats() {
+  StorageStats total;
+  for (cluster::ClusterTable* table :
+       {primary_, tr_table_, idt_table_, meta_table_}) {
+    if (table == nullptr) continue;
+    kv::DB::Stats s = table->GetStorageStats();
+    total.flush_count += s.flush_count;
+    total.compaction_count += s.compaction_count;
+    total.compaction_bytes_read += s.compaction_bytes_read;
+    total.compaction_bytes_written += s.compaction_bytes_written;
+    total.stall_count += s.stall_count;
+    total.stall_micros += s.stall_micros;
+    total.wal_syncs += s.wal_syncs;
+    for (uint64_t b : s.bytes_per_level) total.sstable_bytes += b;
+    total.memtable_bytes += s.memtable_bytes + s.imm_memtable_bytes;
+  }
+  return total;
+}
+
 // ---------------------------------------------------------------------------
 // Queries: thin plan -> execute -> stats entry points. Window generation and
 // RBO/CBO branching live in QueryPlanner; row flow lives in Executor.

@@ -55,6 +55,10 @@ class TMan {
   Status Flush();
   Status CompactAll();
 
+  // Storage-engine counters aggregated over all tables (primary + indexes
+  // + meta): background flush/compaction work and write backpressure.
+  StorageStats GetStorageStats();
+
   // --- Fundamental queries (§V) ---
 
   Status TemporalRangeQuery(int64_t ts, int64_t te,

@@ -1,6 +1,7 @@
 #ifndef TMAN_KVSTORE_CACHE_H_
 #define TMAN_KVSTORE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -19,7 +20,9 @@ template <typename T>
 class ShardedLRUCache {
  public:
   explicit ShardedLRUCache(size_t capacity_bytes)
-      : per_shard_capacity_(capacity_bytes / kNumShards + 1) {}
+      : per_shard_capacity_(capacity_bytes / kNumShards + 1) {
+    for (auto& shard : shards_) shard.capacity = per_shard_capacity_;
+  }
 
   void Insert(const std::string& key, std::shared_ptr<T> value,
               size_t charge) {
@@ -34,12 +37,16 @@ class ShardedLRUCache {
 
   uint64_t hits() const {
     uint64_t total = 0;
-    for (const auto& s : shards_) total += s.hits_;
+    for (const auto& s : shards_) {
+      total += s.hits_.load(std::memory_order_relaxed);
+    }
     return total;
   }
   uint64_t misses() const {
     uint64_t total = 0;
-    for (const auto& s : shards_) total += s.misses_;
+    for (const auto& s : shards_) {
+      total += s.misses_.load(std::memory_order_relaxed);
+    }
     return total;
   }
 
@@ -58,8 +65,8 @@ class ShardedLRUCache {
     std::unordered_map<std::string, typename std::list<Entry>::iterator> map;
     size_t usage = 0;
     size_t capacity = 0;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
 
     void Insert(const std::string& key, std::shared_ptr<T> value,
                 size_t charge) {
@@ -85,10 +92,10 @@ class ShardedLRUCache {
       std::lock_guard<std::mutex> lock(mu);
       auto it = map.find(key);
       if (it == map.end()) {
-        misses_++;
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
       }
-      hits_++;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       lru.splice(lru.begin(), lru, it->second);
       return it->second->value;
     }
@@ -105,9 +112,7 @@ class ShardedLRUCache {
 
   LRUShard& Shard(const std::string& key) {
     uint32_t h = Hash32(key.data(), key.size(), 0);
-    LRUShard& shard = shards_[h % kNumShards];
-    if (shard.capacity == 0) shard.capacity = per_shard_capacity_;
-    return shard;
+    return shards_[h % kNumShards];
   }
 
   size_t per_shard_capacity_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 #include "common/coding.h"
+#include "common/thread_pool.h"
 #include "kvstore/filename.h"
 #include "kvstore/merge_iterator.h"
 #include "kvstore/table.h"
@@ -12,14 +15,29 @@ namespace tman::kv {
 
 namespace {
 
+// Group-commit size caps (LevelDB's heuristics): large groups amortize the
+// WAL append, but a tiny leader batch should not wait behind a megabyte of
+// follower data.
+constexpr size_t kMaxGroupBytes = 1 << 20;
+constexpr size_t kSmallBatchBytes = 128 << 10;
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // Iterator over user keys: wraps a merging iterator over internal keys and
 // collapses versions/tombstones at a snapshot sequence number. The wrapped
-// state (memtable + version) is kept alive by the shared_ptrs captured here.
+// state (memtables + version) is kept alive by the shared_ptrs captured
+// here, so flushes and compactions never invalidate a live iterator.
 class DBIter final : public Iterator {
  public:
-  DBIter(std::shared_ptr<MemTable> mem, VersionPtr version,
-         SequenceNumber sequence, Iterator* internal_iter)
+  DBIter(std::shared_ptr<MemTable> mem, std::shared_ptr<MemTable> imm,
+         VersionPtr version, SequenceNumber sequence, Iterator* internal_iter)
       : mem_(std::move(mem)),
+        imm_(std::move(imm)),
         version_(std::move(version)),
         sequence_(sequence),
         iter_(internal_iter) {}
@@ -86,6 +104,7 @@ class DBIter final : public Iterator {
   }
 
   std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<MemTable> imm_;
   VersionPtr version_;
   const SequenceNumber sequence_;
   std::unique_ptr<Iterator> iter_;
@@ -95,6 +114,32 @@ class DBIter final : public Iterator {
   std::string key_;
   std::string value_;
 };
+
+// Builds an SSTable from a memtable iterator. Pure I/O: needs no DB state
+// beyond the pre-assigned file number in `meta`.
+Status BuildTableFromMem(const Options& options, Env* env,
+                         const std::string& dbname, MemTable* mem,
+                         FileMetaData* meta) {
+  const std::string fname = TableFileName(dbname, meta->number);
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  {
+    TableBuilder builder(options, file.get());
+    std::unique_ptr<Iterator> iter(mem->NewIterator());
+    iter->SeekToFirst();
+    assert(iter->Valid());  // callers flush only non-empty memtables
+    meta->smallest.DecodeFrom(iter->key());
+    for (; iter->Valid(); iter->Next()) {
+      builder.Add(iter->key(), iter->value());
+      meta->largest.DecodeFrom(iter->key());
+    }
+    s = builder.Finish();
+    if (!s.ok()) return s;
+    meta->file_size = builder.FileSize();
+  }
+  return file->Close();
+}
 
 }  // namespace
 
@@ -109,12 +154,15 @@ DB::DB(const Options& options, std::string name)
 }
 
 DB::~DB() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  shutting_down_ = true;
+  while (bg_active_) bg_cv_.wait(lock);
   // Persist any buffered writes so reopen sees them without WAL replay cost.
-  if (mem_->num_entries() > 0) {
-    FlushMemTableLocked();
-  }
+  if (imm_ != nullptr) FlushImmutable(nullptr);
+  if (mem_->num_entries() > 0) FlushActiveLocked();
   if (wal_ != nullptr) wal_->Close();
+  // owned_pool_ (if any) joins its idle worker during member destruction;
+  // no task can still be queued because bg_active_ is false.
 }
 
 Status DB::Open(const Options& options, const std::string& name,
@@ -123,6 +171,14 @@ Status DB::Open(const Options& options, const std::string& name,
   std::unique_ptr<DB> db(new DB(options, name));
   Status s = db->Recover();
   if (!s.ok()) return s;
+  if (db->options_.background_flush) {
+    if (db->options_.background_pool != nullptr) {
+      db->bg_pool_ = db->options_.background_pool;
+    } else {
+      db->owned_pool_ = std::make_unique<ThreadPool>(1);
+      db->bg_pool_ = db->owned_pool_.get();
+    }
+  }
   *dbptr = std::move(db);
   return Status::OK();
 }
@@ -140,8 +196,9 @@ Status DB::Recover() {
   s = versions_->Recover();
   if (!s.ok()) return s;
 
-  // Replay all WALs present (ascending file number), then flush so that at
-  // most one (fresh) WAL exists afterwards.
+  // Replay all WALs present (ascending file number) — after a crash there
+  // may be two: the one backing the frozen memtable and the active one.
+  // Then flush so that at most one (fresh) WAL exists afterwards.
   std::vector<std::string> children;
   s = env_->GetChildren(name_, &children);
   if (!s.ok()) return s;
@@ -159,7 +216,7 @@ Status DB::Recover() {
     if (!s.ok()) return s;
   }
   if (mem_->num_entries() > 0) {
-    s = WriteMemTableToLevel0Locked();
+    s = WriteLevel0Table(mem_, nullptr);
     if (!s.ok()) return s;
     mem_ = std::make_shared<MemTable>(icmp_);
   }
@@ -174,7 +231,7 @@ Status DB::Recover() {
   s = versions_->WriteSnapshot();
   if (!s.ok()) return s;
   RemoveObsoleteFilesLocked();
-  return MaybeCompactLocked();
+  return CompactLoopLocked();
 }
 
 Status DB::ReplayWal(uint64_t wal_number) {
@@ -210,25 +267,188 @@ Status DB::Delete(const WriteOptions& wo, const Slice& key) {
 }
 
 Status DB::Write(const WriteOptions& wo, WriteBatch* batch) {
-  (void)wo;
+  assert(batch != nullptr);
   if (batch->Count() == 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t seq = versions_->last_sequence() + 1;
-  batch->SetSequence(seq);
-  Status s = wal_->AddRecord(batch->rep());
-  if (!s.ok()) return s;
-  s = batch->InsertInto(mem_.get());
-  if (!s.ok()) return s;
-  versions_->SetLastSequence(seq + batch->Count() - 1);
-  if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
-    s = FlushMemTableLocked();
+
+  Writer w(batch, wo.sync);
+  std::unique_lock<std::mutex> lock(mu_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(lock);
   }
+  if (w.done) return w.status;  // a previous leader committed our batch
+
+  // This thread is the leader: it owns the write path (WAL + active
+  // memtable) until it pops itself off the queue below.
+  Status s = MakeRoomForWrite(lock);
+  Writer* last_writer = &w;
+  if (s.ok()) {
+    WriteBatch* group = BuildBatchGroup(&last_writer);
+    const uint64_t seq = versions_->last_sequence() + 1;
+    group->SetSequence(seq);
+    const uint32_t count = group->Count();
+    const bool sync = w.sync;
+
+    // Append + apply without the mutex: followers are parked, readers see
+    // the pre-write snapshot until SetLastSequence publishes the entries,
+    // and the skiplist supports one writer with concurrent readers.
+    lock.unlock();
+    s = wal_->AddRecord(group->rep());
+    if (s.ok() && sync) {
+      s = env_->SyncFile(wal_->file());
+    }
+    if (s.ok()) {
+      s = group->InsertInto(mem_.get());
+    }
+    lock.lock();
+    if (sync) wal_syncs_++;
+    if (s.ok()) {
+      versions_->SetLastSequence(seq + count - 1);
+    }
+    if (group == &tmp_batch_) tmp_batch_.Clear();
+
+    // Legacy synchronous mode: pay flush + compaction inline.
+    if (s.ok() && !options_.background_flush &&
+        mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
+      s = FlushActiveLocked();
+      if (s.ok()) s = CompactLoopLocked();
+    }
+  }
+
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = s;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  return s;
+}
+
+WriteBatch* DB::BuildBatchGroup(Writer** last_writer) {
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  size_t size = first->batch->ApproximateSize();
+  size_t max_size = kMaxGroupBytes;
+  if (size <= kSmallBatchBytes) max_size = size + kSmallBatchBytes;
+
+  *last_writer = first;
+  auto iter = writers_.begin();
+  for (++iter; iter != writers_.end(); ++iter) {
+    Writer* w = *iter;
+    if (w->batch == nullptr) break;  // exclusive maintenance marker
+    if (w->sync && !first->sync) {
+      break;  // grouping must not weaken a follower's sync guarantee
+    }
+    size += w->batch->ApproximateSize();
+    if (size > max_size) break;
+    if (result == first->batch) {
+      // Switch to the scratch batch; the caller's batch stays untouched.
+      result = &tmp_batch_;
+      assert(result->Count() == 0);
+      result->Append(*first->batch);
+    }
+    result->Append(*w->batch);
+    *last_writer = w;
+  }
+  return result;
+}
+
+Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+  if (!options_.background_flush) return bg_error_;
+  bool allow_delay = true;
+  while (true) {
+    if (!bg_error_.ok()) return bg_error_;
+    const int l0_files = versions_->current()->NumFiles(0);
+    if (allow_delay && l0_files >= options_.l0_slowdown_trigger &&
+        l0_files < options_.l0_stop_trigger) {
+      // Soft backpressure: yield 1ms to the compactor, at most once per
+      // write, so latency degrades smoothly instead of cliffing at the
+      // stop trigger.
+      MaybeScheduleBackground();
+      const uint64_t start = NowMicros();
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      lock.lock();
+      stall_count_++;
+      stall_micros_ += NowMicros() - start;
+      allow_delay = false;
+      continue;
+    }
+    if (mem_->ApproximateMemoryUsage() < options_.write_buffer_size ||
+        mem_->num_entries() == 0) {
+      // Room left; the num_entries guard keeps a tiny write_buffer_size
+      // from freezing an *empty* memtable (whose arena baseline — the
+      // skiplist head block — can already exceed the budget).
+      return Status::OK();
+    }
+    if (imm_ != nullptr) {
+      // The previous flush has not finished: hard stall.
+      MaybeScheduleBackground();
+      const uint64_t start = NowMicros();
+      bg_cv_.wait(lock);
+      stall_count_++;
+      stall_micros_ += NowMicros() - start;
+      continue;
+    }
+    if (versions_->current()->NumFiles(0) >= options_.l0_stop_trigger) {
+      // Too many L0 files: hard stall until a compaction retires some.
+      MaybeScheduleBackground();
+      const uint64_t start = NowMicros();
+      bg_cv_.wait(lock);
+      stall_count_++;
+      stall_micros_ += NowMicros() - start;
+      continue;
+    }
+
+    // Freeze the full memtable and switch to a fresh one + fresh WAL. The
+    // old WAL stays on disk until the flush completes, so a crash in
+    // between replays both.
+    const uint64_t new_wal = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> wal_file;
+    Status s = env_->NewWritableFile(WalFileName(name_, new_wal), &wal_file);
+    if (!s.ok()) return s;
+    wal_->Close();
+    wal_ = std::make_unique<LogWriter>(std::move(wal_file));
+    imm_wal_number_ = wal_number_;
+    wal_number_ = new_wal;
+    versions_->SetWalNumber(new_wal);
+    imm_ = mem_;
+    mem_ = std::make_shared<MemTable>(icmp_);
+    MaybeScheduleBackground();
+    // Loop: the fresh memtable has room.
+  }
+}
+
+Status DB::RunExclusive(const std::function<Status()>& fn) {
+  Writer w(nullptr, false);
+  std::unique_lock<std::mutex> lock(mu_);
+  writers_.push_back(&w);
+  while (&w != writers_.front()) {
+    w.cv.wait(lock);
+  }
+  // Drain in-flight background work; exclusive_waiters_ stops the worker
+  // from rescheduling itself so this cannot starve.
+  exclusive_waiters_++;
+  while (bg_active_) bg_cv_.wait(lock);
+  exclusive_waiters_--;
+
+  Status s = bg_error_.ok() ? fn() : bg_error_;
+
+  writers_.pop_front();
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  MaybeScheduleBackground();
   return s;
 }
 
 DB::ReadSnapshot DB::AcquireReadSnapshot() {
   std::lock_guard<std::mutex> lock(mu_);
-  return ReadSnapshot{mem_, versions_->current(), versions_->last_sequence()};
+  return ReadSnapshot{mem_, imm_, versions_->current(),
+                      versions_->last_sequence()};
 }
 
 Status DB::Get(const ReadOptions& ro, const Slice& key, std::string* value) {
@@ -236,6 +456,9 @@ Status DB::Get(const ReadOptions& ro, const Slice& key, std::string* value) {
   LookupKey lkey(key, snap.sequence);
   Status s;
   if (snap.mem->Get(lkey, value, &s)) {
+    return s;
+  }
+  if (snap.imm != nullptr && snap.imm->Get(lkey, value, &s)) {
     return s;
   }
   // Version::Get is const w.r.t. tree shape; needs non-const for table reads.
@@ -246,9 +469,12 @@ Iterator* DB::NewIterator(const ReadOptions& ro) {
   ReadSnapshot snap = AcquireReadSnapshot();
   std::vector<Iterator*> children;
   children.push_back(snap.mem->NewIterator());
+  if (snap.imm != nullptr) {
+    children.push_back(snap.imm->NewIterator());
+  }
   const_cast<Version*>(snap.version.get())->AddIterators(ro, &children);
   Iterator* internal = NewMergingIterator(&icmp_, std::move(children));
-  return new DBIter(snap.mem, snap.version, snap.sequence, internal);
+  return new DBIter(snap.mem, snap.imm, snap.version, snap.sequence, internal);
 }
 
 namespace {
@@ -298,13 +524,88 @@ Status DB::Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
 }
 
 Status DB::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushMemTableLocked();
+  return RunExclusive([this]() {
+    if (imm_ == nullptr && mem_->num_entries() == 0) return Status::OK();
+    Status s;
+    if (imm_ != nullptr) s = FlushImmutable(nullptr);
+    if (s.ok()) s = FlushActiveLocked();
+    if (s.ok()) s = CompactLoopLocked();
+    return s;
+  });
 }
 
-Status DB::FlushMemTableLocked() {
+Status DB::CompactAll() {
+  return RunExclusive([this]() {
+    Status s;
+    if (imm_ != nullptr) s = FlushImmutable(nullptr);
+    if (s.ok()) s = FlushActiveLocked();
+    if (!s.ok()) return s;
+    for (int level = 0; level < options_.num_levels - 1; level++) {
+      VersionPtr current = versions_->current();
+      CompactionJob job;
+      job.level = level;
+      job.inputs_n = current->LevelFiles(level);
+      if (job.inputs_n.empty()) continue;
+      Slice smallest = job.inputs_n[0]->smallest.user_key();
+      Slice largest = job.inputs_n[0]->largest.user_key();
+      for (const auto& f : job.inputs_n) {
+        if (f->smallest.user_key().compare(smallest) < 0) {
+          smallest = f->smallest.user_key();
+        }
+        if (f->largest.user_key().compare(largest) > 0) {
+          largest = f->largest.user_key();
+        }
+      }
+      for (const auto& f : current->LevelFiles(level + 1)) {
+        if (f->largest.user_key().compare(smallest) >= 0 &&
+            f->smallest.user_key().compare(largest) <= 0) {
+          job.inputs_np1.push_back(f);
+        }
+      }
+      s = RunCompaction(job, nullptr);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  });
+}
+
+Status DB::WriteLevel0Table(const std::shared_ptr<MemTable>& mem,
+                            std::unique_lock<std::mutex>* lock) {
+  auto meta = std::make_shared<FileMetaData>();
+  meta->number = versions_->NewFileNumber();
+  pending_outputs_.insert(meta->number);
+
+  if (lock != nullptr) lock->unlock();
+  Status s = BuildTableFromMem(options_, env_, name_, mem.get(), meta.get());
+  if (s.ok()) s = versions_->OpenTable(meta.get());
+  if (lock != nullptr) lock->lock();
+
+  pending_outputs_.erase(meta->number);
+  if (!s.ok()) {
+    env_->RemoveFile(TableFileName(name_, meta->number));
+    return s;
+  }
+  flush_count_++;
+  return versions_->InstallVersion(0, {std::move(meta)}, {}, -1);
+}
+
+Status DB::FlushImmutable(std::unique_lock<std::mutex>* lock) {
+  assert(imm_ != nullptr);
+  std::shared_ptr<MemTable> imm = imm_;
+  Status s = WriteLevel0Table(imm, lock);
+  if (!s.ok()) return s;
+  imm_ = nullptr;
+  const uint64_t old_wal = imm_wal_number_;
+  imm_wal_number_ = 0;
+  // InstallVersion persisted the MANIFEST, so the frozen WAL is droppable.
+  if (old_wal != 0) env_->RemoveFile(WalFileName(name_, old_wal));
+  RemoveObsoleteFilesLocked(lock);
+  return Status::OK();
+}
+
+Status DB::FlushActiveLocked() {
   if (mem_->num_entries() == 0) return Status::OK();
-  Status s = WriteMemTableToLevel0Locked();
+  Status s = WriteLevel0Table(mem_, nullptr);
   if (!s.ok()) return s;
   mem_ = std::make_shared<MemTable>(icmp_);
 
@@ -320,39 +621,7 @@ Status DB::FlushMemTableLocked() {
   s = versions_->WriteSnapshot();
   if (!s.ok()) return s;
   env_->RemoveFile(WalFileName(name_, old_wal));
-  return MaybeCompactLocked();
-}
-
-Status DB::WriteMemTableToLevel0Locked() {
-  auto meta = std::make_shared<FileMetaData>();
-  meta->number = versions_->NewFileNumber();
-  const std::string fname = TableFileName(name_, meta->number);
-
-  std::unique_ptr<WritableFile> file;
-  Status s = env_->NewWritableFile(fname, &file);
-  if (!s.ok()) return s;
-  {
-    TableBuilder builder(options_, file.get());
-    std::unique_ptr<Iterator> iter(mem_->NewIterator());
-    iter->SeekToFirst();
-    if (!iter->Valid()) return Status::OK();
-    meta->smallest.DecodeFrom(iter->key());
-    Slice last;
-    for (; iter->Valid(); iter->Next()) {
-      builder.Add(iter->key(), iter->value());
-      last = iter->key();
-      meta->largest.DecodeFrom(last);
-    }
-    s = builder.Finish();
-    if (!s.ok()) return s;
-    meta->file_size = builder.FileSize();
-  }
-  s = file->Close();
-  if (!s.ok()) return s;
-
-  s = versions_->OpenTable(meta.get());
-  if (!s.ok()) return s;
-  return versions_->InstallVersion(0, {std::move(meta)}, {}, -1);
+  return Status::OK();
 }
 
 uint64_t DB::MaxBytesForLevel(int level) const {
@@ -361,94 +630,111 @@ uint64_t DB::MaxBytesForLevel(int level) const {
   return result;
 }
 
-Status DB::MaybeCompactLocked() {
-  for (int round = 0; round < 16; round++) {
-    VersionPtr current = versions_->current();
-    // L0 pressure first.
-    if (current->NumFiles(0) >= options_.l0_compaction_trigger) {
-      std::vector<FileMetaPtr> inputs_n = current->LevelFiles(0);
-      // Compute the union user-key range of L0.
-      Slice smallest = inputs_n[0]->smallest.user_key();
-      Slice largest = inputs_n[0]->largest.user_key();
-      for (const auto& f : inputs_n) {
-        if (f->smallest.user_key().compare(smallest) < 0) {
-          smallest = f->smallest.user_key();
-        }
-        if (f->largest.user_key().compare(largest) > 0) {
-          largest = f->largest.user_key();
-        }
+bool DB::PickCompaction(const VersionPtr& current, CompactionJob* job) const {
+  // L0 pressure first.
+  if (current->NumFiles(0) >= options_.l0_compaction_trigger) {
+    job->level = 0;
+    job->inputs_n = current->LevelFiles(0);
+    // Compute the union user-key range of L0.
+    Slice smallest = job->inputs_n[0]->smallest.user_key();
+    Slice largest = job->inputs_n[0]->largest.user_key();
+    for (const auto& f : job->inputs_n) {
+      if (f->smallest.user_key().compare(smallest) < 0) {
+        smallest = f->smallest.user_key();
       }
-      std::vector<FileMetaPtr> inputs_np1;
-      for (const auto& f : current->LevelFiles(1)) {
-        if (f->largest.user_key().compare(smallest) >= 0 &&
-            f->smallest.user_key().compare(largest) <= 0) {
-          inputs_np1.push_back(f);
-        }
-      }
-      Status s = CompactOnceLocked(0, inputs_n, inputs_np1);
-      if (!s.ok()) return s;
-      continue;
-    }
-
-    // Size pressure on deeper levels.
-    int level = -1;
-    for (int l = 1; l < options_.num_levels - 1; l++) {
-      if (current->NumLevelBytes(l) > MaxBytesForLevel(l)) {
-        level = l;
-        break;
+      if (f->largest.user_key().compare(largest) > 0) {
+        largest = f->largest.user_key();
       }
     }
-    if (level < 0) return Status::OK();
-
-    const auto& files = current->LevelFiles(level);
-    std::vector<FileMetaPtr> inputs_n = {files[0]};
-    std::vector<FileMetaPtr> inputs_np1;
-    for (const auto& f : current->LevelFiles(level + 1)) {
-      if (f->largest.user_key().compare(inputs_n[0]->smallest.user_key()) >=
-              0 &&
-          f->smallest.user_key().compare(inputs_n[0]->largest.user_key()) <=
-              0) {
-        inputs_np1.push_back(f);
+    for (const auto& f : current->LevelFiles(1)) {
+      if (f->largest.user_key().compare(smallest) >= 0 &&
+          f->smallest.user_key().compare(largest) <= 0) {
+        job->inputs_np1.push_back(f);
       }
     }
-    Status s = CompactOnceLocked(level, inputs_n, inputs_np1);
-    if (!s.ok()) return s;
+    return true;
   }
-  return Status::OK();
+
+  // Size pressure on deeper levels.
+  int level = -1;
+  for (int l = 1; l < options_.num_levels - 1; l++) {
+    if (current->NumLevelBytes(l) > MaxBytesForLevel(l)) {
+      level = l;
+      break;
+    }
+  }
+  if (level < 0) return false;
+
+  const auto& files = current->LevelFiles(level);
+  job->level = level;
+  job->inputs_n = {files[0]};
+  for (const auto& f : current->LevelFiles(level + 1)) {
+    if (f->largest.user_key().compare(files[0]->smallest.user_key()) >= 0 &&
+        f->smallest.user_key().compare(files[0]->largest.user_key()) <= 0) {
+      job->inputs_np1.push_back(f);
+    }
+  }
+  return true;
 }
 
-Status DB::CompactOnceLocked(int level,
-                             const std::vector<FileMetaPtr>& inputs_n,
-                             const std::vector<FileMetaPtr>& inputs_np1) {
+Status DB::RunCompaction(const CompactionJob& job,
+                         std::unique_lock<std::mutex>* lock) {
+  const int level = job.level;
   const int output_level = level + 1;
   VersionPtr current = versions_->current();
 
   std::vector<uint64_t> removed;
-  for (const auto& f : inputs_n) removed.push_back(f->number);
-  for (const auto& f : inputs_np1) removed.push_back(f->number);
+  uint64_t bytes_read = 0;
+  for (const auto& f : job.inputs_n) {
+    removed.push_back(f->number);
+    bytes_read += f->file_size;
+  }
+  for (const auto& f : job.inputs_np1) {
+    removed.push_back(f->number);
+    bytes_read += f->file_size;
+  }
 
   // Trivial move: a single deeper-level input with nothing to merge into
   // simply changes level (no rewrite, as in RocksDB's trivial move).
-  if (inputs_n.size() == 1 && inputs_np1.empty() && level > 0) {
-    return versions_->InstallVersion(output_level, {inputs_n[0]}, removed,
+  if (job.inputs_n.size() == 1 && job.inputs_np1.empty() && level > 0) {
+    return versions_->InstallVersion(output_level, {job.inputs_n[0]}, removed,
                                      level);
   }
+
+  // The merge itself needs no DB state: inputs are pinned by the captured
+  // FileMetaPtrs and `current`; output numbers come from the atomic
+  // counter. Release the mutex so readers and writers proceed.
+  if (lock != nullptr) lock->unlock();
 
   ReadOptions ro;
   ro.fill_cache = false;
   std::vector<Iterator*> children;
-  for (const auto& f : inputs_n) children.push_back(f->table->NewIterator(ro));
-  for (const auto& f : inputs_np1) {
+  for (const auto& f : job.inputs_n) {
+    children.push_back(f->table->NewIterator(ro));
+  }
+  for (const auto& f : job.inputs_np1) {
     children.push_back(f->table->NewIterator(ro));
   }
   std::unique_ptr<Iterator> iter(
       NewMergingIterator(&icmp_, std::move(children)));
 
   std::vector<FileMetaPtr> outputs;
+  std::vector<uint64_t> output_numbers;
   std::unique_ptr<WritableFile> out_file;
   std::unique_ptr<TableBuilder> builder;
   FileMetaPtr out_meta;
   Status s;
+
+  auto register_output = [&](uint64_t number) {
+    if (lock != nullptr) {
+      lock->lock();
+      pending_outputs_.insert(number);
+      lock->unlock();
+    } else {
+      pending_outputs_.insert(number);
+    }
+    output_numbers.push_back(number);
+  };
 
   auto finish_output = [&]() -> Status {
     if (builder == nullptr) return Status::OK();
@@ -468,10 +754,11 @@ Status DB::CompactOnceLocked(int level,
   std::string current_user_key;
   bool has_current_user_key = false;
 
-  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+  for (iter->SeekToFirst(); s.ok() && iter->Valid(); iter->Next()) {
     ParsedInternalKey parsed;
     if (!ParseInternalKey(iter->key(), &parsed)) {
-      return Status::Corruption("bad internal key during compaction");
+      s = Status::Corruption("bad internal key during compaction");
+      break;
     }
     if (has_current_user_key &&
         parsed.user_key.compare(Slice(current_user_key)) == 0) {
@@ -488,9 +775,10 @@ Status DB::CompactOnceLocked(int level,
     if (builder == nullptr) {
       out_meta = std::make_shared<FileMetaData>();
       out_meta->number = versions_->NewFileNumber();
+      register_output(out_meta->number);
       s = env_->NewWritableFile(TableFileName(name_, out_meta->number),
                                 &out_file);
-      if (!s.ok()) return s;
+      if (!s.ok()) break;
       builder = std::make_unique<TableBuilder>(options_, out_file.get());
       out_meta->smallest.DecodeFrom(iter->key());
     }
@@ -499,69 +787,120 @@ Status DB::CompactOnceLocked(int level,
 
     if (builder->FileSize() >= options_.max_file_bytes) {
       s = finish_output();
-      if (!s.ok()) return s;
     }
   }
-  if (!iter->status().ok()) return iter->status();
-  s = finish_output();
-  if (!s.ok()) return s;
+  if (s.ok()) s = iter->status();
+  if (s.ok()) s = finish_output();
+
+  if (lock != nullptr) lock->lock();
+  for (uint64_t number : output_numbers) pending_outputs_.erase(number);
+  if (!s.ok()) {
+    for (uint64_t number : output_numbers) {
+      env_->RemoveFile(TableFileName(name_, number));
+    }
+    return s;
+  }
+
+  uint64_t bytes_written = 0;
+  for (const auto& f : outputs) bytes_written += f->file_size;
+  compaction_count_++;
+  compaction_bytes_read_ += bytes_read;
+  compaction_bytes_written_ += bytes_written;
 
   s = versions_->InstallVersion(output_level, std::move(outputs), removed,
                                 level);
   if (!s.ok()) return s;
-  RemoveObsoleteFilesLocked();
+  RemoveObsoleteFilesLocked(lock);
   return Status::OK();
 }
 
-void DB::RemoveObsoleteFilesLocked() {
-  std::vector<std::string> children;
-  if (!env_->GetChildren(name_, &children).ok()) return;
-  std::vector<uint64_t> live = versions_->LiveFiles();
-  for (const auto& child : children) {
-    uint64_t number;
-    std::string suffix;
-    if (!ParseFileName(child, &number, &suffix)) continue;
-    bool keep = true;
-    if (suffix == "sst") {
-      keep = std::find(live.begin(), live.end(), number) != live.end();
-    } else if (suffix == "wal") {
-      keep = (number == wal_number_);
-    }
-    if (!keep) {
-      env_->RemoveFile(name_ + "/" + child);
-    }
-  }
-}
-
-Status DB::CompactAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  Status s = FlushMemTableLocked();
-  if (!s.ok()) return s;
-  for (int level = 0; level < options_.num_levels - 1; level++) {
-    VersionPtr current = versions_->current();
-    std::vector<FileMetaPtr> inputs_n = current->LevelFiles(level);
-    if (inputs_n.empty()) continue;
-    Slice smallest = inputs_n[0]->smallest.user_key();
-    Slice largest = inputs_n[0]->largest.user_key();
-    for (const auto& f : inputs_n) {
-      if (f->smallest.user_key().compare(smallest) < 0) {
-        smallest = f->smallest.user_key();
-      }
-      if (f->largest.user_key().compare(largest) > 0) {
-        largest = f->largest.user_key();
-      }
-    }
-    std::vector<FileMetaPtr> inputs_np1;
-    for (const auto& f : current->LevelFiles(level + 1)) {
-      if (f->largest.user_key().compare(smallest) >= 0 &&
-          f->smallest.user_key().compare(largest) <= 0) {
-        inputs_np1.push_back(f);
-      }
-    }
-    s = CompactOnceLocked(level, inputs_n, inputs_np1);
+Status DB::CompactLoopLocked() {
+  for (int round = 0; round < 16; round++) {
+    CompactionJob job;
+    if (!PickCompaction(versions_->current(), &job)) return Status::OK();
+    Status s = RunCompaction(job, nullptr);
     if (!s.ok()) return s;
   }
   return Status::OK();
+}
+
+bool DB::HasBackgroundWork() const {
+  if (imm_ != nullptr) return true;
+  CompactionJob job;
+  return PickCompaction(versions_->current(), &job);
+}
+
+void DB::MaybeScheduleBackground() {
+  if (bg_pool_ == nullptr) return;
+  if (bg_active_ || shutting_down_ || exclusive_waiters_ > 0) return;
+  if (!bg_error_.ok()) return;
+  if (!HasBackgroundWork()) return;
+  bg_active_ = true;
+  bg_pool_->Submit([this] { BackgroundCall(); });
+}
+
+void DB::BackgroundCall() {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(bg_active_);
+  if (!shutting_down_ && bg_error_.ok()) {
+    Status s;
+    if (imm_ != nullptr) {
+      s = FlushImmutable(&lock);
+    } else {
+      CompactionJob job;
+      if (PickCompaction(versions_->current(), &job)) {
+        s = RunCompaction(job, &lock);
+      }
+    }
+    if (!s.ok()) bg_error_ = s;
+  }
+  // Run one unit per call, then resubmit while work remains so DBs sharing
+  // a pool interleave fairly; yield to exclusive (Flush/CompactAll/close)
+  // waiters, who finish the work inline.
+  if (!shutting_down_ && bg_error_.ok() && exclusive_waiters_ == 0 &&
+      HasBackgroundWork()) {
+    bg_pool_->Submit([this] { BackgroundCall(); });
+  } else {
+    bg_active_ = false;
+  }
+  bg_cv_.notify_all();
+}
+
+void DB::RemoveObsoleteFilesLocked(std::unique_lock<std::mutex>* lock) {
+  // Deciding what is obsolete needs mu_ (live set, pending outputs, WAL
+  // numbers); the directory scan and unlinks are pure I/O and run with the
+  // mutex released on the background path so writers are not blocked.
+  std::vector<uint64_t> live = versions_->LiveFiles();
+  const std::set<uint64_t> pending = pending_outputs_;
+  const uint64_t active_wal = wal_number_;
+  const uint64_t frozen_wal = imm_wal_number_;
+  // Files numbered >= horizon were created after this snapshot (e.g. a WAL
+  // rotated by a concurrent writer once the mutex is released) and must
+  // not be judged by the stale keep-set.
+  const uint64_t horizon = versions_->PeekNextFileNumber();
+
+  if (lock != nullptr) lock->unlock();
+  std::vector<std::string> children;
+  if (env_->GetChildren(name_, &children).ok()) {
+    for (const auto& child : children) {
+      uint64_t number;
+      std::string suffix;
+      if (!ParseFileName(child, &number, &suffix)) continue;
+      if (number >= horizon) continue;
+      bool keep = true;
+      if (suffix == "sst") {
+        keep = pending.count(number) > 0 ||
+               std::find(live.begin(), live.end(), number) != live.end();
+      } else if (suffix == "wal") {
+        keep = (number == active_wal) ||
+               (frozen_wal != 0 && number == frozen_wal);
+      }
+      if (!keep) {
+        env_->RemoveFile(name_ + "/" + child);
+      }
+    }
+  }
+  if (lock != nullptr) lock->lock();
 }
 
 DB::Stats DB::GetStats() {
@@ -573,8 +912,17 @@ DB::Stats DB::GetStats() {
     stats.bytes_per_level.push_back(current->NumLevelBytes(l));
   }
   stats.memtable_bytes = mem_->ApproximateMemoryUsage();
+  stats.imm_memtable_bytes =
+      imm_ != nullptr ? imm_->ApproximateMemoryUsage() : 0;
   stats.block_cache_hits = block_cache_->hits();
   stats.block_cache_misses = block_cache_->misses();
+  stats.flush_count = flush_count_;
+  stats.compaction_count = compaction_count_;
+  stats.compaction_bytes_read = compaction_bytes_read_;
+  stats.compaction_bytes_written = compaction_bytes_written_;
+  stats.stall_count = stall_count_;
+  stats.stall_micros = stall_micros_;
+  stats.wal_syncs = wal_syncs_;
   return stats;
 }
 

@@ -1,8 +1,12 @@
 #ifndef TMAN_KVSTORE_DB_H_
 #define TMAN_KVSTORE_DB_H_
 
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,15 +23,28 @@
 #include "kvstore/version.h"
 #include "kvstore/write_batch.h"
 
+namespace tman {
+class ThreadPool;
+}  // namespace tman
+
 namespace tman::kv {
 
 // Embedded LSM key-value store: WAL + skiplist memtable + leveled SSTables.
 // The public cursor API (NewIterator/Scan) exposes user keys; internal
 // sequence numbers and tombstones are collapsed.
 //
-// Thread model: any number of concurrent readers; writers are serialized on
-// an internal mutex. Flush and compaction run synchronously inside the
-// writing thread, which keeps behaviour deterministic for benchmarks.
+// Thread model: any number of concurrent readers and writers. Concurrent
+// writers group-commit: they queue their batches, the current leader folds
+// the queue into one WAL record, appends (and fsyncs when any grouped write
+// asked for sync), applies it to the memtable, and wakes the followers.
+// When the active memtable fills it is swapped for a fresh one and the
+// frozen ("immutable") memtable is flushed by a background worker, which
+// also runs leveled compactions; reads are served from consistent
+// {mem, imm, version} snapshots throughout. Writers are throttled with
+// short sleeps once L0 grows past l0_slowdown_trigger and stall completely
+// at l0_stop_trigger (see Stats). Setting Options::background_flush=false
+// restores the legacy synchronous behaviour (flush/compaction inline in the
+// writing thread), kept as the benchmark baseline.
 class DB {
  public:
   static Status Open(const Options& options, const std::string& name,
@@ -61,7 +78,9 @@ class DB {
               const ScanFilter* filter, size_t limit, RowSink* sink,
               ScanStats* stats);
 
-  // Forces a memtable flush to L0 (no-op when empty).
+  // Synchronously persists all buffered writes to L0 (and runs any pending
+  // compactions). Waits for in-flight background work first, so the DB is
+  // quiescent afterwards. No-op when nothing is buffered.
   Status Flush();
 
   // Compacts everything down to the last occupied level.
@@ -70,29 +89,102 @@ class DB {
   struct Stats {
     std::vector<int> files_per_level;
     std::vector<uint64_t> bytes_per_level;
-    uint64_t memtable_bytes = 0;
+    uint64_t memtable_bytes = 0;       // active memtable
+    uint64_t imm_memtable_bytes = 0;   // frozen memtable awaiting flush
     uint64_t block_cache_hits = 0;
     uint64_t block_cache_misses = 0;
+    // Background-work accounting.
+    uint64_t flush_count = 0;              // memtable -> L0 flushes
+    uint64_t compaction_count = 0;         // merge compactions (not moves)
+    uint64_t compaction_bytes_read = 0;    // input SSTable bytes
+    uint64_t compaction_bytes_written = 0; // output SSTable bytes
+    // Write backpressure accounting.
+    uint64_t stall_count = 0;   // slowdown sleeps + hard stalls
+    uint64_t stall_micros = 0;  // total time writers spent throttled
+    uint64_t wal_syncs = 0;     // fsyncs issued for sync writes
   };
   Stats GetStats();
 
  private:
+  // One queued write (group commit). Writers park on `cv` until the leader
+  // completes their batch; a null batch marks an exclusive maintenance
+  // operation (Flush/CompactAll) holding the writer slot.
+  struct Writer {
+    Writer(WriteBatch* b, bool s) : batch(b), sync(s) {}
+    WriteBatch* batch;
+    bool sync;
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
+  // Inputs of one compaction round, picked against a Version snapshot.
+  struct CompactionJob {
+    int level = -1;
+    std::vector<FileMetaPtr> inputs_n;    // files at `level`
+    std::vector<FileMetaPtr> inputs_np1;  // overlapping files at level+1
+  };
+
   DB(const Options& options, std::string name);
 
   Status Recover();
   Status ReplayWal(uint64_t wal_number);
-  // Requires mu_ held.
-  Status FlushMemTableLocked();
-  Status WriteMemTableToLevel0Locked();
-  Status MaybeCompactLocked();
-  Status CompactOnceLocked(int level, const std::vector<FileMetaPtr>& inputs_n,
-                           const std::vector<FileMetaPtr>& inputs_np1);
-  void RemoveObsoleteFilesLocked();
+
+  // --- Write path (mu_ held unless noted) ---
+
+  // Blocks until the active memtable has room: applies slowdown/stop
+  // backpressure, freezes a full memtable into imm_ (rotating the WAL) and
+  // schedules its background flush. May release and re-acquire `lock`.
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+
+  // Folds the front run of queued writers into one batch (up to a size
+  // cap); *last_writer is set to the last writer included.
+  WriteBatch* BuildBatchGroup(Writer** last_writer);
+
+  // Runs `fn` (under mu_) with the writer queue held and background work
+  // drained, so it has exclusive access to memtables and versions.
+  Status RunExclusive(const std::function<Status()>& fn);
+
+  // --- Flush / compaction (mu_ held on entry and exit) ---
+
+  // Builds an L0 table from `mem` and installs it. When `lock` is non-null
+  // the mutex is released during the table build (background path).
+  Status WriteLevel0Table(const std::shared_ptr<MemTable>& mem,
+                          std::unique_lock<std::mutex>* lock);
+
+  // Flushes imm_ and deletes its WAL.
+  Status FlushImmutable(std::unique_lock<std::mutex>* lock);
+
+  // Flushes the active memtable inline and rotates the WAL (synchronous
+  // paths: Flush/CompactAll/close and background_flush=false mode).
+  Status FlushActiveLocked();
+
+  // Picks the next compaction round against `current`; false if none.
+  bool PickCompaction(const VersionPtr& current, CompactionJob* job) const;
+
+  // Executes one compaction round. When `lock` is non-null the mutex is
+  // released during the merge (background path).
+  Status RunCompaction(const CompactionJob& job,
+                       std::unique_lock<std::mutex>* lock);
+
+  // Runs compaction rounds inline until the tree satisfies its invariants.
+  Status CompactLoopLocked();
+
+  // --- Background scheduling (mu_ held) ---
+
+  bool HasBackgroundWork() const;
+  void MaybeScheduleBackground();
+  void BackgroundCall();  // entry point on the background pool
+
+  // Deletes on-disk files no longer referenced. Decisions are made under
+  // mu_; when `lock` is non-null the I/O (scan + unlinks) runs unlocked.
+  void RemoveObsoleteFilesLocked(std::unique_lock<std::mutex>* lock = nullptr);
   uint64_t MaxBytesForLevel(int level) const;
 
-  // Snapshot of read state (memtable + version + sequence).
+  // Snapshot of read state (memtables + version + sequence).
   struct ReadSnapshot {
     std::shared_ptr<MemTable> mem;
+    std::shared_ptr<MemTable> imm;  // may be null
     VersionPtr version;
     SequenceNumber sequence;
   };
@@ -105,10 +197,35 @@ class DB {
   std::unique_ptr<BlockCache> block_cache_;
 
   std::mutex mu_;
+  std::condition_variable bg_cv_;  // background work finished / state change
   std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<MemTable> imm_;  // frozen memtable being flushed
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<LogWriter> wal_;
   uint64_t wal_number_ = 0;
+  uint64_t imm_wal_number_ = 0;  // WAL backing imm_ (0 = none)
+
+  // Group commit.
+  std::deque<Writer*> writers_;
+  WriteBatch tmp_batch_;
+
+  // Background worker state.
+  ThreadPool* bg_pool_ = nullptr;          // null in synchronous mode
+  std::unique_ptr<ThreadPool> owned_pool_;  // when no shared pool was given
+  bool bg_active_ = false;       // a background task is scheduled/running
+  bool shutting_down_ = false;
+  int exclusive_waiters_ = 0;    // RunExclusive callers draining background
+  Status bg_error_;              // sticky failure from background work
+  std::set<uint64_t> pending_outputs_;  // files being written, GC-protected
+
+  // Counters (guarded by mu_).
+  uint64_t flush_count_ = 0;
+  uint64_t compaction_count_ = 0;
+  uint64_t compaction_bytes_read_ = 0;
+  uint64_t compaction_bytes_written_ = 0;
+  uint64_t stall_count_ = 0;
+  uint64_t stall_micros_ = 0;
+  uint64_t wal_syncs_ = 0;
 };
 
 }  // namespace tman::kv

@@ -44,6 +44,11 @@ class PosixWritableFile final : public WritableFile {
 
   Status Flush() override { return Status::OK(); }
 
+  Status Sync() override {
+    if (fd_ >= 0 && ::fdatasync(fd_) < 0) return PosixError(fname_, errno);
+    return Status::OK();
+  }
+
   Status Close() override {
     if (fd_ >= 0 && ::close(fd_) < 0) {
       fd_ = -1;

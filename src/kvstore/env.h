@@ -19,6 +19,9 @@ class WritableFile {
   virtual ~WritableFile() = default;
   virtual Status Append(const Slice& data) = 0;
   virtual Status Flush() = 0;
+  // Forces the data down to stable storage (fdatasync). The default is a
+  // no-op so in-memory test files stay cheap.
+  virtual Status Sync() { return Status::OK(); }
   virtual Status Close() = 0;
 };
 
@@ -56,6 +59,11 @@ class Env {
   virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
+
+  // Syncs `file` to stable storage. The DB routes WAL syncs through this
+  // hook (instead of calling file->Sync() directly) so test environments
+  // can observe and count them.
+  virtual Status SyncFile(WritableFile* file) { return file->Sync(); }
 };
 
 }  // namespace tman::kv

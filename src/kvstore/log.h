@@ -23,6 +23,9 @@ class LogWriter {
   Status AddRecord(const Slice& payload);
   Status Close() { return dest_->Close(); }
 
+  // Underlying file, for Env::SyncFile (group commit fsync).
+  WritableFile* file() { return dest_.get(); }
+
  private:
   std::unique_ptr<WritableFile> dest_;
 };

@@ -44,7 +44,7 @@ void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key,
   memcpy(buf, tmp.data(), encoded_len);
 
   table_.Insert(buf);
-  num_entries_++;
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {

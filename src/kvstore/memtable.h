@@ -1,6 +1,7 @@
 #ifndef TMAN_KVSTORE_MEMTABLE_H_
 #define TMAN_KVSTORE_MEMTABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -34,7 +35,11 @@ class MemTable {
   Iterator* NewIterator() const;
 
   size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
-  uint64_t num_entries() const { return num_entries_; }
+
+  // Safe to read while the (single) writer inserts; monotonically grows.
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
 
   // Public so the iterator implementation (in the .cc) can name the table
   // type; not part of the user-facing API.
@@ -49,7 +54,7 @@ class MemTable {
   KeyComparator comparator_;
   Arena arena_;
   Table table_;
-  uint64_t num_entries_ = 0;
+  std::atomic<uint64_t> num_entries_{0};
 };
 
 }  // namespace tman::kv

@@ -4,6 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace tman {
+class ThreadPool;
+}  // namespace tman
+
 namespace tman::kv {
 
 class Env;
@@ -26,6 +30,25 @@ struct Options {
 
   // Number of L0 files that triggers a compaction into L1.
   int l0_compaction_trigger = 4;
+
+  // Number of L0 files at which incoming writes are throttled with short
+  // sleeps so the background compactor can catch up (soft backpressure).
+  int l0_slowdown_trigger = 8;
+
+  // Number of L0 files at which writes stall completely until a compaction
+  // reduces L0 (hard backpressure).
+  int l0_stop_trigger = 12;
+
+  // If true (default), memtable flushes and compactions run on a background
+  // worker and the write path only pays the WAL append + memtable insert.
+  // If false, both run synchronously inside the writing thread (the
+  // deterministic legacy behaviour, kept as the benchmark baseline).
+  bool background_flush = true;
+
+  // Thread pool for background flushes/compactions, shared across DBs (the
+  // cluster passes its maintenance pool here). nullptr means each DB owns a
+  // private single worker thread. Ignored when background_flush is false.
+  tman::ThreadPool* background_pool = nullptr;
 
   // Number of levels (L0..Lmax-1).
   int num_levels = 7;

@@ -167,7 +167,7 @@ Status VersionSet::Recover() {
       !GetVarint64(&input, &wal_number) || !GetVarint32(&input, &num_levels)) {
     return Status::Corruption("bad MANIFEST header");
   }
-  next_file_number_ = next_file;
+  next_file_number_.store(next_file, std::memory_order_relaxed);
   last_sequence_ = last_seq;
   wal_number_ = wal_number;
 
@@ -205,7 +205,7 @@ Status VersionSet::Recover() {
 
 Status VersionSet::WriteSnapshot() {
   std::string record;
-  PutVarint64(&record, next_file_number_);
+  PutVarint64(&record, next_file_number_.load(std::memory_order_relaxed));
   PutVarint64(&record, last_sequence_);
   PutVarint64(&record, wal_number_);
   PutVarint32(&record, static_cast<uint32_t>(current_->num_levels()));

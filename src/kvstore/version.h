@@ -1,6 +1,7 @@
 #ifndef TMAN_KVSTORE_VERSION_H_
 #define TMAN_KVSTORE_VERSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -61,7 +62,8 @@ class Version {
 using VersionPtr = std::shared_ptr<const Version>;
 
 // Owns the current Version and the MANIFEST. All mutations happen under the
-// DB mutex.
+// DB mutex; NewFileNumber alone is lock-free so background flush/compaction
+// can number output files while the mutex is released.
 class VersionSet {
  public:
   VersionSet(std::string dbname, const Options& options, Env* env,
@@ -72,7 +74,14 @@ class VersionSet {
 
   VersionPtr current() const { return current_; }
 
-  uint64_t NewFileNumber() { return next_file_number_++; }
+  uint64_t NewFileNumber() {
+    return next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Next number that NewFileNumber would hand out; files numbered >= this
+  // value did not exist when the call was made (numbers are monotonic).
+  uint64_t PeekNextFileNumber() const {
+    return next_file_number_.load(std::memory_order_relaxed);
+  }
   uint64_t last_sequence() const { return last_sequence_; }
   void SetLastSequence(uint64_t s) { last_sequence_ = s; }
   uint64_t wal_number() const { return wal_number_; }
@@ -99,7 +108,7 @@ class VersionSet {
   Env* env_;
   BlockCache* cache_;
   VersionPtr current_;
-  uint64_t next_file_number_ = 1;
+  std::atomic<uint64_t> next_file_number_{1};
   uint64_t last_sequence_ = 0;
   uint64_t wal_number_ = 0;
 };

@@ -40,6 +40,11 @@ void WriteBatch::Delete(const Slice& key) {
   PutLengthPrefixedSlice(&rep_, key);
 }
 
+void WriteBatch::Append(const WriteBatch& other) {
+  SetCount(&rep_, Count() + other.Count());
+  rep_.append(other.rep_.data() + kHeader, other.rep_.size() - kHeader);
+}
+
 void WriteBatch::SetSequence(uint64_t seq) {
   char buf[8];
   memcpy(buf, &seq, sizeof(seq));

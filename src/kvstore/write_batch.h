@@ -23,6 +23,10 @@ class WriteBatch {
   void Delete(const Slice& key);
   void Clear();
 
+  // Appends all of `other`'s updates to this batch (group commit: the
+  // write leader folds follower batches into one WAL record).
+  void Append(const WriteBatch& other);
+
   // Number of updates in the batch.
   uint32_t Count() const;
 
