@@ -20,6 +20,7 @@
 #include "cluster/cluster.h"
 #include "common/random.h"
 #include "kvstore/options.h"
+#include "obs/metrics.h"
 
 namespace tman::bench {
 namespace {
@@ -37,12 +38,14 @@ struct IngestResult {
 // Rowkeys mimic TMan's layout: a one-byte shard prefix (round-robin across
 // the 4 shards, as the shard function spreads real trajectory keys) plus a
 // fixed-width payload key. Values model encoded trajectory elements.
-IngestResult RunIngest(bool background, int batches, int rows_per_batch) {
+IngestResult RunIngest(bool background, int batches, int rows_per_batch,
+                       obs::MetricsRegistry* metrics = nullptr) {
   const std::string dir =
       BenchDir(background ? "ingest_pipelined" : "ingest_sync");
   kv::Options kv_options;
   kv_options.write_buffer_size = 256 * 1024;
   kv_options.background_flush = background;
+  kv_options.metrics = metrics;
   cluster::Cluster cluster(dir, 4, kv_options);
   Status s = cluster.CreateTable("ingest", 4);
   if (!s.ok()) {
@@ -108,8 +111,11 @@ int main() {
   printf("Sustained ingest: %d batches x %d rows (%d total), 4 shards\n\n",
          batches, rows_per_batch, batches * rows_per_batch);
 
+  // The pipelined run records into a metrics registry; its dump lands next
+  // to BENCH_ingest.json so CI archives both.
+  tman::obs::MetricsRegistry registry;
   IngestResult sync = RunIngest(false, batches, rows_per_batch);
-  IngestResult pipelined = RunIngest(true, batches, rows_per_batch);
+  IngestResult pipelined = RunIngest(true, batches, rows_per_batch, &registry);
 
   PrintHeader({"write path", "rows/s", "p50 ms", "p99 ms", "p99.9 ms",
                "max ms", "flushes", "compactions", "stall ms"});
@@ -190,6 +196,14 @@ int main() {
             sync.max_ms / pipelined.max_ms);
     fclose(json);
     printf("wrote BENCH_ingest.json\n");
+  }
+
+  FILE* prom = fopen("BENCH_ingest_metrics.prom", "w");
+  if (prom != nullptr) {
+    const std::string text = registry.RenderPrometheus();
+    fwrite(text.data(), 1, text.size(), prom);
+    fclose(prom);
+    printf("wrote BENCH_ingest_metrics.prom\n");
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "core/options.h"
 #include "core/tman.h"
+#include "obs/metrics.h"
 #include "traj/generator.h"
 
 namespace tman::bench {
@@ -38,18 +39,19 @@ inline std::string BenchDir(const std::string& name) {
 }
 
 // p in [0, 100]; the paper reports the 50th percentile of query times.
-inline double Percentile(std::vector<double> values, double p) {
+// Routed through the shared obs::Histogram so benches and the metrics
+// registry agree on quantile math: millisecond samples are recorded at
+// microsecond granularity into the log-scale buckets (<= 6.25% bucket
+// width, ~3% after interpolation). p==0 and p==100 stay exact (min/max).
+inline double Percentile(const std::vector<double>& values, double p) {
   if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1 - frac) + values[hi] * frac;
+  obs::Histogram h;
+  for (double v : values) h.RecordMicros(v * 1000.0);
+  return h.Percentile(p) / 1000.0;
 }
 
-inline double Median(std::vector<double> values) {
-  return Percentile(std::move(values), 50);
+inline double Median(const std::vector<double>& values) {
+  return Percentile(values, 50);
 }
 
 // Baseline TMan configuration for a dataset spec; callers override the

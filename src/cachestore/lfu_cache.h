@@ -6,6 +6,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace tman::cache {
 
 // O(1) LFU cache (frequency-bucket list design). Ties inside a frequency
@@ -25,9 +27,11 @@ class LFUCache {
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       misses_++;
+      if (ext_misses_ != nullptr) ext_misses_->Inc();
       return false;
     }
     hits_++;
+    if (ext_hits_ != nullptr) ext_hits_->Inc();
     Touch(it);
     *value = it->second.value;
     return true;
@@ -74,6 +78,17 @@ class LFUCache {
   }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+  // Mirrors hit/miss/eviction events into registry counters (in addition
+  // to the internal totals above). Call before the cache sees traffic;
+  // any pointer may be null.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* evictions) {
+    ext_hits_ = hits;
+    ext_misses_ = misses;
+    ext_evictions_ = evictions;
+  }
 
  private:
   struct Entry {
@@ -120,6 +135,7 @@ class LFUCache {
     if (bit->second.empty()) buckets_.erase(bit);
     entries_.erase(victim);
     evictions_++;
+    if (ext_evictions_ != nullptr) ext_evictions_->Inc();
   }
 
   const size_t capacity_;
@@ -130,6 +146,9 @@ class LFUCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  obs::Counter* ext_hits_ = nullptr;
+  obs::Counter* ext_misses_ = nullptr;
+  obs::Counter* ext_evictions_ = nullptr;
 };
 
 }  // namespace tman::cache

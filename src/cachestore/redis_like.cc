@@ -5,7 +5,7 @@ namespace tman::cache {
 bool RedisLikeStore::HSet(const std::string& key, const std::string& field,
                           const std::string& value) {
   std::lock_guard<std::mutex> lock(mu_);
-  ops_++;
+  CountOp();
   auto& hash = data_[key];
   auto [it, inserted] = hash.insert_or_assign(field, value);
   (void)it;
@@ -15,22 +15,33 @@ bool RedisLikeStore::HSet(const std::string& key, const std::string& field,
 bool RedisLikeStore::HGet(const std::string& key, const std::string& field,
                           std::string* value) const {
   std::lock_guard<std::mutex> lock(mu_);
-  ops_++;
+  CountOp();
   auto it = data_.find(key);
-  if (it == data_.end()) return false;
+  if (it == data_.end()) {
+    CountRead(false);
+    return false;
+  }
   auto fit = it->second.find(field);
-  if (fit == it->second.end()) return false;
+  if (fit == it->second.end()) {
+    CountRead(false);
+    return false;
+  }
   *value = fit->second;
+  CountRead(true);
   return true;
 }
 
 std::vector<std::pair<std::string, std::string>> RedisLikeStore::HGetAll(
     const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
-  ops_++;
+  CountOp();
   std::vector<std::pair<std::string, std::string>> result;
   auto it = data_.find(key);
-  if (it == data_.end()) return result;
+  if (it == data_.end()) {
+    CountRead(false);
+    return result;
+  }
+  CountRead(true);
   result.reserve(it->second.size());
   for (const auto& [field, value] : it->second) {
     result.emplace_back(field, value);
@@ -40,7 +51,7 @@ std::vector<std::pair<std::string, std::string>> RedisLikeStore::HGetAll(
 
 bool RedisLikeStore::HDel(const std::string& key, const std::string& field) {
   std::lock_guard<std::mutex> lock(mu_);
-  ops_++;
+  CountOp();
   auto it = data_.find(key);
   if (it == data_.end()) return false;
   return it->second.erase(field) > 0;
@@ -48,7 +59,7 @@ bool RedisLikeStore::HDel(const std::string& key, const std::string& field) {
 
 bool RedisLikeStore::Del(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  ops_++;
+  CountOp();
   return data_.erase(key) > 0;
 }
 

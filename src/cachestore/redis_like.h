@@ -8,12 +8,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace tman::cache {
 
 // In-process stand-in for the Redis instance TMan uses as the durable
 // backing store of the index cache. Supports the hash-structure subset TMan
 // needs: HSET / HGET / HGETALL / HDEL / DEL, binary-safe keys and values.
-// Thread-safe. Operation counters let benchmarks account for round trips.
+// Thread-safe. Operation and read hit/miss counters let benchmarks account
+// for round trips, optionally mirrored into a metrics registry.
 class RedisLikeStore {
  public:
   RedisLikeStore() = default;
@@ -46,10 +49,43 @@ class RedisLikeStore {
   uint64_t ops() const { return ops_; }
   void ResetOps() { ops_ = 0; }
 
+  // Read-path accounting: HGet/HGetAll against a present key/field count as
+  // hits, absent ones as misses.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  // Mirrors ops and read hit/miss events into registry counters. Call
+  // before the store sees traffic; any pointer may be null.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* ops) {
+    ext_hits_ = hits;
+    ext_misses_ = misses;
+    ext_ops_ = ops;
+  }
+
  private:
+  void CountOp() const {
+    ops_++;
+    if (ext_ops_ != nullptr) ext_ops_->Inc();
+  }
+  void CountRead(bool hit) const {
+    if (hit) {
+      hits_++;
+      if (ext_hits_ != nullptr) ext_hits_->Inc();
+    } else {
+      misses_++;
+      if (ext_misses_ != nullptr) ext_misses_->Inc();
+    }
+  }
+
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::map<std::string, std::string>> data_;
   mutable uint64_t ops_ = 0;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+  obs::Counter* ext_hits_ = nullptr;
+  obs::Counter* ext_misses_ = nullptr;
+  obs::Counter* ext_ops_ = nullptr;
 };
 
 }  // namespace tman::cache

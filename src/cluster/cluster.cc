@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <mutex>
 
+#include "common/stopwatch.h"
 #include "kvstore/write_batch.h"
 
 namespace tman::cluster {
@@ -48,8 +49,17 @@ Status Region::Scan(const KeyRange& range, const kv::ScanFilter* filter,
 
 ClusterTable::ClusterTable(std::string name,
                            std::vector<std::unique_ptr<Region>> regions,
-                           ThreadPool* pool)
-    : name_(std::move(name)), regions_(std::move(regions)), pool_(pool) {}
+                           ThreadPool* pool, obs::MetricsRegistry* metrics)
+    : name_(std::move(name)), regions_(std::move(regions)), pool_(pool) {
+  if (metrics != nullptr) {
+    scans_ = metrics->GetCounter("tman_cluster_scans_total");
+    rows_streamed_ = metrics->GetCounter("tman_cluster_rows_streamed_total");
+    fanout_regions_ =
+        metrics->GetHistogram("tman_cluster_scan_fanout_regions");
+    scan_micros_ = metrics->GetHistogram("tman_cluster_scan_micros");
+    wait_micros_ = metrics->GetHistogram("tman_cluster_scan_wait_micros");
+  }
+}
 
 namespace {
 
@@ -158,35 +168,60 @@ class SerializedSink : public kv::RowSink {
 
 Status ClusterTable::ParallelScan(const std::vector<KeyRange>& ranges,
                                   const kv::ScanFilter* filter, size_t limit,
-                                  kv::RowSink* sink, kv::ScanStats* stats) {
+                                  kv::RowSink* sink, kv::ScanStats* stats,
+                                  std::vector<RegionScanStat>* breakdown) {
   struct Task {
     Region* region;
     const KeyRange* range;
     kv::ScanStats stats;
     Status status;
+    uint64_t wait_micros = 0;  // submit -> pool thread pickup
+    uint64_t scan_micros = 0;  // inside the region scan
   };
   std::vector<Task> tasks;
   for (const KeyRange& range : ranges) {
     for (Region* region : RoutingRegions(range)) {
-      tasks.push_back(Task{region, &range, {}, Status::OK()});
+      tasks.push_back(Task{region, &range, {}, Status::OK(), 0, 0});
     }
   }
 
+  Stopwatch total;  // read only when metrics are on
+  const bool timed = scans_ != nullptr || breakdown != nullptr;
   SerializedSink shared(sink);
   std::vector<std::future<void>> futures;
   futures.reserve(tasks.size());
   for (Task& task : tasks) {
-    futures.push_back(pool_->Submit([&task, &shared, filter, limit] {
-      task.status = task.region->Scan(*task.range, filter, limit, &shared,
-                                      &task.stats);
-    }));
+    Stopwatch queued;  // captured by value: starts counting at submit time
+    futures.push_back(
+        pool_->Submit([&task, &shared, filter, limit, timed, queued] {
+          Stopwatch run;
+          if (timed) task.wait_micros = queued.ElapsedMicros();
+          task.status = task.region->Scan(*task.range, filter, limit, &shared,
+                                          &task.stats);
+          if (timed) task.scan_micros = run.ElapsedMicros();
+        }));
   }
   for (auto& f : futures) f.get();
 
   Status result;
+  uint64_t matched = 0;
   for (Task& task : tasks) {
     if (result.ok() && !task.status.ok()) result = task.status;
     if (stats != nullptr) *stats += task.stats;
+    matched += task.stats.matched;
+    if (breakdown != nullptr) {
+      breakdown->push_back(RegionScanStat{
+          task.region->shard(), task.stats.scanned, task.stats.matched,
+          static_cast<double>(task.wait_micros) / 1000.0,
+          static_cast<double>(task.scan_micros) / 1000.0});
+    }
+    if (wait_micros_ != nullptr) wait_micros_->Record(task.wait_micros);
+  }
+  if (scans_ != nullptr) {
+    scans_->Inc();
+    rows_streamed_->Inc(matched);
+    fanout_regions_->Record(tasks.size());
+    scan_micros_->RecordMicros(total.ElapsedMicros());
   }
   return result;
 }
@@ -299,8 +334,8 @@ Status Cluster::CreateTable(const std::string& name, int num_shards) {
     regions.push_back(
         std::make_unique<Region>(static_cast<uint8_t>(i), std::move(db)));
   }
-  tables_[name] =
-      std::make_unique<ClusterTable>(name, std::move(regions), &pool_);
+  tables_[name] = std::make_unique<ClusterTable>(name, std::move(regions),
+                                                 &pool_, options_.metrics);
   return Status::OK();
 }
 

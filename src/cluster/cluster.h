@@ -14,6 +14,7 @@
 #include "kvstore/db.h"
 #include "kvstore/options.h"
 #include "kvstore/scan_filter.h"
+#include "obs/metrics.h"
 
 namespace tman::cluster {
 
@@ -60,8 +61,19 @@ class Region {
 // cluster thread pool.
 class ClusterTable {
  public:
+  // When `metrics` is set, scan fan-out, per-region queue wait, scan wall
+  // time and rows streamed are published under tman_cluster_*.
   ClusterTable(std::string name, std::vector<std::unique_ptr<Region>> regions,
-               ThreadPool* pool);
+               ThreadPool* pool, obs::MetricsRegistry* metrics = nullptr);
+
+  // Per-region slice of one ParallelScan (trace / EXPLAIN ANALYZE input).
+  struct RegionScanStat {
+    int shard = 0;
+    uint64_t scanned = 0;   // rows the region iterator visited
+    uint64_t matched = 0;   // rows that passed the filter into the sink
+    double wait_ms = 0;     // queue wait before a pool thread picked it up
+    double scan_ms = 0;     // time inside the region scan itself
+  };
 
   const std::string& name() const { return name_; }
   int num_shards() const { return static_cast<int>(regions_.size()); }
@@ -89,10 +101,13 @@ class ClusterTable {
   // they are produced (arrival order across regions is unspecified). The
   // sink returning false broadcasts early termination to every in-flight
   // region scan, so rows past the stop are not scanned. The sink needs no
-  // internal locking; deliveries are serialized here.
+  // internal locking; deliveries are serialized here. When `breakdown` is
+  // non-null it receives one entry per region task, appended after all
+  // tasks have joined (never mutated concurrently).
   Status ParallelScan(const std::vector<KeyRange>& ranges,
                       const kv::ScanFilter* filter, size_t limit,
-                      kv::RowSink* sink, kv::ScanStats* stats);
+                      kv::RowSink* sink, kv::ScanStats* stats,
+                      std::vector<RegionScanStat>* breakdown = nullptr);
 
   // Same windows, but without push-down: all rows in the ranges are
   // shipped back and the filter is applied caller-side. Models systems that
@@ -119,6 +134,13 @@ class ClusterTable {
   std::string name_;
   std::vector<std::unique_ptr<Region>> regions_;
   ThreadPool* pool_;
+
+  // Registry handles (all null = metrics off).
+  obs::Counter* scans_ = nullptr;
+  obs::Counter* rows_streamed_ = nullptr;
+  obs::Histogram* fanout_regions_ = nullptr;
+  obs::Histogram* scan_micros_ = nullptr;
+  obs::Histogram* wait_micros_ = nullptr;
 };
 
 // A simulated cluster: `num_servers` logical region servers sharing a

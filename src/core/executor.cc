@@ -1,16 +1,24 @@
 #include "core/executor.h"
 
 #include <algorithm>
+#include <map>
 
 namespace tman::core {
 
 Executor::Executor(cluster::ClusterTable* primary,
                    cluster::ClusterTable* tr_table,
-                   cluster::ClusterTable* idt_table, bool push_down)
+                   cluster::ClusterTable* idt_table, bool push_down,
+                   obs::MetricsRegistry* registry)
     : primary_(primary),
       tr_table_(tr_table),
       idt_table_(idt_table),
-      push_down_(push_down) {}
+      push_down_(push_down) {
+  if (registry != nullptr) {
+    rows_streamed_ = registry->GetCounter("tman_exec_rows_streamed_total");
+    early_terminations_ =
+        registry->GetCounter("tman_exec_early_terminations_total");
+  }
+}
 
 cluster::ClusterTable* Executor::Table(PlanTable table) const {
   switch (table) {
@@ -93,21 +101,98 @@ class FetchPrimarySink : public kv::RowSink {
   Status status_;
 };
 
+// Outermost executor stage (closest to storage): counts rows the storage
+// layer streams into the pipeline and early-termination cutoffs (the
+// downstream chain declining a row). SerializedSink serializes deliveries,
+// so no internal locking is needed.
+class MeterSink : public kv::RowSink {
+ public:
+  MeterSink(obs::Counter* rows, obs::Counter* early_terminations,
+            kv::RowSink* inner)
+      : rows_(rows), early_terminations_(early_terminations), inner_(inner) {}
+
+  bool Accept(const Slice& key, const Slice& value) override {
+    rows_->Inc();
+    if (inner_->Accept(key, value)) return true;
+    early_terminations_->Inc();
+    return false;
+  }
+
+ private:
+  obs::Counter* rows_;
+  obs::Counter* early_terminations_;
+  kv::RowSink* inner_;
+};
+
+const char* ScanSpanName(PlanTable table) {
+  switch (table) {
+    case PlanTable::kPrimary:
+      return "scan primary";
+    case PlanTable::kTRSecondary:
+      return "scan tr_index";
+    case PlanTable::kIDTSecondary:
+      return "scan idt_index";
+  }
+  return "scan";
+}
+
+// Freezes a finished scan span: summary annotations plus one child per
+// region shard. The breakdown has one entry per (region, window) scan task
+// — potentially thousands for fine-window plans — so tasks are aggregated
+// by shard to keep the rendered tree readable; a shard's duration is the
+// total CPU time its tasks spent scanning (tasks overlap in the pool, so
+// shard durations can exceed the parent's wall time).
+void FinishScanSpan(
+    obs::TraceSpan* span,
+    const std::vector<cluster::ClusterTable::RegionScanStat>& breakdown,
+    const kv::ScanStats& scan_stats, size_t windows, bool pushed) {
+  span->End();
+  span->Annotate("windows", static_cast<double>(windows));
+  span->Annotate("scan_tasks", static_cast<double>(breakdown.size()));
+  span->Annotate("rows_scanned", static_cast<double>(scan_stats.scanned));
+  span->Annotate("rows_matched", static_cast<double>(scan_stats.matched));
+  span->Annotate("push_down", pushed ? "true" : "false");
+  struct ShardAgg {
+    uint64_t tasks = 0;
+    uint64_t scanned = 0;
+    uint64_t matched = 0;
+    double scan_ms = 0;
+    double wait_ms = 0;
+  };
+  std::map<int, ShardAgg> shards;
+  for (const auto& r : breakdown) {
+    ShardAgg& agg = shards[r.shard];
+    agg.tasks++;
+    agg.scanned += r.scanned;
+    agg.matched += r.matched;
+    agg.scan_ms += r.scan_ms;
+    agg.wait_ms += r.wait_ms;
+  }
+  for (const auto& [shard, agg] : shards) {
+    obs::TraceSpan* rs = span->AddChild("region " + std::to_string(shard));
+    rs->SetDurationMs(agg.scan_ms);
+    rs->Annotate("tasks", static_cast<double>(agg.tasks));
+    rs->Annotate("rows_scanned", static_cast<double>(agg.scanned));
+    rs->Annotate("rows_matched", static_cast<double>(agg.matched));
+    rs->Annotate("queue_wait_ms", agg.wait_ms);
+  }
+}
+
 }  // namespace
 
 Status Executor::Execute(const QueryPlan& plan, kv::RowSink* sink,
-                         QueryStats* stats) {
+                         QueryStats* stats, obs::TraceSpan* span) {
   switch (plan.kind) {
     case PlanKind::kPrimaryScan:
-      return ExecutePrimaryScan(plan, sink, stats);
+      return ExecutePrimaryScan(plan, sink, stats, span);
     case PlanKind::kSecondaryFetch:
-      return ExecuteSecondaryFetch(plan, sink, stats);
+      return ExecuteSecondaryFetch(plan, sink, stats, span);
   }
   return Status::InvalidArgument("unknown plan kind");
 }
 
 Status Executor::ExecutePrimaryScan(const QueryPlan& plan, kv::RowSink* sink,
-                                    QueryStats* stats) {
+                                    QueryStats* stats, obs::TraceSpan* span) {
   kv::RowSink* stage = sink;
   LimitSink limiter(plan.limit, stage);
   if (plan.limit != 0) stage = &limiter;
@@ -118,10 +203,20 @@ Status Executor::ExecutePrimaryScan(const QueryPlan& plan, kv::RowSink* sink,
   } else if (plan.filter != nullptr) {
     stage = &client_filter;
   }
+  MeterSink meter(rows_streamed_, early_terminations_, stage);
+  if (rows_streamed_ != nullptr) stage = &meter;
 
+  obs::TraceSpan* scan_span =
+      span != nullptr ? span->AddChild(ScanSpanName(plan.scan_table)) : nullptr;
+  std::vector<cluster::ClusterTable::RegionScanStat> breakdown;
   kv::ScanStats scan_stats;
   Status s = Table(plan.scan_table)
-                 ->ParallelScan(plan.windows, pushed, 0, stage, &scan_stats);
+                 ->ParallelScan(plan.windows, pushed, 0, stage, &scan_stats,
+                                scan_span != nullptr ? &breakdown : nullptr);
+  if (scan_span != nullptr) {
+    FinishScanSpan(scan_span, breakdown, scan_stats, plan.windows.size(),
+                   pushed != nullptr);
+  }
   if (stats != nullptr) {
     stats->windows += plan.windows.size();
     stats->candidates += scan_stats.scanned;
@@ -130,17 +225,30 @@ Status Executor::ExecutePrimaryScan(const QueryPlan& plan, kv::RowSink* sink,
 }
 
 Status Executor::ExecuteSecondaryFetch(const QueryPlan& plan,
-                                       kv::RowSink* sink, QueryStats* stats) {
+                                       kv::RowSink* sink, QueryStats* stats,
+                                       obs::TraceSpan* span) {
   kv::RowSink* stage = sink;
   LimitSink limiter(plan.limit, stage);
   if (plan.limit != 0) stage = &limiter;
   // The secondary scan is unfiltered; the filter chain applies to the
   // fetched primary rows (their values carry the trajectory record).
   FetchPrimarySink fetch(primary_, plan.filter.get(), stage, stats);
+  kv::RowSink* scan_stage = &fetch;
+  MeterSink meter(rows_streamed_, early_terminations_, scan_stage);
+  if (rows_streamed_ != nullptr) scan_stage = &meter;
 
+  obs::TraceSpan* scan_span =
+      span != nullptr ? span->AddChild(ScanSpanName(plan.scan_table)) : nullptr;
+  std::vector<cluster::ClusterTable::RegionScanStat> breakdown;
   kv::ScanStats scan_stats;
-  Status s = Table(plan.scan_table)
-                 ->ParallelScan(plan.windows, nullptr, 0, &fetch, &scan_stats);
+  Status s =
+      Table(plan.scan_table)
+          ->ParallelScan(plan.windows, nullptr, 0, scan_stage, &scan_stats,
+                         scan_span != nullptr ? &breakdown : nullptr);
+  if (scan_span != nullptr) {
+    FinishScanSpan(scan_span, breakdown, scan_stats, plan.windows.size(),
+                   false);
+  }
   if (stats != nullptr) {
     stats->windows += plan.windows.size();
     stats->candidates += scan_stats.scanned;

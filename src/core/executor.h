@@ -16,6 +16,8 @@
 #include "core/record.h"
 #include "geo/similarity.h"
 #include "kvstore/scan_filter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "traj/trajectory.h"
 
 namespace tman::core {
@@ -26,26 +28,33 @@ namespace tman::core {
 // scan (global limits, top-k cutoffs).
 class Executor {
  public:
+  // When `registry` is set, rows streamed out of the storage layer and
+  // early-termination cutoffs are published under tman_exec_*.
   Executor(cluster::ClusterTable* primary, cluster::ClusterTable* tr_table,
-           cluster::ClusterTable* idt_table, bool push_down);
+           cluster::ClusterTable* idt_table, bool push_down,
+           obs::MetricsRegistry* registry = nullptr);
 
   // Streams the plan's matching primary rows into `sink`, honoring the
   // plan's push-down filter and global limit. Fills stats->windows and
   // stats->candidates; timing is the caller's concern. Errors raised by the
-  // sink itself (e.g. decode failures) are returned from here.
-  Status Execute(const QueryPlan& plan, kv::RowSink* sink, QueryStats* stats);
+  // sink itself (e.g. decode failures) are returned from here. When `span`
+  // is set, a scan child span with per-region grandchildren is attached.
+  Status Execute(const QueryPlan& plan, kv::RowSink* sink, QueryStats* stats,
+                 obs::TraceSpan* span = nullptr);
 
  private:
   Status ExecutePrimaryScan(const QueryPlan& plan, kv::RowSink* sink,
-                            QueryStats* stats);
+                            QueryStats* stats, obs::TraceSpan* span);
   Status ExecuteSecondaryFetch(const QueryPlan& plan, kv::RowSink* sink,
-                               QueryStats* stats);
+                               QueryStats* stats, obs::TraceSpan* span);
   cluster::ClusterTable* Table(PlanTable table) const;
 
   cluster::ClusterTable* primary_;
   cluster::ClusterTable* tr_table_;
   cluster::ClusterTable* idt_table_;
   bool push_down_;
+  obs::Counter* rows_streamed_ = nullptr;
+  obs::Counter* early_terminations_ = nullptr;
 };
 
 // --- Sinks -----------------------------------------------------------------

@@ -6,8 +6,17 @@
 
 namespace tman::core {
 
-IndexCache::IndexCache(cache::RedisLikeStore* redis, size_t lfu_capacity)
-    : redis_(redis), lfu_(lfu_capacity) {}
+IndexCache::IndexCache(cache::RedisLikeStore* redis, size_t lfu_capacity,
+                       obs::MetricsRegistry* registry)
+    : redis_(redis), lfu_(lfu_capacity) {
+  if (registry != nullptr) {
+    lfu_.BindMetrics(registry->GetCounter("tman_index_cache_hits_total"),
+                     registry->GetCounter("tman_index_cache_misses_total"),
+                     registry->GetCounter("tman_index_cache_evictions_total"));
+    ext_redis_loads_ =
+        registry->GetCounter("tman_index_cache_redis_loads_total");
+  }
+}
 
 std::string IndexCache::RedisKey(uint64_t quad_code) {
   std::string key = "el:";
@@ -23,6 +32,7 @@ std::shared_ptr<const ElementShapes> IndexCache::GetElement(
   }
   // Miss: load the element's tuples from Redis.
   redis_loads_++;
+  if (ext_redis_loads_ != nullptr) ext_redis_loads_->Inc();
   auto shapes = std::make_shared<ElementShapes>();
   for (const auto& [field, value] : redis_->HGetAll(RedisKey(quad_code))) {
     if (field.size() != 4 || value.size() != 4) continue;

@@ -35,7 +35,10 @@ struct ElementShapes {
 // shapes through it.
 class IndexCache {
  public:
-  IndexCache(cache::RedisLikeStore* redis, size_t lfu_capacity);
+  // When `registry` is set, hit/miss/eviction and Redis-load events are
+  // published under tman_index_cache_*.
+  IndexCache(cache::RedisLikeStore* redis, size_t lfu_capacity,
+             obs::MetricsRegistry* registry = nullptr);
 
   IndexCache(const IndexCache&) = delete;
   IndexCache& operator=(const IndexCache&) = delete;
@@ -65,6 +68,7 @@ class IndexCache {
   cache::RedisLikeStore* redis_;
   cache::LFUCache<uint64_t, std::shared_ptr<const ElementShapes>> lfu_;
   uint64_t redis_loads_ = 0;
+  obs::Counter* ext_redis_loads_ = nullptr;
 };
 
 // Buffer shape cache (paper §IV-C): holds shapes first seen after the last

@@ -61,6 +61,15 @@ struct TManOptions {
   kv::Options kv;
 };
 
+// Per-call query options; the default preserves the plain fast path.
+struct QueryOptions {
+  // Collect a TraceSpan tree for this call (planning with cost-model
+  // numbers, per-region scans, decode/accumulate) into QueryStats::trace —
+  // the EXPLAIN ANALYZE input. Requires a non-null QueryStats out-param;
+  // costs a few clock reads and small allocations per stage.
+  bool trace = false;
+};
+
 }  // namespace tman::core
 
 #endif  // TMAN_CORE_OPTIONS_H_

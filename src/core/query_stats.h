@@ -2,26 +2,44 @@
 #define TMAN_CORE_QUERY_STATS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+
+#include "obs/trace.h"
 
 namespace tman::core {
 
-// Per-query accounting. "candidates" is the number of trajectory rows the
-// storage layer touched (the paper's candidate count); "results" the rows
-// returned after all filtering. Every query populates `plan` (the RBO/CBO
-// decision), `planning_ms` (index lookups + window generation) and
-// `execution_ms` (total wall time including planning).
+// Per-query accounting, filled consistently by all six fundamental queries
+// and the three count queries (fields a query type has no work for stay 0).
+// Counters accumulate (+=) so one QueryStats can total a batch of queries;
+// timings likewise accumulate.
 struct QueryStats {
+  // Key windows scanned in the storage layer. Top-k similarity accumulates
+  // across its expanding-radius rounds.
   uint64_t windows = 0;
+  // Index values the windows cover (planner cost-model output).
   uint64_t index_values = 0;
+  // Trajectory rows the storage layer touched (the paper's candidate
+  // count). For secondary-index plans: primary rows fetched.
   uint64_t candidates = 0;
+  // Rows returned after all filtering (count queries: the count).
   uint64_t results = 0;
+  // Spatial elements inspected while planning (TShape/XZ planners).
   uint64_t elements_visited = 0;
+  // TShape shape tests while planning.
   uint64_t shapes_checked = 0;
+  // Exact distance evaluations (similarity queries only).
   uint64_t exact_distance_computations = 0;
+  // Index lookups + window generation time. Disjoint from the scan/decode
+  // time; always <= execution_ms for a single query.
   double planning_ms = 0;
+  // Total wall time of the query including planning.
   double execution_ms = 0;
-  std::string plan;  // RBO/CBO decision, e.g. "primary:tshape"
+  // RBO/CBO decision, e.g. "primary:st-fine" or "count:temporal".
+  std::string plan;
+  // Per-stage trace tree (EXPLAIN ANALYZE); set only when the query ran
+  // with QueryOptions::trace. Render with trace->Render().
+  std::shared_ptr<obs::TraceSpan> trace;
 };
 
 // System-wide storage-engine accounting, aggregated over every table and

@@ -17,6 +17,46 @@ namespace {
 
 constexpr size_t kWriteChunk = 4096;  // rows per batch write
 
+// Root span of a traced query; null when tracing is off (tracing requires
+// a stats out-param to hand the tree back through).
+std::shared_ptr<obs::TraceSpan> MaybeTraceRoot(const QueryOptions& qopts,
+                                               const QueryStats* stats,
+                                               const char* name) {
+  if (!qopts.trace || stats == nullptr) return nullptr;
+  return std::make_shared<obs::TraceSpan>(name);
+}
+
+// Freezes a finished planning span with the plan's cost-model numbers.
+void FinishPlanningSpan(obs::TraceSpan* span, const QueryPlan& plan) {
+  if (span == nullptr) return;
+  span->End();
+  span->Annotate("plan", plan.name);
+  span->Annotate("windows", static_cast<double>(plan.windows.size()));
+  span->Annotate("index_values", static_cast<double>(plan.index_values));
+  if (plan.elements_visited != 0) {
+    span->Annotate("elements_visited",
+                   static_cast<double>(plan.elements_visited));
+  }
+  if (plan.shapes_checked != 0) {
+    span->Annotate("shapes_checked", static_cast<double>(plan.shapes_checked));
+  }
+  if (plan.estimated_fine_windows != 0) {
+    span->Annotate("est_fine_windows",
+                   static_cast<double>(plan.estimated_fine_windows));
+  }
+}
+
+// Ends the root, mirrors the final QueryStats numbers onto it, and hands
+// the tree to the caller via stats->trace.
+void FinishTrace(std::shared_ptr<obs::TraceSpan> root, QueryStats* stats) {
+  if (root == nullptr) return;
+  root->End();
+  root->Annotate("plan", stats->plan);
+  root->Annotate("candidates", static_cast<double>(stats->candidates));
+  root->Annotate("results", static_cast<double>(stats->results));
+  stats->trace = std::move(root);
+}
+
 }  // namespace
 
 TMan::TMan(const TManOptions& options, const std::string& path)
@@ -59,15 +99,37 @@ Status TMan::Init() {
   xz2_index_ = std::make_unique<index::XZ2Index>(options_.xz2);
   xzstar_index_ =
       std::make_unique<index::XZStarIndex>(options_.tshape.max_resolution);
-  index_cache_ =
-      std::make_unique<IndexCache>(&redis_, options_.index_cache_capacity);
+  index_cache_ = std::make_unique<IndexCache>(
+      &redis_, options_.index_cache_capacity, options_.kv.metrics);
 
   planner_ = std::make_unique<QueryPlanner>(
       &options_, tr_index_.get(), xzt_index_.get(), tshape_index_.get(),
       xz2_index_.get(), xzstar_index_.get(),
       options_.use_index_cache ? index_cache_.get() : nullptr);
   executor_ = std::make_unique<Executor>(primary_, tr_table_, idt_table_,
-                                         options_.push_down);
+                                         options_.push_down,
+                                         options_.kv.metrics);
+
+  if (options_.kv.metrics != nullptr) {
+    obs::MetricsRegistry* registry = options_.kv.metrics;
+    auto query_histogram = [registry](const char* type) {
+      return registry->GetHistogram(
+          std::string("tman_core_query_micros{type=\"") + type + "\"}");
+    };
+    q_temporal_micros_ = query_histogram("temporal_range");
+    q_spatial_micros_ = query_histogram("spatial_range");
+    q_st_micros_ = query_histogram("st_range");
+    q_idt_micros_ = query_histogram("id_temporal");
+    q_sim_threshold_micros_ = query_histogram("similarity_threshold");
+    q_sim_topk_micros_ = query_histogram("similarity_topk");
+    q_count_micros_ = query_histogram("count");
+    reencodes_metric_ = registry->GetCounter("tman_core_reencodes_total");
+    rows_rewritten_metric_ =
+        registry->GetCounter("tman_core_rows_rewritten_total");
+    redis_.BindMetrics(registry->GetCounter("tman_redis_hits_total"),
+                       registry->GetCounter("tman_redis_misses_total"),
+                       registry->GetCounter("tman_redis_ops_total"));
+  }
 
   // Metadata table (§IV-B(4)): index parameters and user configuration.
   std::string meta;
@@ -305,6 +367,7 @@ Status TMan::ReencodeBufferedElements() {
     return Status::OK();
   }
   reencode_count_++;
+  if (reencodes_metric_ != nullptr) reencodes_metric_->Inc();
 
   for (const auto& [quad_code, new_bits] : buffered) {
     (void)new_bits;
@@ -380,6 +443,7 @@ Status TMan::ReencodeBufferedElements() {
         if (!s.ok()) return s;
       }
       rows_rewritten_++;
+      if (rows_rewritten_metric_ != nullptr) rows_rewritten_metric_->Inc();
     }
     index_cache_->PutElement(quad_code, std::move(mapping));
   }
@@ -478,86 +542,135 @@ void TMan::MergePlanningStats(const QueryPlan& plan, const Stopwatch& planning,
 
 Status TMan::TemporalRangeQuery(int64_t ts, int64_t te,
                                 std::vector<traj::Trajectory>* out,
-                                QueryStats* stats) {
+                                QueryStats* stats, const QueryOptions& qopts) {
   Stopwatch total;
+  auto root = MaybeTraceRoot(qopts, stats, "TemporalRangeQuery");
+  obs::TraceSpan* plan_span =
+      root != nullptr ? root->AddChild("planning") : nullptr;
   Stopwatch planning;
   QueryPlan plan;
   Status s = planner_->PlanTemporalRange(ts, te, &plan);
   if (!s.ok()) return s;
+  FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
 
+  obs::TraceSpan* exec_span =
+      root != nullptr ? root->AddChild("execute") : nullptr;
   DecodeTrajectoriesSink sink(out);
-  s = executor_->Execute(plan, &sink, stats);
+  s = executor_->Execute(plan, &sink, stats, exec_span);
   if (s.ok()) s = sink.status();
   if (!s.ok()) return s;
+  if (exec_span != nullptr) {
+    exec_span->End();
+    exec_span->Annotate("rows_decoded", static_cast<double>(sink.accepted()));
+  }
   if (stats != nullptr) {
     stats->results += sink.accepted();
     stats->execution_ms += total.ElapsedMillis();
   }
+  RecordQueryLatency(q_temporal_micros_, total);
+  FinishTrace(std::move(root), stats);
   return Status::OK();
 }
 
 Status TMan::SpatialRangeQuery(const geo::MBR& rect,
                                std::vector<traj::Trajectory>* out,
-                               QueryStats* stats) {
+                               QueryStats* stats, const QueryOptions& qopts) {
   Stopwatch total;
+  auto root = MaybeTraceRoot(qopts, stats, "SpatialRangeQuery");
+  obs::TraceSpan* plan_span =
+      root != nullptr ? root->AddChild("planning") : nullptr;
   Stopwatch planning;
   QueryPlan plan;
   Status s = planner_->PlanSpatialRange(rect, &plan);
   if (!s.ok()) return s;
+  FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
 
+  obs::TraceSpan* exec_span =
+      root != nullptr ? root->AddChild("execute") : nullptr;
   DecodeTrajectoriesSink sink(out);
-  s = executor_->Execute(plan, &sink, stats);
+  s = executor_->Execute(plan, &sink, stats, exec_span);
   if (s.ok()) s = sink.status();
   if (!s.ok()) return s;
+  if (exec_span != nullptr) {
+    exec_span->End();
+    exec_span->Annotate("rows_decoded", static_cast<double>(sink.accepted()));
+  }
   if (stats != nullptr) {
     stats->results += sink.accepted();
     stats->execution_ms += total.ElapsedMillis();
   }
+  RecordQueryLatency(q_spatial_micros_, total);
+  FinishTrace(std::move(root), stats);
   return Status::OK();
 }
 
 Status TMan::SpatioTemporalRangeQuery(const geo::MBR& rect, int64_t ts,
                                       int64_t te,
                                       std::vector<traj::Trajectory>* out,
-                                      QueryStats* stats) {
+                                      QueryStats* stats,
+                                      const QueryOptions& qopts) {
   Stopwatch total;
+  auto root = MaybeTraceRoot(qopts, stats, "SpatioTemporalRangeQuery");
+  obs::TraceSpan* plan_span =
+      root != nullptr ? root->AddChild("planning") : nullptr;
   Stopwatch planning;
   QueryPlan plan;
   Status s = planner_->PlanSpatioTemporalRange(rect, ts, te, &plan);
   if (!s.ok()) return s;
+  FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
 
+  obs::TraceSpan* exec_span =
+      root != nullptr ? root->AddChild("execute") : nullptr;
   DecodeTrajectoriesSink sink(out);
-  s = executor_->Execute(plan, &sink, stats);
+  s = executor_->Execute(plan, &sink, stats, exec_span);
   if (s.ok()) s = sink.status();
   if (!s.ok()) return s;
+  if (exec_span != nullptr) {
+    exec_span->End();
+    exec_span->Annotate("rows_decoded", static_cast<double>(sink.accepted()));
+  }
   if (stats != nullptr) {
     stats->results += sink.accepted();
     stats->execution_ms += total.ElapsedMillis();
   }
+  RecordQueryLatency(q_st_micros_, total);
+  FinishTrace(std::move(root), stats);
   return Status::OK();
 }
 
 Status TMan::IDTemporalQuery(const std::string& oid, int64_t ts, int64_t te,
                              std::vector<traj::Trajectory>* out,
-                             QueryStats* stats) {
+                             QueryStats* stats, const QueryOptions& qopts) {
   Stopwatch total;
+  auto root = MaybeTraceRoot(qopts, stats, "IDTemporalQuery");
+  obs::TraceSpan* plan_span =
+      root != nullptr ? root->AddChild("planning") : nullptr;
   Stopwatch planning;
   QueryPlan plan;
   Status s = planner_->PlanIDTemporal(oid, ts, te, &plan);
   if (!s.ok()) return s;
+  FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
 
+  obs::TraceSpan* exec_span =
+      root != nullptr ? root->AddChild("execute") : nullptr;
   DecodeTrajectoriesSink sink(out);
-  s = executor_->Execute(plan, &sink, stats);
+  s = executor_->Execute(plan, &sink, stats, exec_span);
   if (s.ok()) s = sink.status();
   if (!s.ok()) return s;
+  if (exec_span != nullptr) {
+    exec_span->End();
+    exec_span->Annotate("rows_decoded", static_cast<double>(sink.accepted()));
+  }
   if (stats != nullptr) {
     stats->results += sink.accepted();
     stats->execution_ms += total.ElapsedMillis();
   }
+  RecordQueryLatency(q_idt_micros_, total);
+  FinishTrace(std::move(root), stats);
   return Status::OK();
 }
 
@@ -565,8 +678,10 @@ Status TMan::ThresholdSimilarityQuery(const traj::Trajectory& query,
                                       geo::SimilarityMeasure measure,
                                       double threshold,
                                       std::vector<traj::Trajectory>* out,
-                                      QueryStats* stats) {
+                                      QueryStats* stats,
+                                      const QueryOptions& qopts) {
   Stopwatch total;
+  auto root = MaybeTraceRoot(qopts, stats, "ThresholdSimilarityQuery");
   geo::DPFeatures query_features =
       geo::ExtractDPFeatures(query.points, options_.max_dp_features);
 
@@ -574,6 +689,8 @@ Status TMan::ThresholdSimilarityQuery(const traj::Trajectory& query,
   // filter (MBR + DP-feature lower bounds evaluated in the storage layer,
   // §V-G): only rows that could be within the threshold stream to the
   // exact verification sink.
+  obs::TraceSpan* plan_span =
+      root != nullptr ? root->AddChild("planning") : nullptr;
   Stopwatch planning;
   QueryPlan plan;
   Status s = planner_->PlanSimilarityCandidates(
@@ -581,23 +698,38 @@ Status TMan::ThresholdSimilarityQuery(const traj::Trajectory& query,
       std::make_unique<SimilarityFilter>(query_features, threshold),
       "similarity:threshold", &plan);
   if (!s.ok()) return s;
+  FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
 
+  obs::TraceSpan* exec_span =
+      root != nullptr ? root->AddChild("execute") : nullptr;
   ThresholdVerifySink sink(&query, measure, threshold, out, stats);
-  s = executor_->Execute(plan, &sink, stats);
+  s = executor_->Execute(plan, &sink, stats, exec_span);
   if (s.ok()) s = sink.status();
   if (!s.ok()) return s;
+  if (exec_span != nullptr) {
+    exec_span->End();
+    exec_span->Annotate("verified", static_cast<double>(sink.accepted()));
+    exec_span->Annotate(
+        "exact_distance_computations",
+        stats != nullptr
+            ? static_cast<double>(stats->exact_distance_computations)
+            : 0.0);
+  }
   if (stats != nullptr) {
     stats->results += sink.accepted();
     stats->execution_ms += total.ElapsedMillis();
   }
+  RecordQueryLatency(q_sim_threshold_micros_, total);
+  FinishTrace(std::move(root), stats);
   return Status::OK();
 }
 
 Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
                                  geo::SimilarityMeasure measure, size_t k,
                                  std::vector<traj::Trajectory>* out,
-                                 QueryStats* stats) {
+                                 QueryStats* stats,
+                                 const QueryOptions& qopts) {
   Stopwatch total;
   if (options_.primary != PrimaryIndexKind::kSpatial) {
     return Status::NotSupported(
@@ -605,6 +737,7 @@ Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
   }
   if (k == 0) return Status::OK();
 
+  auto root = MaybeTraceRoot(qopts, stats, "TopKSimilarityQuery");
   const geo::MBR qmbr = query.ComputeMBR();
   TopKSink sink(&query, measure, k,
                 geo::ExtractDPFeatures(query.points, options_.max_dp_features),
@@ -615,14 +748,21 @@ Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
   const double max_radius =
       2.0 * std::max(options_.bounds.width(), options_.bounds.height());
   double previous_radius = 0;
+  int round = 0;
 
   while (true) {
+    obs::TraceSpan* round_span =
+        root != nullptr ? root->AddChild("round " + std::to_string(round))
+                        : nullptr;
+    obs::TraceSpan* plan_span =
+        round_span != nullptr ? round_span->AddChild("planning") : nullptr;
     Stopwatch planning;
     QueryPlan plan;
     Status s = planner_->PlanSimilarityCandidates(
         qmbr, radius, std::make_unique<MBRDistanceFilter>(qmbr, radius),
         "similarity:topk", &plan);
     if (!s.ok()) return s;
+    FinishPlanningSpan(plan_span, plan);
     MergePlanningStats(plan, planning, stats);
 
     // Rows the sink has not seen yet all lie beyond the previous radius
@@ -631,7 +771,16 @@ Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
     // heap's k-th bound drops to the previous radius the sink terminates
     // the scan mid-round instead of draining every window.
     sink.set_cutoff(previous_radius);
-    s = executor_->Execute(plan, &sink, stats);
+    obs::TraceSpan* exec_span =
+        round_span != nullptr ? round_span->AddChild("execute") : nullptr;
+    s = executor_->Execute(plan, &sink, stats, exec_span);
+    if (exec_span != nullptr) exec_span->End();
+    if (round_span != nullptr) {
+      round_span->End();
+      round_span->Annotate("radius", radius);
+      round_span->Annotate("kth_bound",
+                           sink.Full() ? sink.KthBound() : -1.0);
+    }
     if (!s.ok()) return s;
 
     // Stop once the k-th best distance is certainly inside the searched
@@ -640,6 +789,7 @@ Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
     if (radius >= max_radius) break;
     previous_radius = radius;
     radius *= 2;
+    round++;
   }
 
   std::vector<traj::Trajectory> results = sink.TakeResults();
@@ -649,6 +799,8 @@ Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
   }
   out->reserve(out->size() + results.size());
   std::move(results.begin(), results.end(), std::back_inserter(*out));
+  RecordQueryLatency(q_sim_topk_micros_, total);
+  FinishTrace(std::move(root), stats);
   return Status::OK();
 }
 
@@ -658,89 +810,139 @@ Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
 // rows are shipped back.
 
 Status TMan::ExecuteCount(QueryPlan plan, const std::string& count_plan_name,
-                          uint64_t* count, QueryStats* stats) {
+                          uint64_t* count, QueryStats* stats,
+                          obs::TraceSpan* span) {
   const kv::ScanFilter* inner = plan.filter.get();
   auto counting = std::make_unique<CountingFilter>(inner, std::move(plan.filter));
   CountingFilter* counter = counting.get();
   plan.filter = std::move(counting);
 
   NullSink sink;
-  Status s = executor_->Execute(plan, &sink, stats);
+  Status s = executor_->Execute(plan, &sink, stats, span);
   *count = counter->count();
+  if (span != nullptr) {
+    span->End();
+    span->Annotate("count", static_cast<double>(*count));
+  }
   if (stats != nullptr) stats->plan = count_plan_name;
   return s;
 }
 
 Status TMan::TemporalRangeCount(int64_t ts, int64_t te, uint64_t* count,
-                                QueryStats* stats) {
+                                QueryStats* stats, const QueryOptions& qopts) {
   Stopwatch total;
   *count = 0;
+  auto root = MaybeTraceRoot(qopts, stats, "TemporalRangeCount");
+  obs::TraceSpan* plan_span =
+      root != nullptr ? root->AddChild("planning") : nullptr;
   Stopwatch planning;
   QueryPlan plan;
   Status s = planner_->PlanTemporalRange(ts, te, &plan);
   if (!s.ok()) return s;
 
   if (plan.kind == PlanKind::kPrimaryScan) {
+    FinishPlanningSpan(plan_span, plan);
     MergePlanningStats(plan, planning, stats);
-    s = ExecuteCount(std::move(plan), "count:temporal", count, stats);
+    obs::TraceSpan* exec_span =
+        root != nullptr ? root->AddChild("execute") : nullptr;
+    s = ExecuteCount(std::move(plan), "count:temporal", count, stats,
+                     exec_span);
   } else {
-    // Through the secondary: count distinct matching primary rows.
+    // Through the secondary: count distinct matching primary rows. The
+    // sub-query owns this path's trace tree.
+    root.reset();
     std::vector<traj::Trajectory> out;
     QueryStats sub;
-    s = TemporalRangeQuery(ts, te, &out, &sub);
+    s = TemporalRangeQuery(ts, te, &out, &sub, qopts);
     *count = out.size();
     if (stats != nullptr) {
       stats->windows += sub.windows;
+      stats->index_values += sub.index_values;
       stats->candidates += sub.candidates;
+      stats->elements_visited += sub.elements_visited;
+      stats->shapes_checked += sub.shapes_checked;
       stats->planning_ms += sub.planning_ms;
       stats->plan = "count:temporal";
+      stats->trace = std::move(sub.trace);
     }
   }
   if (stats != nullptr) {
     stats->results = *count;
     stats->execution_ms += total.ElapsedMillis();
   }
+  RecordQueryLatency(q_count_micros_, total);
+  FinishTrace(std::move(root), stats);
   return s;
 }
 
 Status TMan::SpatialRangeCount(const geo::MBR& rect, uint64_t* count,
-                               QueryStats* stats) {
+                               QueryStats* stats, const QueryOptions& qopts) {
   Stopwatch total;
   *count = 0;
+  auto root = MaybeTraceRoot(qopts, stats, "SpatialRangeCount");
+  obs::TraceSpan* plan_span =
+      root != nullptr ? root->AddChild("planning") : nullptr;
   Stopwatch planning;
   QueryPlan plan;
   Status s = planner_->PlanSpatialRange(rect, &plan);
   if (!s.ok()) return s;
+  FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
-  s = ExecuteCount(std::move(plan), "count:spatial", count, stats);
+  obs::TraceSpan* exec_span =
+      root != nullptr ? root->AddChild("execute") : nullptr;
+  s = ExecuteCount(std::move(plan), "count:spatial", count, stats, exec_span);
   if (stats != nullptr) {
     stats->results = *count;
     stats->execution_ms += total.ElapsedMillis();
   }
+  RecordQueryLatency(q_count_micros_, total);
+  FinishTrace(std::move(root), stats);
   return s;
 }
 
 Status TMan::SpatioTemporalRangeCount(const geo::MBR& rect, int64_t ts,
                                       int64_t te, uint64_t* count,
-                                      QueryStats* stats) {
+                                      QueryStats* stats,
+                                      const QueryOptions& qopts) {
   Stopwatch total;
   *count = 0;
+  auto root = MaybeTraceRoot(qopts, stats, "SpatioTemporalRangeCount");
+  obs::TraceSpan* plan_span =
+      root != nullptr ? root->AddChild("planning") : nullptr;
   Stopwatch planning;
   QueryPlan plan;
   Status s = planner_->PlanSpatioTemporalRange(rect, ts, te, &plan);
   if (!s.ok()) return s;
+  FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
-  s = ExecuteCount(std::move(plan), "count:spatio-temporal", count, stats);
+  obs::TraceSpan* exec_span =
+      root != nullptr ? root->AddChild("execute") : nullptr;
+  s = ExecuteCount(std::move(plan), "count:spatio-temporal", count, stats,
+                   exec_span);
   if (stats != nullptr) {
     stats->results = *count;
     stats->execution_ms += total.ElapsedMillis();
   }
+  RecordQueryLatency(q_count_micros_, total);
+  FinishTrace(std::move(root), stats);
   return s;
 }
 
 uint64_t TMan::StorageBytes() {
   return primary_->TotalBytes() + tr_table_->TotalBytes() +
          idt_table_->TotalBytes();
+}
+
+void TMan::PublishMetrics() {
+  obs::MetricsRegistry* registry = options_.kv.metrics;
+  if (registry == nullptr) return;
+  const StorageStats s = GetStorageStats();
+  registry->GetGauge("tman_storage_sstable_bytes")
+      ->Set(static_cast<double>(s.sstable_bytes));
+  registry->GetGauge("tman_storage_memtable_bytes")
+      ->Set(static_cast<double>(s.memtable_bytes));
+  registry->GetGauge("tman_redis_keys")
+      ->Set(static_cast<double>(redis_.KeyCount()));
 }
 
 }  // namespace tman::core

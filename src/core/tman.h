@@ -60,47 +60,60 @@ class TMan {
   StorageStats GetStorageStats();
 
   // --- Fundamental queries (§V) ---
+  //
+  // All queries take optional per-call QueryOptions; with qopts.trace set
+  // (and a non-null stats) the call fills stats->trace with an EXPLAIN
+  // ANALYZE-style span tree.
 
   Status TemporalRangeQuery(int64_t ts, int64_t te,
                             std::vector<traj::Trajectory>* out,
-                            QueryStats* stats = nullptr);
+                            QueryStats* stats = nullptr,
+                            const QueryOptions& qopts = {});
 
   Status SpatialRangeQuery(const geo::MBR& rect,
                            std::vector<traj::Trajectory>* out,
-                           QueryStats* stats = nullptr);
+                           QueryStats* stats = nullptr,
+                           const QueryOptions& qopts = {});
 
   Status SpatioTemporalRangeQuery(const geo::MBR& rect, int64_t ts, int64_t te,
                                   std::vector<traj::Trajectory>* out,
-                                  QueryStats* stats = nullptr);
+                                  QueryStats* stats = nullptr,
+                                  const QueryOptions& qopts = {});
 
   Status IDTemporalQuery(const std::string& oid, int64_t ts, int64_t te,
                          std::vector<traj::Trajectory>* out,
-                         QueryStats* stats = nullptr);
+                         QueryStats* stats = nullptr,
+                         const QueryOptions& qopts = {});
 
   // Trajectories within `threshold` (data-coordinate units) of `query`.
   Status ThresholdSimilarityQuery(const traj::Trajectory& query,
                                   geo::SimilarityMeasure measure,
                                   double threshold,
                                   std::vector<traj::Trajectory>* out,
-                                  QueryStats* stats = nullptr);
+                                  QueryStats* stats = nullptr,
+                                  const QueryOptions& qopts = {});
 
   // k most similar trajectories, nearest first.
   Status TopKSimilarityQuery(const traj::Trajectory& query,
                              geo::SimilarityMeasure measure, size_t k,
                              std::vector<traj::Trajectory>* out,
-                             QueryStats* stats = nullptr);
+                             QueryStats* stats = nullptr,
+                             const QueryOptions& qopts = {});
 
   // --- Aggregation queries (count-only push-down; no rows are shipped
   //     back from the storage layer) ---
 
   Status TemporalRangeCount(int64_t ts, int64_t te, uint64_t* count,
-                            QueryStats* stats = nullptr);
+                            QueryStats* stats = nullptr,
+                            const QueryOptions& qopts = {});
 
   Status SpatialRangeCount(const geo::MBR& rect, uint64_t* count,
-                           QueryStats* stats = nullptr);
+                           QueryStats* stats = nullptr,
+                           const QueryOptions& qopts = {});
 
   Status SpatioTemporalRangeCount(const geo::MBR& rect, int64_t ts, int64_t te,
-                                  uint64_t* count, QueryStats* stats = nullptr);
+                                  uint64_t* count, QueryStats* stats = nullptr,
+                                  const QueryOptions& qopts = {});
 
   // --- Introspection ---
 
@@ -113,6 +126,12 @@ class TMan {
 
   // Number of re-encoded shape-row rewrites performed so far.
   uint64_t rows_rewritten() const { return rows_rewritten_; }
+
+  // Publishes point-in-time storage gauges (memtable/SSTable bytes) to the
+  // registry configured in TManOptions::kv.metrics. Event counters and
+  // latency histograms update live and need no publish; call this right
+  // before scraping so the gauges are fresh. No-op without a registry.
+  void PublishMetrics();
 
  private:
   TMan(const TManOptions& options, const std::string& path);
@@ -147,7 +166,15 @@ class TMan {
   // Runs a count plan: the filter chain is wrapped in a CountingFilter so
   // the storage layer counts matches and ships nothing back.
   Status ExecuteCount(QueryPlan plan, const std::string& count_plan_name,
-                      uint64_t* count, QueryStats* stats);
+                      uint64_t* count, QueryStats* stats,
+                      obs::TraceSpan* span = nullptr);
+
+  // Records one finished query into its per-type latency histogram
+  // ("tman_core_query_micros{type=...}"); null handle = metrics off.
+  static void RecordQueryLatency(obs::Histogram* histogram,
+                                 const Stopwatch& total) {
+    if (histogram != nullptr) histogram->RecordMicros(total.ElapsedMicros());
+  }
 
   // Re-encode pass over elements with buffered shapes (§IV-C).
   Status ReencodeBufferedElements();
@@ -173,6 +200,18 @@ class TMan {
   BufferShapeCache buffer_cache_;
   uint64_t reencode_count_ = 0;
   uint64_t rows_rewritten_ = 0;
+
+  // Registry handles, resolved in Init() from TManOptions::kv.metrics
+  // (all null = metrics off).
+  obs::Histogram* q_temporal_micros_ = nullptr;
+  obs::Histogram* q_spatial_micros_ = nullptr;
+  obs::Histogram* q_st_micros_ = nullptr;
+  obs::Histogram* q_idt_micros_ = nullptr;
+  obs::Histogram* q_sim_threshold_micros_ = nullptr;
+  obs::Histogram* q_sim_topk_micros_ = nullptr;
+  obs::Histogram* q_count_micros_ = nullptr;
+  obs::Counter* reencodes_metric_ = nullptr;
+  obs::Counter* rows_rewritten_metric_ = nullptr;
 };
 
 }  // namespace tman::core

@@ -11,6 +11,7 @@
 
 #include "common/hash.h"
 #include "common/slice.h"
+#include "obs/metrics.h"
 
 namespace tman::kv {
 
@@ -30,10 +31,24 @@ class ShardedLRUCache {
   }
 
   std::shared_ptr<T> Lookup(const std::string& key) {
-    return Shard(key).Lookup(key);
+    std::shared_ptr<T> value = Shard(key).Lookup(key);
+    if (value != nullptr) {
+      if (ext_hits_ != nullptr) ext_hits_->Inc();
+    } else {
+      if (ext_misses_ != nullptr) ext_misses_->Inc();
+    }
+    return value;
   }
 
   void Erase(const std::string& key) { Shard(key).Erase(key); }
+
+  // Mirrors hit/miss events into registry counters (in addition to the
+  // internal per-shard counters behind hits()/misses()). Call before the
+  // cache sees traffic; either pointer may be null.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses) {
+    ext_hits_ = hits;
+    ext_misses_ = misses;
+  }
 
   uint64_t hits() const {
     uint64_t total = 0;
@@ -117,6 +132,8 @@ class ShardedLRUCache {
 
   size_t per_shard_capacity_;
   LRUShard shards_[kNumShards];
+  obs::Counter* ext_hits_ = nullptr;
+  obs::Counter* ext_misses_ = nullptr;
 };
 
 }  // namespace tman::kv

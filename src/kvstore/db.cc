@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/coding.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "kvstore/filename.h"
 #include "kvstore/merge_iterator.h"
@@ -143,11 +144,42 @@ Status BuildTableFromMem(const Options& options, Env* env,
 
 }  // namespace
 
+DB::Metrics::Metrics(obs::MetricsRegistry* registry) {
+  get_micros = registry->GetHistogram("tman_kv_get_micros");
+  write_micros = registry->GetHistogram("tman_kv_write_micros");
+  scan_micros = registry->GetHistogram("tman_kv_scan_micros");
+  wal_sync_micros = registry->GetHistogram("tman_kv_wal_sync_micros");
+  flush_micros = registry->GetHistogram("tman_kv_flush_micros");
+  compaction_micros = registry->GetHistogram("tman_kv_compaction_micros");
+  scan_rows = registry->GetCounter("tman_kv_scan_rows_total");
+  bloom_checks = registry->GetCounter("tman_kv_bloom_checks_total");
+  bloom_useful = registry->GetCounter("tman_kv_bloom_useful_total");
+  flushes = registry->GetCounter("tman_kv_flushes_total");
+  compactions = registry->GetCounter("tman_kv_compactions_total");
+  compaction_bytes_read =
+      registry->GetCounter("tman_kv_compaction_bytes_read_total");
+  compaction_bytes_written =
+      registry->GetCounter("tman_kv_compaction_bytes_written_total");
+  stalls = registry->GetCounter("tman_kv_write_stalls_total");
+  stall_micros = registry->GetCounter("tman_kv_stall_micros_total");
+  wal_syncs = registry->GetCounter("tman_kv_wal_syncs_total");
+  for (int l = 0; l < GetPerf::kMaxLevels; l++) {
+    sstable_reads_per_level[l] = registry->GetCounter(
+        "tman_kv_sstable_reads_total{level=\"" + std::to_string(l) + "\"}");
+  }
+}
+
 DB::DB(const Options& options, std::string name)
     : options_(options), name_(std::move(name)) {
   env_ = options_.env != nullptr ? options_.env : Env::Default();
   options_.env = env_;
   block_cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+  if (options_.metrics != nullptr) {
+    metrics_ = std::make_unique<Metrics>(options_.metrics);
+    block_cache_->BindMetrics(
+        options_.metrics->GetCounter("tman_kv_block_cache_hits_total"),
+        options_.metrics->GetCounter("tman_kv_block_cache_misses_total"));
+  }
   mem_ = std::make_shared<MemTable>(icmp_);
   versions_ = std::make_unique<VersionSet>(name_, options_, env_,
                                            block_cache_.get());
@@ -269,7 +301,15 @@ Status DB::Delete(const WriteOptions& wo, const Slice& key) {
 Status DB::Write(const WriteOptions& wo, WriteBatch* batch) {
   assert(batch != nullptr);
   if (batch->Count() == 0) return Status::OK();
+  if (metrics_ == nullptr) return WriteImpl(wo, batch);
+  Stopwatch watch;
+  Status s = WriteImpl(wo, batch);
+  // Latency includes group-commit queue wait, as the caller experiences it.
+  metrics_->write_micros->RecordMicros(watch.ElapsedMicros());
+  return s;
+}
 
+Status DB::WriteImpl(const WriteOptions& wo, WriteBatch* batch) {
   Writer w(batch, wo.sync);
   std::unique_lock<std::mutex> lock(mu_);
   writers_.push_back(&w);
@@ -295,7 +335,14 @@ Status DB::Write(const WriteOptions& wo, WriteBatch* batch) {
     lock.unlock();
     s = wal_->AddRecord(group->rep());
     if (s.ok() && sync) {
-      s = env_->SyncFile(wal_->file());
+      if (metrics_ != nullptr) {
+        Stopwatch sync_watch;
+        s = env_->SyncFile(wal_->file());
+        metrics_->wal_sync_micros->RecordMicros(sync_watch.ElapsedMicros());
+        metrics_->wal_syncs->Inc();
+      } else {
+        s = env_->SyncFile(wal_->file());
+      }
     }
     if (s.ok()) {
       s = group->InsertInto(mem_.get());
@@ -374,8 +421,7 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
       lock.unlock();
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       lock.lock();
-      stall_count_++;
-      stall_micros_ += NowMicros() - start;
+      RecordStall(NowMicros() - start);
       allow_delay = false;
       continue;
     }
@@ -391,8 +437,7 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
       MaybeScheduleBackground();
       const uint64_t start = NowMicros();
       bg_cv_.wait(lock);
-      stall_count_++;
-      stall_micros_ += NowMicros() - start;
+      RecordStall(NowMicros() - start);
       continue;
     }
     if (versions_->current()->NumFiles(0) >= options_.l0_stop_trigger) {
@@ -400,8 +445,7 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
       MaybeScheduleBackground();
       const uint64_t start = NowMicros();
       bg_cv_.wait(lock);
-      stall_count_++;
-      stall_micros_ += NowMicros() - start;
+      RecordStall(NowMicros() - start);
       continue;
     }
 
@@ -452,17 +496,41 @@ DB::ReadSnapshot DB::AcquireReadSnapshot() {
 }
 
 Status DB::Get(const ReadOptions& ro, const Slice& key, std::string* value) {
+  if (metrics_ == nullptr) {
+    ReadSnapshot snap = AcquireReadSnapshot();
+    LookupKey lkey(key, snap.sequence);
+    Status s;
+    if (snap.mem->Get(lkey, value, &s)) {
+      return s;
+    }
+    if (snap.imm != nullptr && snap.imm->Get(lkey, value, &s)) {
+      return s;
+    }
+    // Version::Get is const w.r.t. tree shape; needs non-const for table
+    // reads.
+    return const_cast<Version*>(snap.version.get())->Get(ro, lkey, value);
+  }
+
+  Stopwatch watch;
   ReadSnapshot snap = AcquireReadSnapshot();
   LookupKey lkey(key, snap.sequence);
   Status s;
-  if (snap.mem->Get(lkey, value, &s)) {
-    return s;
+  GetPerf perf;
+  const bool in_mem =
+      snap.mem->Get(lkey, value, &s) ||
+      (snap.imm != nullptr && snap.imm->Get(lkey, value, &s));
+  if (!in_mem) {
+    s = const_cast<Version*>(snap.version.get())->Get(ro, lkey, value, &perf);
+    if (perf.bloom_checks != 0) metrics_->bloom_checks->Inc(perf.bloom_checks);
+    if (perf.bloom_useful != 0) metrics_->bloom_useful->Inc(perf.bloom_useful);
+    for (int l = 0; l < GetPerf::kMaxLevels; l++) {
+      if (perf.reads_per_level[l] != 0) {
+        metrics_->sstable_reads_per_level[l]->Inc(perf.reads_per_level[l]);
+      }
+    }
   }
-  if (snap.imm != nullptr && snap.imm->Get(lkey, value, &s)) {
-    return s;
-  }
-  // Version::Get is const w.r.t. tree shape; needs non-const for table reads.
-  return const_cast<Version*>(snap.version.get())->Get(ro, lkey, value);
+  metrics_->get_micros->RecordMicros(watch.ElapsedMicros());
+  return s;
 }
 
 Iterator* DB::NewIterator(const ReadOptions& ro) {
@@ -508,6 +576,7 @@ Status DB::Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
 Status DB::Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
                 const ScanFilter* filter, size_t limit, RowSink* sink,
                 ScanStats* stats) {
+  Stopwatch watch;  // read only when metrics are on
   std::unique_ptr<Iterator> iter(NewIterator(ro));
   ScanStats local;
   for (iter->Seek(start); iter->Valid(); iter->Next()) {
@@ -520,6 +589,10 @@ Status DB::Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
     }
   }
   if (stats != nullptr) *stats += local;
+  if (metrics_ != nullptr) {
+    metrics_->scan_micros->RecordMicros(watch.ElapsedMicros());
+    metrics_->scan_rows->Inc(local.scanned);
+  }
   return iter->status();
 }
 
@@ -575,6 +648,7 @@ Status DB::WriteLevel0Table(const std::shared_ptr<MemTable>& mem,
   meta->number = versions_->NewFileNumber();
   pending_outputs_.insert(meta->number);
 
+  Stopwatch watch;
   if (lock != nullptr) lock->unlock();
   Status s = BuildTableFromMem(options_, env_, name_, mem.get(), meta.get());
   if (s.ok()) s = versions_->OpenTable(meta.get());
@@ -586,6 +660,10 @@ Status DB::WriteLevel0Table(const std::shared_ptr<MemTable>& mem,
     return s;
   }
   flush_count_++;
+  if (metrics_ != nullptr) {
+    metrics_->flushes->Inc();
+    metrics_->flush_micros->RecordMicros(watch.ElapsedMicros());
+  }
   return versions_->InstallVersion(0, {std::move(meta)}, {}, -1);
 }
 
@@ -704,6 +782,7 @@ Status DB::RunCompaction(const CompactionJob& job,
   // The merge itself needs no DB state: inputs are pinned by the captured
   // FileMetaPtrs and `current`; output numbers come from the atomic
   // counter. Release the mutex so readers and writers proceed.
+  Stopwatch watch;
   if (lock != nullptr) lock->unlock();
 
   ReadOptions ro;
@@ -806,6 +885,12 @@ Status DB::RunCompaction(const CompactionJob& job,
   compaction_count_++;
   compaction_bytes_read_ += bytes_read;
   compaction_bytes_written_ += bytes_written;
+  if (metrics_ != nullptr) {
+    metrics_->compactions->Inc();
+    metrics_->compaction_micros->RecordMicros(watch.ElapsedMicros());
+    metrics_->compaction_bytes_read->Inc(bytes_read);
+    metrics_->compaction_bytes_written->Inc(bytes_written);
+  }
 
   s = versions_->InstallVersion(output_level, std::move(outputs), removed,
                                 level);

@@ -22,6 +22,7 @@
 #include "kvstore/scan_filter.h"
 #include "kvstore/version.h"
 #include "kvstore/write_batch.h"
+#include "obs/metrics.h"
 
 namespace tman {
 class ThreadPool;
@@ -127,6 +128,31 @@ class DB {
 
   DB(const Options& options, std::string name);
 
+  // Registry handles, resolved once at construction when Options::metrics
+  // is set (null member = metrics off; hot paths then skip even the
+  // stopwatch reads). Counters are shared across DBs pointed at the same
+  // registry: increments aggregate.
+  struct Metrics {
+    explicit Metrics(obs::MetricsRegistry* registry);
+    obs::Histogram* get_micros;
+    obs::Histogram* write_micros;
+    obs::Histogram* scan_micros;
+    obs::Histogram* wal_sync_micros;
+    obs::Histogram* flush_micros;
+    obs::Histogram* compaction_micros;
+    obs::Counter* scan_rows;
+    obs::Counter* bloom_checks;
+    obs::Counter* bloom_useful;
+    obs::Counter* flushes;
+    obs::Counter* compactions;
+    obs::Counter* compaction_bytes_read;
+    obs::Counter* compaction_bytes_written;
+    obs::Counter* stalls;
+    obs::Counter* stall_micros;
+    obs::Counter* wal_syncs;
+    obs::Counter* sstable_reads_per_level[GetPerf::kMaxLevels];
+  };
+
   Status Recover();
   Status ReplayWal(uint64_t wal_number);
 
@@ -136,6 +162,19 @@ class DB {
   // backpressure, freezes a full memtable into imm_ (rotating the WAL) and
   // schedules its background flush. May release and re-acquire `lock`.
   Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+
+  // Write() minus the latency recording (the group-commit body).
+  Status WriteImpl(const WriteOptions& wo, WriteBatch* batch);
+
+  // Folds one backpressure episode into the stall counters (mu_ held).
+  void RecordStall(uint64_t micros) {
+    stall_count_++;
+    stall_micros_ += micros;
+    if (metrics_ != nullptr) {
+      metrics_->stalls->Inc();
+      metrics_->stall_micros->Inc(micros);
+    }
+  }
 
   // Folds the front run of queued writers into one batch (up to a size
   // cap); *last_writer is set to the last writer included.
@@ -195,6 +234,7 @@ class DB {
   Env* env_;
   InternalKeyComparator icmp_;
   std::unique_ptr<BlockCache> block_cache_;
+  std::unique_ptr<Metrics> metrics_;  // null when Options::metrics unset
 
   std::mutex mu_;
   std::condition_variable bg_cv_;  // background work finished / state change

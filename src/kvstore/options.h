@@ -8,6 +8,10 @@ namespace tman {
 class ThreadPool;
 }  // namespace tman
 
+namespace tman::obs {
+class MetricsRegistry;
+}  // namespace tman::obs
+
 namespace tman::kv {
 
 class Env;
@@ -62,6 +66,13 @@ struct Options {
   bool create_if_missing = true;
 
   Env* env = nullptr;  // defaults to Env::Default()
+
+  // Metrics registry the DB records into (tman_kv_* latency histograms and
+  // event counters; see DESIGN.md "Observability"). Shared across DBs:
+  // counters are live increments, so several region DBs pointed at one
+  // registry aggregate naturally. nullptr disables recording entirely —
+  // hot paths skip even the stopwatch reads.
+  tman::obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ReadOptions {

@@ -98,6 +98,9 @@ class Table {
   // Whether the table's bloom filter admits this user key.
   bool KeyMayMatch(const Slice& user_key) const;
 
+  // Whether this table carries a bloom filter at all.
+  bool has_filter() const { return !filter_data_.empty(); }
+
  private:
   friend class TableIterator;
 

@@ -43,8 +43,30 @@ void SaveValue(void* arg, const Slice& ikey, const Slice& v) {
 
 }  // namespace
 
+namespace {
+
+// Bloom-filter accounting for one candidate file: returns false when the
+// filter proves the key absent (the table read can be skipped). Only used
+// on the instrumented path; the fast path leaves the check inside
+// Table::InternalGet.
+bool FilterAdmits(const FileMetaPtr& f, const Slice& user_key, int level,
+                  GetPerf* perf) {
+  if (f->table->has_filter()) {
+    perf->bloom_checks++;
+    if (!f->table->KeyMayMatch(user_key)) {
+      perf->bloom_useful++;
+      return false;
+    }
+  }
+  const int slot = level < GetPerf::kMaxLevels ? level : GetPerf::kMaxLevels - 1;
+  perf->reads_per_level[slot]++;
+  return true;
+}
+
+}  // namespace
+
 Status Version::Get(const ReadOptions& ro, const LookupKey& key,
-                    std::string* value) {
+                    std::string* value, GetPerf* perf) {
   const Slice ikey = key.internal_key();
   const Slice user_key = key.user_key();
 
@@ -58,6 +80,7 @@ Status Version::Get(const ReadOptions& ro, const LookupKey& key,
         user_key.compare(f->largest.user_key()) > 0) {
       continue;
     }
+    if (perf != nullptr && !FilterAdmits(f, user_key, 0, perf)) continue;
     Status s = f->table->InternalGet(ro, ikey, &state, SaveValue);
     if (!s.ok()) return s;
     if (state.found) {
@@ -83,6 +106,7 @@ Status Version::Get(const ReadOptions& ro, const LookupKey& key,
     if (idx < 0) continue;
     const FileMetaPtr& f = files[idx];
     if (user_key.compare(f->smallest.user_key()) < 0) continue;
+    if (perf != nullptr && !FilterAdmits(f, user_key, level, perf)) continue;
     Status s = f->table->InternalGet(ro, ikey, &state, SaveValue);
     if (!s.ok()) return s;
     if (state.found) {

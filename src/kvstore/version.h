@@ -29,6 +29,16 @@ struct FileMetaData {
 
 using FileMetaPtr = std::shared_ptr<FileMetaData>;
 
+// Per-lookup read-path breakdown, filled by Version::Get when requested
+// (allocation-free: fixed arrays, lives on the caller's stack). Levels
+// deeper than kMaxLevels-1 fold into the last slot.
+struct GetPerf {
+  static constexpr int kMaxLevels = 8;
+  uint32_t bloom_checks = 0;  // candidate files whose filter was consulted
+  uint32_t bloom_useful = 0;  // files skipped entirely thanks to the filter
+  uint32_t reads_per_level[kMaxLevels] = {};  // SSTable point reads by level
+};
+
 // An immutable snapshot of the LSM tree's file layout. Readers hold a
 // shared_ptr<Version>; flush/compaction install a new Version.
 class Version {
@@ -41,7 +51,10 @@ class Version {
   int num_levels() const { return static_cast<int>(files_.size()); }
 
   // Point lookup across levels (L0 newest-first, deeper levels by range).
-  Status Get(const ReadOptions& ro, const LookupKey& key, std::string* value);
+  // When `perf` is non-null the bloom check is hoisted out of the table so
+  // filter effectiveness and per-level read counts can be recorded.
+  Status Get(const ReadOptions& ro, const LookupKey& key, std::string* value,
+             GetPerf* perf = nullptr);
 
   // Appends iterators covering all files to *iters.
   void AddIterators(const ReadOptions& ro, std::vector<Iterator*>* iters);

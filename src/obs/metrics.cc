@@ -1,0 +1,285 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace tman::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram() : shards_(new Shard[kShards]) {
+  for (int s = 0; s < kShards; s++) {
+    for (int b = 0; b < kNumBuckets; b++) {
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < kSub) return static_cast<int>(value);
+  const int h = 63 - std::countl_zero(value);  // position of highest set bit
+  return (h - kSubBits + 1) * kSub +
+         static_cast<int>((value >> (h - kSubBits)) - kSub);
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  if (index < kSub) return static_cast<uint64_t>(index);
+  const int octave = index / kSub;
+  const int sub = index % kSub;
+  return static_cast<uint64_t>(kSub + sub) << (octave - 1);
+}
+
+Histogram::Shard& Histogram::LocalShard() {
+  // Threads spread round-robin over the shards; a given thread always
+  // records into the same shard, so recorders contend kShards-ways less.
+  static std::atomic<unsigned> next_shard{0};
+  thread_local unsigned my_shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shards_[my_shard];
+}
+
+void Histogram::Record(uint64_t value) {
+  Shard& shard = LocalShard();
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.buckets.assign(kNumBuckets, 0);
+  for (int s = 0; s < kShards; s++) {
+    for (int b = 0; b < kNumBuckets; b++) {
+      snap.buckets[b] += shards_[s].buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += shards_[s].count.load(std::memory_order_relaxed);
+    snap.sum += shards_[s].sum.load(std::memory_order_relaxed);
+  }
+  const uint64_t mn = min_.load(std::memory_order_relaxed);
+  snap.min = (mn == UINT64_MAX) ? 0 : mn;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0) return static_cast<double>(min);
+  if (p >= 100) return static_cast<double>(max);
+  const double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; b++) {
+    if (buckets[b] == 0) continue;
+    const uint64_t next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= rank) {
+      const double lower = static_cast<double>(BucketLowerBound(b));
+      const double upper =
+          b + 1 < kNumBuckets ? static_cast<double>(BucketLowerBound(b + 1))
+                              : lower + 1;
+      const double frac = (rank - static_cast<double>(cumulative)) /
+                          static_cast<double>(buckets[b]);
+      const double v = lower + frac * (upper - lower);
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (int s = 0; s < kShards; s++) {
+    total += shards_[s].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::sum() const {
+  uint64_t total = 0;
+  for (int s = 0; s < kShards; s++) {
+    total += shards_[s].sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t mn = min_.load(std::memory_order_relaxed);
+  return mn == UINT64_MAX ? 0 : mn;
+}
+
+uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double p) const {
+  return TakeSnapshot().Percentile(p);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+// "name{quantile=\"0.5\"}" — merging into an existing label set if the
+// metric name already carries one ("name{level=\"0\"}").
+std::string WithLabel(const std::string& name, const char* label,
+                      const char* value) {
+  std::string out;
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    out = name + "{" + label + "=\"" + value + "\"}";
+  } else {
+    out = name.substr(0, name.size() - 1);  // drop trailing '}'
+    out += std::string(",") + label + "=\"" + value + "\"}";
+  }
+  return out;
+}
+
+// "name_sum" with the suffix spliced before any label block:
+// "name{level=\"0\"}" -> "name_sum{level=\"0\"}".
+std::string WithSuffix(const std::string& name, const char* suffix) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "# TYPE " + name.substr(0, name.find('{')) + " counter\n";
+    out += name + " ";
+    AppendU64(&out, c->value());
+    out += "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "# TYPE " + name.substr(0, name.find('{')) + " gauge\n";
+    out += name + " ";
+    AppendDouble(&out, g->value());
+    out += "\n";
+  }
+  static constexpr struct {
+    const char* label;
+    double p;
+  } kQuantiles[] = {{"0.5", 50}, {"0.95", 95}, {"0.99", 99}, {"0.999", 99.9}};
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot snap = h->TakeSnapshot();
+    out += "# TYPE " + name.substr(0, name.find('{')) + " summary\n";
+    for (const auto& q : kQuantiles) {
+      out += WithLabel(name, "quantile", q.label) + " ";
+      AppendDouble(&out, snap.Percentile(q.p));
+      out += "\n";
+    }
+    out += WithSuffix(name, "_sum") + " ";
+    AppendU64(&out, snap.sum);
+    out += "\n" + WithSuffix(name, "_count") + " ";
+    AppendU64(&out, snap.count);
+    out += "\n" + WithSuffix(name, "_min") + " ";
+    AppendU64(&out, snap.min);
+    out += "\n" + WithSuffix(name, "_max") + " ";
+    AppendU64(&out, snap.max);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    AppendU64(&out, c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    AppendDouble(&out, g->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot snap = h->TakeSnapshot();
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"count\": ";
+    AppendU64(&out, snap.count);
+    out += ", \"sum\": ";
+    AppendU64(&out, snap.sum);
+    out += ", \"min\": ";
+    AppendU64(&out, snap.min);
+    out += ", \"p50\": ";
+    AppendDouble(&out, snap.Percentile(50));
+    out += ", \"p95\": ";
+    AppendDouble(&out, snap.Percentile(95));
+    out += ", \"p99\": ";
+    AppendDouble(&out, snap.Percentile(99));
+    out += ", \"p999\": ";
+    AppendDouble(&out, snap.Percentile(99.9));
+    out += ", \"max\": ";
+    AppendU64(&out, snap.max);
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return instance;
+}
+
+}  // namespace tman::obs

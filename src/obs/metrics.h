@@ -1,0 +1,159 @@
+#ifndef TMAN_OBS_METRICS_H_
+#define TMAN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tman::obs {
+
+// Observability primitives shared by every layer (kvstore, cluster,
+// cachestore, core, bench). All recording paths are lock-free relaxed
+// atomics with no allocation, so they are safe on storage-engine hot paths;
+// the registry mutex is taken only at metric-resolution and scrape time.
+//
+// Naming scheme (see DESIGN.md "Observability"):
+//   tman_<layer>_<what>[_<unit>][_total]   e.g. tman_kv_get_micros,
+//   tman_cluster_rows_streamed_total, tman_index_cache_hits_total.
+// Fixed label sets are baked into the metric name Prometheus-style, e.g.
+//   tman_kv_sstable_reads_total{level="2"}.
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+
+  // Publishes an externally maintained monotonic total (used when a
+  // component keeps its own counter and folds it in at snapshot time).
+  void Store(uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Last-write-wins instantaneous value (bytes resident, entries cached, ...).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+// Fixed-bucket log-scale latency/size histogram.
+//
+// Bucket layout (HDR-style): values < 16 get one bucket each; above that,
+// each power-of-two octave is split into 16 linear sub-buckets, so the
+// relative width of any bucket is <= 1/16 (6.25%). With within-bucket
+// interpolation at quantile time the reported error is ~3%. 1024 fixed
+// uint64 cells cover the full uint64 domain — recording is one relaxed
+// fetch_add on the bucket plus count/sum/min/max updates, no allocation.
+//
+// Cells are sharded kShards ways (indexed by a per-thread hash) so
+// concurrent recorders do not contend on hot buckets; scrapes merge the
+// shards into one snapshot. Typical unit is microseconds.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;  // 16 sub-buckets per octave
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kNumBuckets = (64 - kSubBits) * kSub + kSub;
+  static constexpr int kShards = 4;
+
+  Histogram();
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Records one observation. Hot path: relaxed atomics only.
+  void Record(uint64_t value);
+
+  // Convenience for stopwatch output; negatives clamp to zero.
+  void RecordMicros(double micros) {
+    Record(micros <= 0 ? 0 : static_cast<uint64_t>(micros));
+  }
+
+  uint64_t count() const;
+  uint64_t sum() const;
+  uint64_t min() const;  // exact; 0 when empty
+  uint64_t max() const;  // exact; 0 when empty
+  double mean() const;
+
+  // Interpolated quantile, p in [0, 100]. p==0 returns min, p==100 max.
+  double Percentile(double p) const;
+  double p50() const { return Percentile(50); }
+  double p95() const { return Percentile(95); }
+  double p99() const { return Percentile(99); }
+  double p999() const { return Percentile(99.9); }
+
+  // Merged view of the sharded cells; quantile evaluation and exposition
+  // work on this immutable copy so a scrape never blocks recorders.
+  struct Snapshot {
+    std::vector<uint64_t> buckets;  // kNumBuckets cells
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double Percentile(double p) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  // Inclusive lower bound of a bucket (upper bound is the next bucket's
+  // lower bound minus one).
+  static uint64_t BucketLowerBound(int index);
+  static int BucketIndex(uint64_t value);
+
+ private:
+  struct Shard {
+    std::atomic<uint64_t> buckets[kNumBuckets];
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+  };
+
+  Shard& LocalShard();
+
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Named metric registry. GetX() is get-or-create and returns a pointer
+// stable for the registry's lifetime, so components resolve their handles
+// once at construction and record through raw pointers afterwards.
+// RenderPrometheus() emits text exposition format (histograms as summaries
+// with quantile labels + _sum/_count/_min/_max); RenderJson() emits one
+// JSON object for machine consumption next to BENCH_*.json dumps.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  std::string RenderPrometheus() const;
+  std::string RenderJson() const;
+
+  // Process-wide registry for tools/examples; libraries always take an
+  // explicit registry pointer (null = metrics off).
+  static MetricsRegistry* Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tman::obs
+
+#endif  // TMAN_OBS_METRICS_H_

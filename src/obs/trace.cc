@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tman::obs {
+
+TraceSpan* TraceSpan::AddChild(std::string name) {
+  children_.push_back(std::make_unique<TraceSpan>(std::move(name)));
+  return children_.back().get();
+}
+
+void TraceSpan::End() {
+  if (ended_) return;
+  duration_ms_ = watch_.ElapsedMillis();
+  ended_ = true;
+}
+
+double TraceSpan::duration_ms() const {
+  return ended_ ? duration_ms_ : watch_.ElapsedMillis();
+}
+
+void TraceSpan::Annotate(const std::string& key, double value) {
+  numbers_.emplace_back(key, value);
+}
+
+void TraceSpan::Annotate(const std::string& key, const std::string& value) {
+  strings_.emplace_back(key, value);
+}
+
+const TraceSpan* TraceSpan::Find(const std::string& name) const {
+  if (name_ == name) return this;
+  for (const auto& child : children_) {
+    if (const TraceSpan* hit = child->Find(name)) return hit;
+  }
+  return nullptr;
+}
+
+double TraceSpan::GetAnnotation(const std::string& key,
+                                double fallback) const {
+  for (const auto& [k, v] : numbers_) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string TraceSpan::GetAnnotationString(const std::string& key) const {
+  for (const auto& [k, v] : strings_) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  // Counts render as integers, timings/costs keep three decimals.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+void TraceSpan::RenderInto(std::string* out, int depth) const {
+  for (int i = 0; i < depth; i++) out->append("  ");
+  if (depth > 0) out->append("-> ");
+  out->append(name_);
+  char buf[64];
+  snprintf(buf, sizeof(buf), "  (actual time=%.3f ms)", duration_ms());
+  out->append(buf);
+  if (!numbers_.empty() || !strings_.empty()) {
+    out->append("  [");
+    bool first = true;
+    for (const auto& [k, v] : strings_) {
+      if (!first) out->append(" ");
+      first = false;
+      out->append(k).append("=").append(v);
+    }
+    for (const auto& [k, v] : numbers_) {
+      if (!first) out->append(" ");
+      first = false;
+      out->append(k).append("=");
+      AppendNumber(out, v);
+    }
+    out->append("]");
+  }
+  out->append("\n");
+  for (const auto& child : children_) {
+    child->RenderInto(out, depth + 1);
+  }
+}
+
+std::string TraceSpan::Render() const {
+  std::string out;
+  RenderInto(&out, 0);
+  return out;
+}
+
+}  // namespace tman::obs

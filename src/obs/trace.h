@@ -1,0 +1,93 @@
+#ifndef TMAN_OBS_TRACE_H_
+#define TMAN_OBS_TRACE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace tman::obs {
+
+// One timed stage in a query's execution, forming a tree: the root covers
+// the whole query, children cover planning / scan / decode / accumulate,
+// grandchildren cover per-region scans and so on. Spans carry key=value
+// annotations (candidate counts, cost-model numbers, plan names) so a trace
+// can be cross-checked against QueryStats.
+//
+// A span tree is built by exactly one query invocation. Parents own their
+// children; AddChild returns a borrowed pointer that stays valid for the
+// root's lifetime. Concurrent per-region workers must not mutate one span —
+// collect their numbers after the join and annotate then (see ClusterTable).
+//
+// Render() produces the EXPLAIN ANALYZE-style report:
+//
+//   SpatioTemporalRangeQuery  (actual time=12.418 ms)
+//     plan: primary:st-fine  [windows=38 index_values=12]
+//     -> planning  (actual time=0.214 ms)  [rbo=..., est_fine_windows=38]
+//     -> scan primary  (actual time=11.021 ms)  [regions=4 rows=812]
+//        -> region 0  (actual time=4.913 ms)  [rows=215]
+//     ...
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name) : name_(std::move(name)) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Starts a timed child stage. The child's clock starts now; call End()
+  // (or let a later AddChild/Render observe it) to freeze its duration.
+  TraceSpan* AddChild(std::string name);
+
+  // Freezes the span's duration. Idempotent: the first call wins, so a
+  // span can be defensively ended on every exit path.
+  void End();
+
+  // Freezes the span at an externally measured duration (for stages timed
+  // elsewhere, e.g. per-region scans whose numbers are collected after the
+  // parallel join). Like End(), the first freeze wins.
+  void SetDurationMs(double ms) {
+    if (ended_) return;
+    ended_ = true;
+    duration_ms_ = ms;
+  }
+
+  // Attaches a metric to the span; shown as [key=value ...] in Render().
+  void Annotate(const std::string& key, double value);
+  void Annotate(const std::string& key, const std::string& value);
+
+  const std::string& name() const { return name_; }
+  double duration_ms() const;
+  bool ended() const { return ended_; }
+
+  const std::vector<std::unique_ptr<TraceSpan>>& children() const {
+    return children_;
+  }
+
+  // First descendant (depth-first, including this span) with the given
+  // name, or nullptr. Test/report convenience, not a hot path.
+  const TraceSpan* Find(const std::string& name) const;
+
+  // Value of an annotation on this span; returns fallback when absent.
+  double GetAnnotation(const std::string& key, double fallback = 0) const;
+  std::string GetAnnotationString(const std::string& key) const;
+
+  // EXPLAIN ANALYZE-style indented report of this span and its subtree.
+  std::string Render() const;
+
+ private:
+  void RenderInto(std::string* out, int depth) const;
+
+  std::string name_;
+  Stopwatch watch_;
+  double duration_ms_ = 0;
+  bool ended_ = false;
+  std::vector<std::pair<std::string, double>> numbers_;
+  std::vector<std::pair<std::string, std::string>> strings_;
+  std::vector<std::unique_ptr<TraceSpan>> children_;
+};
+
+}  // namespace tman::obs
+
+#endif  // TMAN_OBS_TRACE_H_

@@ -128,5 +128,40 @@ TEST(LFUCacheTest, HitMissCounters) {
   EXPECT_EQ(cache.misses(), 1u);
 }
 
+TEST(LFUCacheTest, BoundMetricsMirrorInternalCounters) {
+  obs::MetricsRegistry registry;
+  LFUCache<int, int> cache(2);
+  cache.BindMetrics(registry.GetCounter("hits"), registry.GetCounter("misses"),
+                    registry.GetCounter("evictions"));
+  int v;
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Get(1, &v);   // hit
+  cache.Get(9, &v);   // miss
+  cache.Put(3, 3);    // evicts the LFU entry
+  EXPECT_EQ(registry.GetCounter("hits")->value(), cache.hits());
+  EXPECT_EQ(registry.GetCounter("misses")->value(), cache.misses());
+  EXPECT_EQ(registry.GetCounter("evictions")->value(), cache.evictions());
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(RedisLikeTest, BoundMetricsCountReadsAndOps) {
+  obs::MetricsRegistry registry;
+  RedisLikeStore store;
+  store.BindMetrics(registry.GetCounter("hits"), registry.GetCounter("misses"),
+                    registry.GetCounter("ops"));
+  store.HSet("h", "f", "v");
+  std::string v;
+  EXPECT_TRUE(store.HGet("h", "f", &v));    // hit
+  EXPECT_FALSE(store.HGet("h", "nf", &v));  // miss: absent field
+  EXPECT_FALSE(store.HGet("nh", "f", &v));  // miss: absent key
+  EXPECT_EQ(registry.GetCounter("hits")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("misses")->value(), 2u);
+  // Every command counts as an op: HSet + 3x HGet.
+  EXPECT_EQ(registry.GetCounter("ops")->value(), 4u);
+  EXPECT_EQ(store.hits(), 1u);
+  EXPECT_EQ(store.misses(), 2u);
+}
+
 }  // namespace
 }  // namespace tman::cache

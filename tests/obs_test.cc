@@ -1,0 +1,245 @@
+// Unit tests for the observability primitives: histogram bucket math and
+// quantile accuracy, registry identity/exposition, concurrent recording
+// (exercised under TSan in CI), and the trace span tree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tman::obs {
+namespace {
+
+TEST(CounterTest, IncAndStore) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Store(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  g.Set(1.5);
+  g.Set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  // Every bucket's lower bound must map back to that bucket, and values
+  // one below the bound to the previous one.
+  for (int i = 0; i < Histogram::kNumBuckets; i++) {
+    const uint64_t lo = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << "lower bound of bucket " << i;
+    if (lo > 0) {
+      EXPECT_EQ(Histogram::BucketIndex(lo - 1), i - 1);
+    }
+  }
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, ExactStatsAndClamping) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  h.RecordMicros(-5.0);  // clamps to 0
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 30);
+}
+
+TEST(HistogramTest, QuantileAccuracyUniform) {
+  // 1..100000 uniformly: every quantile is known exactly; the log-scale
+  // buckets with interpolation must stay within ~3% relative error.
+  Histogram h;
+  const uint64_t n = 100000;
+  for (uint64_t v = 1; v <= n; v++) h.Record(v);
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double expect = p / 100.0 * static_cast<double>(n);
+    const double got = h.Percentile(p);
+    EXPECT_NEAR(got, expect, expect * 0.035) << "p" << p;
+  }
+  EXPECT_EQ(h.max(), n);
+  EXPECT_EQ(h.min(), 1u);
+}
+
+TEST(HistogramTest, SkewedDistribution) {
+  // 99 fast ops + 1 slow outlier: p50 stays near the fast mode, p99.9 and
+  // max see the outlier.
+  Histogram h;
+  for (int i = 0; i < 99; i++) h.Record(100);
+  h.Record(1000000);
+  EXPECT_NEAR(h.p50(), 100, 100 * 0.07);
+  EXPECT_EQ(h.max(), 1000000u);
+  EXPECT_GT(h.p999(), 500000);
+}
+
+TEST(HistogramTest, ConcurrentRecordersAndScrapes) {
+  // 8 writer threads hammer the sharded cells while a reader scrapes
+  // snapshots mid-flight; totals must be exact after the join. TSan (CI)
+  // checks the memory orderings.
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      Histogram::Snapshot s = h.TakeSnapshot();
+      ASSERT_LE(s.count * 1, kThreads * kPerThread);
+      (void)s.Percentile(50);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        h.Record(t * 1000 + i % 997);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry r;
+  Counter* c1 = r.GetCounter("tman_test_total");
+  Counter* c2 = r.GetCounter("tman_test_total");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(r.GetCounter("tman_other_total"), c1);
+  Histogram* h1 = r.GetHistogram("tman_test_micros");
+  EXPECT_EQ(h1, r.GetHistogram("tman_test_micros"));
+  Gauge* g1 = r.GetGauge("tman_test_bytes");
+  EXPECT_EQ(g1, r.GetGauge("tman_test_bytes"));
+}
+
+TEST(RegistryTest, ConcurrentResolutionIsSafe) {
+  MetricsRegistry r;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(8, nullptr);
+  for (int t = 0; t < 8; t++) {
+    threads.emplace_back([&r, &seen, t] {
+      Counter* c = r.GetCounter("tman_shared_total");
+      c->Inc();
+      seen[t] = c;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < 8; t++) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), 8u);
+}
+
+TEST(RegistryTest, PrometheusExposition) {
+  MetricsRegistry r;
+  r.GetCounter("tman_events_total")->Inc(3);
+  r.GetGauge("tman_resident_bytes")->Set(1024);
+  Histogram* h = r.GetHistogram("tman_op_micros");
+  for (int i = 1; i <= 100; i++) h->Record(i);
+  const std::string text = r.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE tman_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("tman_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tman_resident_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tman_op_micros summary"), std::string::npos);
+  EXPECT_NE(text.find("tman_op_micros{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("tman_op_micros_count 100"), std::string::npos);
+  EXPECT_NE(text.find("tman_op_micros_sum 5050"), std::string::npos);
+}
+
+TEST(RegistryTest, LabeledNamesRenderInPlace) {
+  // Fixed label sets are baked into the name; exposition must keep the
+  // braces intact and splice _sum/_count suffixes before the label block.
+  MetricsRegistry r;
+  r.GetCounter("tman_kv_sstable_reads_total{level=\"0\"}")->Inc(5);
+  Histogram* h = r.GetHistogram("tman_core_query_micros{type=\"st_range\"}");
+  h->Record(10);
+  const std::string text = r.RenderPrometheus();
+  EXPECT_NE(text.find("tman_kv_sstable_reads_total{level=\"0\"} 5"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("tman_core_query_micros_count{type=\"st_range\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("tman_core_query_micros{type=\"st_range\",quantile=\"0.5\"}"),
+      std::string::npos);
+}
+
+TEST(RegistryTest, JsonExposition) {
+  MetricsRegistry r;
+  r.GetCounter("tman_events_total")->Inc(2);
+  r.GetHistogram("tman_op_micros")->Record(5);
+  const std::string json = r.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"tman_events_total\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"tman_op_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(TraceTest, TreeStructureAndTiming) {
+  TraceSpan root("query");
+  TraceSpan* child = root.AddChild("planning");
+  child->Annotate("windows", 38);
+  child->End();
+  TraceSpan* scan = root.AddChild("scan");
+  TraceSpan* region = scan->AddChild("region 0");
+  region->SetDurationMs(4.5);
+  region->SetDurationMs(9.9);  // first freeze wins
+  scan->End();
+  root.End();
+
+  EXPECT_EQ(root.children().size(), 2u);
+  EXPECT_TRUE(root.ended());
+  EXPECT_GE(root.duration_ms(), child->duration_ms());
+  EXPECT_DOUBLE_EQ(region->duration_ms(), 4.5);
+
+  const TraceSpan* found = root.Find("region 0");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, region);
+  EXPECT_EQ(root.Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(root.Find("planning")->GetAnnotation("windows"), 38);
+  EXPECT_DOUBLE_EQ(child->GetAnnotation("absent", -1), -1);
+}
+
+TEST(TraceTest, RenderFormat) {
+  TraceSpan root("STRQ");
+  root.Annotate("plan", "primary:st-fine");
+  root.Annotate("candidates", 812);
+  TraceSpan* child = root.AddChild("scan primary");
+  child->SetDurationMs(11.021);
+  root.End();
+  const std::string text = root.Render();
+  EXPECT_NE(text.find("STRQ  (actual time="), std::string::npos);
+  EXPECT_NE(text.find("plan=primary:st-fine"), std::string::npos);
+  EXPECT_NE(text.find("candidates=812"), std::string::npos);
+  EXPECT_NE(text.find("-> scan primary  (actual time=11.021 ms)"),
+            std::string::npos);
+  // Children indent below the root.
+  EXPECT_LT(text.find("STRQ"), text.find("-> scan primary"));
+}
+
+}  // namespace
+}  // namespace tman::obs
