@@ -44,6 +44,14 @@ Status Region::Scan(const KeyRange& range, const kv::ScanFilter* filter,
                    sink, stats);
 }
 
+Status Region::MultiScan(const std::vector<kv::ScanWindow>& windows,
+                         const kv::ScanFilter* filter, size_t limit,
+                         kv::RowSink* sink, kv::ScanStats* stats,
+                         kv::MultiScanPerf* perf) {
+  return db_->MultiScan(kv::ReadOptions(), windows, filter, limit, sink,
+                        stats, perf);
+}
+
 // ---------------------------------------------------------------------------
 // ClusterTable
 
@@ -208,6 +216,81 @@ Status ClusterTable::ParallelScan(const std::vector<KeyRange>& ranges,
   for (Task& task : tasks) {
     if (result.ok() && !task.status.ok()) result = task.status;
     if (stats != nullptr) *stats += task.stats;
+    matched += task.stats.matched;
+    if (breakdown != nullptr) {
+      breakdown->push_back(RegionScanStat{
+          task.region->shard(), task.stats.scanned, task.stats.matched,
+          static_cast<double>(task.wait_micros) / 1000.0,
+          static_cast<double>(task.scan_micros) / 1000.0});
+    }
+    if (wait_micros_ != nullptr) wait_micros_->Record(task.wait_micros);
+  }
+  if (scans_ != nullptr) {
+    scans_->Inc();
+    rows_streamed_->Inc(matched);
+    fanout_regions_->Record(tasks.size());
+    scan_micros_->RecordMicros(total.ElapsedMicros());
+  }
+  return result;
+}
+
+Status ClusterTable::MultiScan(const std::vector<KeyRange>& ranges,
+                               const kv::ScanFilter* filter, size_t limit,
+                               kv::RowSink* sink, kv::ScanStats* stats,
+                               std::vector<RegionScanStat>* breakdown,
+                               kv::MultiScanPerf* perf) {
+  // Group windows by region: one task (and one iterator stack) per region
+  // instead of one per (region, window). The window slices borrow the
+  // KeyRange strings in `ranges`, which outlive the parallel join.
+  std::vector<std::vector<kv::ScanWindow>> grouped(regions_.size());
+  for (const KeyRange& range : ranges) {
+    for (Region* region : RoutingRegions(range)) {
+      grouped[region->shard() % num_shards()].push_back(
+          kv::ScanWindow{Slice(range.start), Slice(range.end)});
+    }
+  }
+
+  struct Task {
+    Region* region;
+    const std::vector<kv::ScanWindow>* windows;
+    kv::ScanStats stats;
+    kv::MultiScanPerf perf;
+    Status status;
+    uint64_t wait_micros = 0;  // submit -> pool thread pickup
+    uint64_t scan_micros = 0;  // inside the region batch
+  };
+  std::vector<Task> tasks;
+  for (size_t shard = 0; shard < grouped.size(); shard++) {
+    if (grouped[shard].empty()) continue;
+    tasks.push_back(Task{regions_[shard].get(), &grouped[shard], {}, {},
+                         Status::OK(), 0, 0});
+  }
+
+  Stopwatch total;  // read only when metrics are on
+  const bool timed = scans_ != nullptr || breakdown != nullptr;
+  SerializedSink shared(sink);
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  for (Task& task : tasks) {
+    Stopwatch queued;  // captured by value: starts counting at submit time
+    futures.push_back(
+        pool_->Submit([&task, &shared, filter, limit, timed, queued] {
+          Stopwatch run;
+          if (timed) task.wait_micros = queued.ElapsedMicros();
+          task.status = task.region->MultiScan(*task.windows, filter, limit,
+                                               &shared, &task.stats,
+                                               &task.perf);
+          if (timed) task.scan_micros = run.ElapsedMicros();
+        }));
+  }
+  for (auto& f : futures) f.get();
+
+  Status result;
+  uint64_t matched = 0;
+  for (Task& task : tasks) {
+    if (result.ok() && !task.status.ok()) result = task.status;
+    if (stats != nullptr) *stats += task.stats;
+    if (perf != nullptr) *perf += task.perf;
     matched += task.stats.matched;
     if (breakdown != nullptr) {
       breakdown->push_back(RegionScanStat{

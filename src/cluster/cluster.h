@@ -50,6 +50,14 @@ class Region {
   Status Scan(const KeyRange& range, const kv::ScanFilter* filter,
               size_t limit, kv::RowSink* sink, kv::ScanStats* stats);
 
+  // Batched scan: all windows run against one iterator stack inside the
+  // region store (see kv::DB::MultiScan). Sorted windows advance the
+  // cursor monotonically instead of re-seeking per window.
+  Status MultiScan(const std::vector<kv::ScanWindow>& windows,
+                   const kv::ScanFilter* filter, size_t limit,
+                   kv::RowSink* sink, kv::ScanStats* stats,
+                   kv::MultiScanPerf* perf);
+
  private:
   uint8_t shard_;
   std::unique_ptr<kv::DB> db_;
@@ -108,6 +116,20 @@ class ClusterTable {
                       const kv::ScanFilter* filter, size_t limit,
                       kv::RowSink* sink, kv::ScanStats* stats,
                       std::vector<RegionScanStat>* breakdown = nullptr);
+
+  // Batched variant of the streaming ParallelScan: windows are grouped by
+  // region and each region runs ONE pool task executing its whole batch
+  // over a single iterator stack (kv::DB::MultiScan), instead of one task
+  // (and one fresh iterator) per (region, window). Semantics match
+  // ParallelScan row for row; `perf` (optional) aggregates the read-path
+  // counters across regions after all tasks have joined. Windows arriving
+  // sorted by start key (the planner's contract) keep their order within
+  // each region group, which is what enables seek elision downstream.
+  Status MultiScan(const std::vector<KeyRange>& ranges,
+                   const kv::ScanFilter* filter, size_t limit,
+                   kv::RowSink* sink, kv::ScanStats* stats,
+                   std::vector<RegionScanStat>* breakdown = nullptr,
+                   kv::MultiScanPerf* perf = nullptr);
 
   // Same windows, but without push-down: all rows in the ranges are
   // shipped back and the filter is applied caller-side. Models systems that

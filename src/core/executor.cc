@@ -8,16 +8,31 @@ namespace tman::core {
 Executor::Executor(cluster::ClusterTable* primary,
                    cluster::ClusterTable* tr_table,
                    cluster::ClusterTable* idt_table, bool push_down,
-                   obs::MetricsRegistry* registry)
+                   obs::MetricsRegistry* registry, bool use_multiscan)
     : primary_(primary),
       tr_table_(tr_table),
       idt_table_(idt_table),
-      push_down_(push_down) {
+      push_down_(push_down),
+      use_multiscan_(use_multiscan) {
   if (registry != nullptr) {
     rows_streamed_ = registry->GetCounter("tman_exec_rows_streamed_total");
     early_terminations_ =
         registry->GetCounter("tman_exec_early_terminations_total");
   }
+}
+
+Status Executor::RunScan(
+    cluster::ClusterTable* table, const QueryPlan& plan,
+    const kv::ScanFilter* pushed, kv::RowSink* stage,
+    kv::ScanStats* scan_stats,
+    std::vector<cluster::ClusterTable::RegionScanStat>* breakdown,
+    kv::MultiScanPerf* perf) {
+  if (use_multiscan_) {
+    return table->MultiScan(plan.windows, pushed, 0, stage, scan_stats,
+                            breakdown, perf);
+  }
+  return table->ParallelScan(plan.windows, pushed, 0, stage, scan_stats,
+                             breakdown);
 }
 
 cluster::ClusterTable* Executor::Table(PlanTable table) const {
@@ -145,13 +160,23 @@ const char* ScanSpanName(PlanTable table) {
 void FinishScanSpan(
     obs::TraceSpan* span,
     const std::vector<cluster::ClusterTable::RegionScanStat>& breakdown,
-    const kv::ScanStats& scan_stats, size_t windows, bool pushed) {
+    const kv::ScanStats& scan_stats, size_t windows, bool pushed,
+    const kv::MultiScanPerf* perf) {
   span->End();
   span->Annotate("windows", static_cast<double>(windows));
   span->Annotate("scan_tasks", static_cast<double>(breakdown.size()));
   span->Annotate("rows_scanned", static_cast<double>(scan_stats.scanned));
   span->Annotate("rows_matched", static_cast<double>(scan_stats.matched));
   span->Annotate("push_down", pushed ? "true" : "false");
+  if (perf != nullptr) {
+    // Batched read path: read-path savings aggregated over all regions.
+    span->Annotate("multiscan", "true");
+    span->Annotate("seeks_saved", static_cast<double>(perf->seeks_saved));
+    span->Annotate("iterator_reuse", static_cast<double>(perf->iterator_reuse));
+    span->Annotate("block_reuse", static_cast<double>(perf->block_reuse));
+    span->Annotate("blocks_readahead",
+                   static_cast<double>(perf->blocks_readahead));
+  }
   struct ShardAgg {
     uint64_t tasks = 0;
     uint64_t scanned = 0;
@@ -210,12 +235,12 @@ Status Executor::ExecutePrimaryScan(const QueryPlan& plan, kv::RowSink* sink,
       span != nullptr ? span->AddChild(ScanSpanName(plan.scan_table)) : nullptr;
   std::vector<cluster::ClusterTable::RegionScanStat> breakdown;
   kv::ScanStats scan_stats;
-  Status s = Table(plan.scan_table)
-                 ->ParallelScan(plan.windows, pushed, 0, stage, &scan_stats,
-                                scan_span != nullptr ? &breakdown : nullptr);
+  kv::MultiScanPerf perf;
+  Status s = RunScan(Table(plan.scan_table), plan, pushed, stage, &scan_stats,
+                     scan_span != nullptr ? &breakdown : nullptr, &perf);
   if (scan_span != nullptr) {
     FinishScanSpan(scan_span, breakdown, scan_stats, plan.windows.size(),
-                   pushed != nullptr);
+                   pushed != nullptr, use_multiscan_ ? &perf : nullptr);
   }
   if (stats != nullptr) {
     stats->windows += plan.windows.size();
@@ -241,13 +266,13 @@ Status Executor::ExecuteSecondaryFetch(const QueryPlan& plan,
       span != nullptr ? span->AddChild(ScanSpanName(plan.scan_table)) : nullptr;
   std::vector<cluster::ClusterTable::RegionScanStat> breakdown;
   kv::ScanStats scan_stats;
-  Status s =
-      Table(plan.scan_table)
-          ->ParallelScan(plan.windows, nullptr, 0, scan_stage, &scan_stats,
-                         scan_span != nullptr ? &breakdown : nullptr);
+  kv::MultiScanPerf perf;
+  Status s = RunScan(Table(plan.scan_table), plan, nullptr, scan_stage,
+                     &scan_stats, scan_span != nullptr ? &breakdown : nullptr,
+                     &perf);
   if (scan_span != nullptr) {
     FinishScanSpan(scan_span, breakdown, scan_stats, plan.windows.size(),
-                   false);
+                   false, use_multiscan_ ? &perf : nullptr);
   }
   if (stats != nullptr) {
     stats->windows += plan.windows.size();

@@ -32,7 +32,13 @@ class Executor {
   // early-termination cutoffs are published under tman_exec_*.
   Executor(cluster::ClusterTable* primary, cluster::ClusterTable* tr_table,
            cluster::ClusterTable* idt_table, bool push_down,
-           obs::MetricsRegistry* registry = nullptr);
+           obs::MetricsRegistry* registry = nullptr, bool use_multiscan = true);
+
+  // Toggles the batched read path (ClusterTable::MultiScan, one iterator
+  // stack per region) vs the per-window scan fan-out. Exposed for A/B
+  // benchmarking; not thread-safe against in-flight Execute calls.
+  void set_use_multiscan(bool on) { use_multiscan_ = on; }
+  bool use_multiscan() const { return use_multiscan_; }
 
   // Streams the plan's matching primary rows into `sink`, honoring the
   // plan's push-down filter and global limit. Fills stats->windows and
@@ -47,12 +53,20 @@ class Executor {
                             QueryStats* stats, obs::TraceSpan* span);
   Status ExecuteSecondaryFetch(const QueryPlan& plan, kv::RowSink* sink,
                                QueryStats* stats, obs::TraceSpan* span);
+  // Dispatches the plan's window batch to MultiScan or ParallelScan
+  // depending on use_multiscan_; `perf` is filled only on the batched path.
+  Status RunScan(cluster::ClusterTable* table, const QueryPlan& plan,
+                 const kv::ScanFilter* pushed, kv::RowSink* stage,
+                 kv::ScanStats* scan_stats,
+                 std::vector<cluster::ClusterTable::RegionScanStat>* breakdown,
+                 kv::MultiScanPerf* perf);
   cluster::ClusterTable* Table(PlanTable table) const;
 
   cluster::ClusterTable* primary_;
   cluster::ClusterTable* tr_table_;
   cluster::ClusterTable* idt_table_;
   bool push_down_;
+  bool use_multiscan_;
   obs::Counter* rows_streamed_ = nullptr;
   obs::Counter* early_terminations_ = nullptr;
 };

@@ -9,6 +9,45 @@
 
 namespace tman::core {
 
+namespace {
+
+// Sorts the plan's windows by start key and merges neighbours that overlap
+// or touch (next.start <= cur.end; an empty end is "to infinity" and
+// absorbs everything after it). Index planners emit disjoint windows, so
+// merging only fuses back-to-back key ranges — the union of the merged
+// windows is exactly the merged range and result sets are unchanged.
+// Sorted output is what lets the batched read path (ClusterTable::MultiScan
+// -> kv::DB::MultiScan) advance one cursor monotonically instead of
+// re-seeking per window. Returns the number of windows merged away.
+uint64_t CoalesceWindows(std::vector<cluster::KeyRange>* windows) {
+  if (windows->size() < 2) return 0;
+  std::sort(windows->begin(), windows->end(),
+            [](const cluster::KeyRange& a, const cluster::KeyRange& b) {
+              return a.start < b.start;
+            });
+  std::vector<cluster::KeyRange> merged;
+  merged.reserve(windows->size());
+  merged.push_back(std::move((*windows)[0]));
+  uint64_t coalesced = 0;
+  for (size_t i = 1; i < windows->size(); i++) {
+    cluster::KeyRange& cur = merged.back();
+    cluster::KeyRange& next = (*windows)[i];
+    const bool cur_unbounded = cur.end.empty();
+    if (cur_unbounded || next.start <= cur.end) {
+      if (!cur_unbounded && (next.end.empty() || next.end > cur.end)) {
+        cur.end = std::move(next.end);
+      }
+      coalesced++;
+    } else {
+      merged.push_back(std::move(next));
+    }
+  }
+  *windows = std::move(merged);
+  return coalesced;
+}
+
+}  // namespace
+
 QueryPlanner::QueryPlanner(const TManOptions* options,
                            const index::TRIndex* tr, const index::XZTIndex* xzt,
                            const index::TShapeIndex* tshape,
@@ -101,6 +140,7 @@ Status QueryPlanner::PlanTemporalRange(int64_t ts, int64_t te,
       plan->windows = WindowsForRanges(ranges, options_->num_shards);
       break;
   }
+  plan->windows_coalesced += CoalesceWindows(&plan->windows);
   return Status::OK();
 }
 
@@ -118,6 +158,7 @@ Status QueryPlanner::PlanSpatialRange(const geo::MBR& rect,
   plan->name = "primary:spatial";
   plan->index_values += ranges.size();
   plan->windows = WindowsForRanges(ranges, options_->num_shards);
+  plan->windows_coalesced += CoalesceWindows(&plan->windows);
   plan->filter = std::make_unique<SpatialRangeFilter>(rect);
   return Status::OK();
 }
@@ -169,6 +210,7 @@ Status QueryPlanner::PlanSpatioTemporalRange(const geo::MBR& rect, int64_t ts,
     plan->name = "primary:temporal+sfilter";
     plan->windows = WindowsForRanges(tr_ranges, options_->num_shards);
   }
+  plan->windows_coalesced += CoalesceWindows(&plan->windows);
   return Status::OK();
 }
 
@@ -179,6 +221,7 @@ Status QueryPlanner::PlanIDTemporal(const std::string& oid, int64_t ts,
   plan->scan_table = PlanTable::kIDTSecondary;
   plan->name = "secondary:idt";
   plan->windows = WindowsForIDT(oid, tr_ranges, options_->num_shards);
+  plan->windows_coalesced += CoalesceWindows(&plan->windows);
   plan->filter = std::make_unique<TemporalRangeFilter>(ts, te);
   return Status::OK();
 }
@@ -205,6 +248,7 @@ Status QueryPlanner::PlanSimilarityCandidates(
   plan->scan_table = PlanTable::kPrimary;
   plan->name = name;
   plan->windows = WindowsForRanges(ranges, options_->num_shards);
+  plan->windows_coalesced += CoalesceWindows(&plan->windows);
   plan->filter = std::move(filter);
   return Status::OK();
 }

@@ -57,6 +57,7 @@ struct QueryPlan {
   uint64_t elements_visited = 0;  // spatial elements inspected while planning
   uint64_t shapes_checked = 0;    // TShape shape tests while planning
   uint64_t estimated_fine_windows = 0;  // ST CBO: fine-plan window estimate
+  uint64_t windows_coalesced = 0;  // windows merged by the sort+coalesce pass
 };
 
 // Rule- and cost-based planner for the six paper queries (§V). Pure with

@@ -44,6 +44,10 @@ void FinishPlanningSpan(obs::TraceSpan* span, const QueryPlan& plan) {
     span->Annotate("est_fine_windows",
                    static_cast<double>(plan.estimated_fine_windows));
   }
+  if (plan.windows_coalesced != 0) {
+    span->Annotate("windows_coalesced",
+                   static_cast<double>(plan.windows_coalesced));
+  }
 }
 
 // Ends the root, mirrors the final QueryStats numbers onto it, and hands
@@ -108,7 +112,8 @@ Status TMan::Init() {
       options_.use_index_cache ? index_cache_.get() : nullptr);
   executor_ = std::make_unique<Executor>(primary_, tr_table_, idt_table_,
                                          options_.push_down,
-                                         options_.kv.metrics);
+                                         options_.kv.metrics,
+                                         options_.use_multiscan);
 
   if (options_.kv.metrics != nullptr) {
     obs::MetricsRegistry* registry = options_.kv.metrics;
@@ -538,6 +543,7 @@ void TMan::MergePlanningStats(const QueryPlan& plan, const Stopwatch& planning,
   stats->index_values += plan.index_values;
   stats->elements_visited += plan.elements_visited;
   stats->shapes_checked += plan.shapes_checked;
+  stats->windows_coalesced += plan.windows_coalesced;
 }
 
 Status TMan::TemporalRangeQuery(int64_t ts, int64_t te,

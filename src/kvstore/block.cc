@@ -72,6 +72,13 @@ class BlockIter final : public Iterator {
     while (left < right) {
       uint32_t mid = (left + right + 1) / 2;
       uint32_t region_offset = GetRestartPoint(mid);
+      if (region_offset >= block_->restart_offset_) {
+        // Malformed restart array: the offset points at or past the restart
+        // trailer. Surface corruption instead of forming an out-of-bounds
+        // pointer below.
+        Corrupt();
+        return;
+      }
       uint32_t shared, non_shared, value_length;
       const char* key_ptr = DecodeEntry(
           block_->data_.data() + region_offset,
@@ -118,7 +125,8 @@ class BlockIter final : public Iterator {
   }
 
   void SeekToRestartPoint(uint32_t index) {
-    key_.clear();
+    key_ = Slice();
+    key_pinned_ = true;  // nothing to copy out of the scratch buffer
     next_entry_offset_ = GetRestartPoint(index);
   }
 
@@ -136,8 +144,25 @@ class BlockIter final : public Iterator {
       Corrupt();
       return false;
     }
-    key_.resize(shared);
-    key_.append(p, non_shared);
+    if (shared == 0) {
+      // Restart entry: the full key lives contiguously in the block, so the
+      // iterator hands out a pinned slice without touching the scratch
+      // buffer (zero copy).
+      key_ = Slice(p, non_shared);
+      key_pinned_ = true;
+    } else {
+      // Prefix-compressed entry: materialize into the reusable scratch
+      // buffer. No allocation once the buffer has grown to the largest key
+      // in the block.
+      if (key_pinned_) {
+        buf_.assign(key_.data(), shared);
+      } else {
+        buf_.resize(shared);
+      }
+      buf_.append(p, non_shared);
+      key_ = Slice(buf_);
+      key_pinned_ = false;
+    }
     value_ = Slice(p + non_shared, value_length);
     next_entry_offset_ =
         static_cast<uint32_t>((p + non_shared + value_length) -
@@ -150,7 +175,9 @@ class BlockIter final : public Iterator {
   uint32_t num_restarts_;
   uint32_t current_;             // offset of current entry
   uint32_t next_entry_offset_ = 0;
-  std::string key_;
+  Slice key_;          // pinned into block data or pointing at buf_
+  bool key_pinned_ = true;
+  std::string buf_;    // reusable prefix-decode scratch
   Slice value_;
   Status status_;
 };

@@ -33,6 +33,12 @@ uint64_t NowMicros() {
 // collapses versions/tombstones at a snapshot sequence number. The wrapped
 // state (memtables + version) is kept alive by the shared_ptrs captured
 // here, so flushes and compactions never invalidate a live iterator.
+//
+// key()/value() are zero-copy: slices into the child iterator's current
+// entry (arena for memtable rows, block storage or the block iterator's
+// decode buffer for SSTable rows). They are valid only until the iterator
+// moves, per the Iterator contract; the skip logic below copies into
+// saved_key_ before advancing for exactly that reason.
 class DBIter final : public Iterator {
  public:
   DBIter(std::shared_ptr<MemTable> mem, std::shared_ptr<MemTable> imm,
@@ -52,9 +58,11 @@ class DBIter final : public Iterator {
   }
 
   void Seek(const Slice& target) override {
-    std::string ikey;
-    AppendInternalKey(&ikey, target, sequence_, kValueTypeForSeek);
-    iter_->Seek(ikey);
+    // ikey_buf_ is a member so repeated Seeks (one per MultiScan window)
+    // reuse its capacity instead of allocating.
+    ikey_buf_.clear();
+    AppendInternalKey(&ikey_buf_, target, sequence_, kValueTypeForSeek);
+    iter_->Seek(ikey_buf_);
     skipping_ = false;
     FindNextUserEntry();
   }
@@ -96,9 +104,8 @@ class DBIter final : public Iterator {
         iter_->Next();
         continue;
       }
-      key_.assign(parsed.user_key.data(), parsed.user_key.size());
-      Slice v = iter_->value();
-      value_.assign(v.data(), v.size());
+      key_ = parsed.user_key;   // borrows iter_'s current entry
+      value_ = iter_->value();  // stable until iter_ moves
       valid_ = true;
       return;
     }
@@ -112,8 +119,9 @@ class DBIter final : public Iterator {
   bool valid_ = false;
   bool skipping_ = false;
   std::string saved_key_;
-  std::string key_;
-  std::string value_;
+  std::string ikey_buf_;  // Seek target scratch
+  Slice key_;
+  Slice value_;
 };
 
 // Builds an SSTable from a memtable iterator. Pure I/O: needs no DB state
@@ -148,10 +156,18 @@ DB::Metrics::Metrics(obs::MetricsRegistry* registry) {
   get_micros = registry->GetHistogram("tman_kv_get_micros");
   write_micros = registry->GetHistogram("tman_kv_write_micros");
   scan_micros = registry->GetHistogram("tman_kv_scan_micros");
+  multiscan_micros = registry->GetHistogram("tman_kv_multiscan_micros");
   wal_sync_micros = registry->GetHistogram("tman_kv_wal_sync_micros");
   flush_micros = registry->GetHistogram("tman_kv_flush_micros");
   compaction_micros = registry->GetHistogram("tman_kv_compaction_micros");
   scan_rows = registry->GetCounter("tman_kv_scan_rows_total");
+  multiscan_windows = registry->GetCounter("tman_kv_multiscan_windows_total");
+  multiscan_seeks_saved =
+      registry->GetCounter("tman_kv_multiscan_seeks_saved_total");
+  multiscan_block_reuse =
+      registry->GetCounter("tman_kv_multiscan_block_reuse_total");
+  multiscan_blocks_readahead =
+      registry->GetCounter("tman_kv_multiscan_blocks_readahead_total");
   bloom_checks = registry->GetCounter("tman_kv_bloom_checks_total");
   bloom_useful = registry->GetCounter("tman_kv_bloom_useful_total");
   flushes = registry->GetCounter("tman_kv_flushes_total");
@@ -592,6 +608,71 @@ Status DB::Scan(const ReadOptions& ro, const Slice& start, const Slice& end,
   if (metrics_ != nullptr) {
     metrics_->scan_micros->RecordMicros(watch.ElapsedMicros());
     metrics_->scan_rows->Inc(local.scanned);
+  }
+  return iter->status();
+}
+
+Status DB::MultiScan(const ReadOptions& ro,
+                     const std::vector<ScanWindow>& windows,
+                     const ScanFilter* filter, size_t limit, RowSink* sink,
+                     ScanStats* stats, MultiScanPerf* perf) {
+  Stopwatch watch;  // read only when metrics are on
+  ReadOptions opts = ro;
+  if (opts.readahead_bytes == 0) {
+    opts.readahead_bytes = options_.multiscan_readahead_bytes;
+  }
+  MultiScanPerf local_perf;
+  opts.perf = &local_perf;
+  std::unique_ptr<Iterator> iter(NewIterator(opts));
+  ScanStats local;
+  bool positioned = false;       // iter has been placed by some window
+  Slice prev_end;                // previous window's end key
+  bool prev_end_bounded = false; // previous window had a non-empty end
+  for (const ScanWindow& w : windows) {
+    local_perf.windows++;
+    if (positioned) local_perf.iterator_reuse++;
+    // Seek elision: with sorted non-overlapping windows the cursor sits at
+    // the first key >= the previous window's end. If this window starts at
+    // or past that point and the cursor is already inside it, no Seek is
+    // needed; an exhausted cursor proves the window empty outright. A
+    // previous window that ran to infinity (empty end) never qualifies.
+    const bool in_order = positioned && prev_end_bounded &&
+                          w.start.compare(prev_end) >= 0;
+    if (in_order && (!iter->Valid() || iter->key().compare(w.start) >= 0)) {
+      local_perf.seeks_saved++;
+    } else {
+      iter->Seek(w.start);
+      local_perf.seeks_issued++;
+    }
+    positioned = true;
+    prev_end = w.end;
+    prev_end_bounded = !w.end.empty();
+    size_t window_matched = 0;
+    bool stop = false;
+    for (; iter->Valid(); iter->Next()) {
+      if (!w.end.empty() && iter->key().compare(w.end) >= 0) break;
+      local.scanned++;
+      if (filter == nullptr || filter->Matches(iter->key(), iter->value())) {
+        local.matched++;
+        window_matched++;
+        if (!sink->Accept(iter->key(), iter->value())) {
+          stop = true;
+          break;
+        }
+        if (limit != 0 && window_matched >= limit) break;
+      }
+    }
+    if (stop || !iter->status().ok()) break;
+  }
+  if (stats != nullptr) *stats += local;
+  if (perf != nullptr) *perf += local_perf;
+  if (metrics_ != nullptr) {
+    metrics_->multiscan_micros->RecordMicros(watch.ElapsedMicros());
+    metrics_->scan_rows->Inc(local.scanned);
+    metrics_->multiscan_windows->Inc(local_perf.windows);
+    metrics_->multiscan_seeks_saved->Inc(local_perf.seeks_saved);
+    metrics_->multiscan_block_reuse->Inc(local_perf.block_reuse);
+    metrics_->multiscan_blocks_readahead->Inc(local_perf.blocks_readahead);
   }
   return iter->status();
 }

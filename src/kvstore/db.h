@@ -79,6 +79,24 @@ class DB {
               const ScanFilter* filter, size_t limit, RowSink* sink,
               ScanStats* stats);
 
+  // Batched scan: runs every window of `windows` against ONE iterator stack
+  // built over a single snapshot, in order. Results are byte-identical to
+  // issuing one Scan per window back to back (same filter push-down,
+  // per-window limit, and sink early-termination — except that a sink stop
+  // ends the whole batch). When the windows are sorted and non-overlapping
+  // the cursor advances monotonically, so a window whose start lies at or
+  // past the previous window's end reuses the current position instead of
+  // re-seeking every level (see MultiScanPerf::seeks_saved), and an
+  // exhausted iterator proves all remaining in-order windows empty without
+  // touching storage. Unsorted or overlapping batches are still correct —
+  // they just fall back to a fresh Seek per window. Sequential block
+  // readahead is enabled from Options::multiscan_readahead_bytes unless
+  // ro.readahead_bytes is already set. `perf` (optional) receives the
+  // read-path counters for this call.
+  Status MultiScan(const ReadOptions& ro, const std::vector<ScanWindow>& windows,
+                   const ScanFilter* filter, size_t limit, RowSink* sink,
+                   ScanStats* stats, MultiScanPerf* perf = nullptr);
+
   // Synchronously persists all buffered writes to L0 (and runs any pending
   // compactions). Waits for in-flight background work first, so the DB is
   // quiescent afterwards. No-op when nothing is buffered.
@@ -137,10 +155,15 @@ class DB {
     obs::Histogram* get_micros;
     obs::Histogram* write_micros;
     obs::Histogram* scan_micros;
+    obs::Histogram* multiscan_micros;
     obs::Histogram* wal_sync_micros;
     obs::Histogram* flush_micros;
     obs::Histogram* compaction_micros;
     obs::Counter* scan_rows;
+    obs::Counter* multiscan_windows;
+    obs::Counter* multiscan_seeks_saved;
+    obs::Counter* multiscan_block_reuse;
+    obs::Counter* multiscan_blocks_readahead;
     obs::Counter* bloom_checks;
     obs::Counter* bloom_useful;
     obs::Counter* flushes;

@@ -63,6 +63,12 @@ struct Options {
   // Max SSTable file size produced by compactions.
   uint64_t max_file_bytes = 2 * 1024 * 1024;
 
+  // Sequential block readahead budget applied by DB::MultiScan when the
+  // caller's ReadOptions leave readahead_bytes at 0. Readahead only
+  // triggers on a detected sequential block pattern, so point-ish window
+  // batches never over-read. 0 disables it.
+  size_t multiscan_readahead_bytes = 64 * 1024;
+
   bool create_if_missing = true;
 
   Env* env = nullptr;  // defaults to Env::Default()
@@ -75,10 +81,25 @@ struct Options {
   tman::obs::MetricsRegistry* metrics = nullptr;
 };
 
+struct MultiScanPerf;
+
 struct ReadOptions {
   // If true, data blocks read during scans are inserted into the block
   // cache (point lookups always use the cache).
   bool fill_cache = true;
+
+  // Sequential block readahead budget in bytes. When > 0 and a table
+  // iterator detects a sequential block access pattern (the next data block
+  // starts where the previous one ended), it reads up to this many further
+  // contiguous data blocks with one I/O and parks them in the block cache.
+  // 0 disables readahead. Set by the MultiScan path (from
+  // Options::multiscan_readahead_bytes); plain scans leave it 0.
+  size_t readahead_bytes = 0;
+
+  // When non-null, table iterators fold block-reuse and readahead events
+  // into these counters (borrowed; must outlive every iterator created
+  // with this ReadOptions). Set internally by DB::MultiScan.
+  MultiScanPerf* perf = nullptr;
 };
 
 struct WriteOptions {

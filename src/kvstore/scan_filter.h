@@ -52,6 +52,36 @@ struct ScanStats {
   }
 };
 
+// One key window of a batched scan: half-open [start, end); an empty end
+// means "to infinity". The slices borrow the caller's key storage for the
+// duration of the MultiScan call.
+struct ScanWindow {
+  Slice start;
+  Slice end;
+};
+
+// Read-path accounting of one MultiScan (or an aggregate of several).
+// Plain counters: a MultiScan runs on one thread per region; cross-region
+// aggregation happens after the parallel join.
+struct MultiScanPerf {
+  uint64_t windows = 0;           // windows executed
+  uint64_t seeks_issued = 0;      // windows that needed a fresh Seek
+  uint64_t seeks_saved = 0;       // windows served from the current position
+  uint64_t iterator_reuse = 0;    // windows after the first on the same stack
+  uint64_t block_reuse = 0;       // table seeks landing in the loaded block
+  uint64_t blocks_readahead = 0;  // data blocks loaded by sequential readahead
+
+  MultiScanPerf& operator+=(const MultiScanPerf& other) {
+    windows += other.windows;
+    seeks_issued += other.seeks_issued;
+    seeks_saved += other.seeks_saved;
+    iterator_reuse += other.iterator_reuse;
+    block_reuse += other.block_reuse;
+    blocks_readahead += other.blocks_readahead;
+    return *this;
+  }
+};
+
 }  // namespace tman::kv
 
 #endif  // TMAN_KVSTORE_SCAN_FILTER_H_

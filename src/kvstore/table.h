@@ -117,6 +117,21 @@ class Table {
   Status ReadBlock(const BlockHandle& handle, bool fill_cache,
                    std::shared_ptr<Block>* block) const;
 
+  // Cache-only probe for the block at `handle`; nullptr on miss or when no
+  // cache is attached. Lets the iterator skip readahead bookkeeping for
+  // blocks that are already resident.
+  std::shared_ptr<Block> CachedBlock(const BlockHandle& handle) const;
+
+  // Sequential readahead: reads the block at `first` plus the contiguous
+  // run of blocks in `more` with a single I/O, parking the run in the block
+  // cache so the iterator's subsequent InitDataBlock calls hit it. Returns
+  // the first block; *cached reports how many run blocks were inserted. A
+  // checksum failure in a run block just ends the run (that block has not
+  // been asked for yet); a failure in `first` is a real Corruption.
+  Status ReadBlockRun(const BlockHandle& first,
+                      const std::vector<BlockHandle>& more, bool fill_cache,
+                      std::shared_ptr<Block>* block, uint64_t* cached) const;
+
   const Options options_;
   const uint64_t table_id_;
   std::unique_ptr<RandomAccessFile> file_;

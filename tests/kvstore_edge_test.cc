@@ -155,6 +155,119 @@ TEST(MergeIteratorTest, NewestVersionComesFirst) {
 }
 
 // ---------------------------------------------------------------------------
+// Block iterator Seek edge cases
+
+std::string InternalKeyOf(const std::string& user_key) {
+  std::string ikey;
+  AppendInternalKey(&ikey, user_key, 1, kTypeValue);
+  return ikey;
+}
+
+// Block with zero entries (one restart point, no data): Seek and
+// SeekToFirst land invalid without reading out of bounds.
+TEST(BlockSeekEdgeTest, EmptyBlockIsInvalidNotOOB) {
+  BlockBuilder builder(4);
+  Block block(builder.Finish().ToString());
+  InternalKeyComparator icmp;
+  std::unique_ptr<Iterator> iter(block.NewIterator(&icmp));
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  iter->Seek(InternalKeyOf("anything"));
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().ok());
+
+  // Degenerate contents: too short for a trailer, and a trailer claiming
+  // zero restart points. Both must stay invalid, not crash.
+  Block malformed((std::string()));
+  std::unique_ptr<Iterator> bad(malformed.NewIterator(&icmp));
+  bad->Seek(InternalKeyOf("x"));
+  EXPECT_FALSE(bad->Valid());
+  Block zero_restarts(std::string(4, '\0'));
+  std::unique_ptr<Iterator> zero(zero_restarts.NewIterator(&icmp));
+  zero->SeekToFirst();
+  EXPECT_FALSE(zero->Valid());
+  zero->Seek(InternalKeyOf("x"));
+  EXPECT_FALSE(zero->Valid());
+}
+
+// Seeking past every key leaves the iterator cleanly exhausted.
+TEST(BlockSeekEdgeTest, SeekPastLastRestartKey) {
+  BlockBuilder builder(2);
+  for (int i = 0; i < 9; i++) {
+    builder.Add(InternalKeyOf("key" + std::to_string(i)), "v");
+  }
+  Block block(builder.Finish().ToString());
+  InternalKeyComparator icmp;
+  std::unique_ptr<Iterator> iter(block.NewIterator(&icmp));
+  iter->Seek(InternalKeyOf("zzz"));
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().ok());
+  // And a target inside the last restart region still works.
+  iter->Seek(InternalKeyOf("key8"));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), "key8");
+}
+
+// A restart array whose offsets point into the trailer must surface
+// Corruption from Seek's binary search instead of dereferencing past the
+// entry area.
+TEST(BlockSeekEdgeTest, MalformedRestartArraySurfacesCorruption) {
+  BlockBuilder builder(1);  // every entry is a restart point
+  for (int i = 0; i < 8; i++) {
+    builder.Add(InternalKeyOf("key" + std::to_string(i)), "v");
+  }
+  std::string contents = builder.Finish().ToString();
+  const uint32_t num_restarts =
+      DecodeFixed32(contents.data() + contents.size() - 4);
+  ASSERT_EQ(num_restarts, 8u);
+  const size_t restart_offset = contents.size() - (1 + num_restarts) * 4;
+  // Point every non-zero restart at the end of the block.
+  std::string enc;
+  PutFixed32(&enc, static_cast<uint32_t>(contents.size()));
+  for (uint32_t i = 1; i < num_restarts; i++) {
+    contents.replace(restart_offset + i * 4, 4, enc);
+  }
+  Block block(std::move(contents));
+  InternalKeyComparator icmp;
+  std::unique_ptr<Iterator> iter(block.NewIterator(&icmp));
+  iter->Seek(InternalKeyOf("key7"));
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().IsCorruption()) << iter->status().ToString();
+}
+
+// Regression guard for the reusable-buffer key decode: prefix-compressed
+// entries (shared > 0) and restart entries (pinned slices into the block)
+// must interleave correctly under both iteration and repeated seeks.
+TEST(BlockSeekEdgeTest, PrefixCompressedKeysSurviveSeekAndScan) {
+  BlockBuilder builder(16);
+  std::vector<std::string> ikeys;
+  for (int i = 0; i < 100; i++) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "sharedprefix%04d", i);
+    ikeys.push_back(InternalKeyOf(buf));
+    builder.Add(ikeys.back(), "value" + std::to_string(i));
+  }
+  Block block(builder.Finish().ToString());
+  InternalKeyComparator icmp;
+  std::unique_ptr<Iterator> iter(block.NewIterator(&icmp));
+  iter->SeekToFirst();
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(iter->Valid()) << i;
+    EXPECT_EQ(iter->key().ToString(), ikeys[i]);
+    EXPECT_EQ(iter->value().ToString(), "value" + std::to_string(i));
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+  // Seeks in descending order re-enter earlier restart regions, exercising
+  // the pinned -> buffered -> pinned transitions.
+  for (int i = 99; i >= 0; i -= 7) {
+    iter->Seek(ikeys[static_cast<size_t>(i)]);
+    ASSERT_TRUE(iter->Valid()) << i;
+    EXPECT_EQ(iter->key().ToString(), ikeys[static_cast<size_t>(i)]);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // SSTable corruption handling
 
 TEST(TableTest, DetectsCorruptMagic) {

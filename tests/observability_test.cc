@@ -208,7 +208,10 @@ TEST_F(ObservabilityTest, ScrapeShowsEveryLayer) {
   // Layer coverage via live handles: storage engine...
   EXPECT_GT(CounterValue("tman_kv_flushes_total"), 0u);
   EXPECT_GT(registry_->GetHistogram("tman_kv_write_micros")->count(), 0u);
-  EXPECT_GT(registry_->GetHistogram("tman_kv_scan_micros")->count(), 0u);
+  // Queries run the batched read path by default, so scans land in the
+  // multiscan histogram; plain Scan still has its own.
+  EXPECT_GT(registry_->GetHistogram("tman_kv_multiscan_micros")->count(), 0u);
+  EXPECT_GT(CounterValue("tman_kv_multiscan_windows_total"), 0u);
   EXPECT_GT(registry_->GetHistogram("tman_kv_flush_micros")->count(), 0u);
   // ...cluster fan-out...
   EXPECT_GT(CounterValue("tman_cluster_scans_total"), 0u);

@@ -197,6 +197,46 @@ TEST(PlannerTest, IDTemporalAndSimilarityPlans) {
                    .ok());
 }
 
+// Every planner emits windows that are sorted by start key and pairwise
+// disjoint after coalescing, which is what the MultiScan seek-elision
+// optimization in the kvstore relies on.
+TEST(PlannerTest, WindowsAreSortedAndCoalesced) {
+  const geo::MBR qmbr{116.30, 39.85, 116.50, 39.99};
+  for (PrimaryIndexKind primary :
+       {PrimaryIndexKind::kTemporal, PrimaryIndexKind::kST,
+        PrimaryIndexKind::kSpatial}) {
+    PlannerHarness h(PlannerOptions(primary));
+    std::vector<QueryPlan> plans;
+    plans.emplace_back();
+    ASSERT_TRUE(h.planner().PlanTemporalRange(0, 7200, &plans.back()).ok());
+    plans.emplace_back();
+    ASSERT_TRUE(
+        h.planner().PlanIDTemporal("obj-1", 0, 7200, &plans.back()).ok());
+    if (primary == PrimaryIndexKind::kSpatial) {
+      plans.emplace_back();
+      ASSERT_TRUE(h.planner().PlanSpatialRange(qmbr, &plans.back()).ok());
+    }
+    if (primary != PrimaryIndexKind::kTemporal) {
+      plans.emplace_back();
+      ASSERT_TRUE(h.planner()
+                      .PlanSpatioTemporalRange(qmbr, 0, 7200, &plans.back())
+                      .ok());
+    }
+    for (const QueryPlan& plan : plans) {
+      ASSERT_FALSE(plan.windows.empty()) << plan.name;
+      for (size_t i = 1; i < plan.windows.size(); i++) {
+        const cluster::KeyRange& prev = plan.windows[i - 1];
+        const cluster::KeyRange& cur = plan.windows[i];
+        EXPECT_LT(prev.start, cur.start) << plan.name << " window " << i;
+        // Disjoint: the previous window ends strictly before the next
+        // starts (an unbounded window could only be last).
+        ASSERT_FALSE(prev.end.empty()) << plan.name << " window " << i - 1;
+        EXPECT_LT(prev.end, cur.start) << plan.name << " window " << i;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Pipeline tests: planner + streaming executor against a loaded instance.
 
@@ -362,6 +402,41 @@ TEST_F(PipelineTest, SixQueriesMatchBruteForce) {
       EXPECT_GE(d, prev);  // nearest first
       prev = d;
     }
+  }
+}
+
+// The batched MultiScan read path and the per-window fan-out baseline are
+// interchangeable: flipping Executor::set_use_multiscan must not change any
+// query answer.
+TEST_F(PipelineTest, MultiScanTogglePreservesAnswers) {
+  TMan* tman = tman_->get();
+  const int64_t ts = spec_->t0 + 3600;
+  const int64_t te = spec_->t0 + 8 * 3600;
+  const geo::MBR rect{116.30, 39.85, 116.50, 40.00};
+  const std::string oid = (*data_)[0].oid;
+
+  auto run_all = [&](bool multiscan) {
+    tman->executor()->set_use_multiscan(multiscan);
+    std::vector<std::set<std::string>> answers;
+    std::vector<traj::Trajectory> out;
+    EXPECT_TRUE(tman->TemporalRangeQuery(ts, te, &out).ok());
+    answers.push_back(Tids(out));
+    EXPECT_TRUE(tman->SpatialRangeQuery(rect, &out).ok());
+    answers.push_back(Tids(out));
+    EXPECT_TRUE(tman->SpatioTemporalRangeQuery(rect, ts, te, &out).ok());
+    answers.push_back(Tids(out));
+    EXPECT_TRUE(tman->IDTemporalQuery(oid, ts, te, &out).ok());
+    answers.push_back(Tids(out));
+    return answers;
+  };
+
+  const auto batched = run_all(true);
+  const auto fanout = run_all(false);
+  tman->executor()->set_use_multiscan(true);  // restore the default
+  ASSERT_EQ(batched.size(), fanout.size());
+  for (size_t i = 0; i < batched.size(); i++) {
+    EXPECT_EQ(batched[i], fanout[i]) << "query " << i;
+    EXPECT_FALSE(batched[i].empty()) << "query " << i;
   }
 }
 
