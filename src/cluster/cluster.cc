@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <mutex>
+#include <thread>
 
 #include "common/stopwatch.h"
 #include "kvstore/write_batch.h"
@@ -61,6 +63,9 @@ ClusterTable::ClusterTable(std::string name,
     : name_(std::move(name)), regions_(std::move(regions)), pool_(pool) {
   if (metrics != nullptr) {
     scans_ = metrics->GetCounter("tman_cluster_scans_total");
+    region_retries_ = metrics->GetCounter("tman_cluster_region_retries_total");
+    region_failures_ =
+        metrics->GetCounter("tman_cluster_region_failures_total");
     rows_streamed_ = metrics->GetCounter("tman_cluster_rows_streamed_total");
     fanout_regions_ =
         metrics->GetHistogram("tman_cluster_scan_fanout_regions");
@@ -172,40 +177,105 @@ class SerializedSink : public kv::RowSink {
   std::atomic<bool> stopped_{false};
 };
 
+// Tracks delivery progress of one region task so a retry can resume after
+// the last delivered key instead of streaming rows twice.
+class ProgressSink : public kv::RowSink {
+ public:
+  explicit ProgressSink(kv::RowSink* inner) : inner_(inner) {}
+
+  bool Accept(const Slice& key, const Slice& value) override {
+    if (!inner_->Accept(key, value)) return false;
+    rows_++;
+    last_key_.assign(key.data(), key.size());
+    return true;
+  }
+
+  uint64_t rows() const { return rows_; }
+  const std::string& last_key() const { return last_key_; }
+
+ private:
+  kv::RowSink* inner_;
+  uint64_t rows_ = 0;
+  std::string last_key_;
+};
+
+void BackoffSleep(const RetryPolicy& retry, int attempt) {
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(retry.BackoffMicros(attempt)));
+}
+
+// Whether a mid-stream resume can be expressed by trimming windows: needs
+// sorted, non-overlapping windows (the planner's contract). Unsorted
+// batches only retry from scratch when nothing was delivered yet.
+bool WindowsSortedDisjoint(const std::vector<kv::ScanWindow>& windows) {
+  for (size_t i = 1; i < windows.size(); i++) {
+    const Slice& prev_end = windows[i - 1].end;
+    if (prev_end.empty()) return false;  // previous extends to +inf
+    if (prev_end.compare(windows[i].start) > 0) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Status ClusterTable::ParallelScan(const std::vector<KeyRange>& ranges,
                                   const kv::ScanFilter* filter, size_t limit,
                                   kv::RowSink* sink, kv::ScanStats* stats,
-                                  std::vector<RegionScanStat>* breakdown) {
+                                  std::vector<RegionScanStat>* breakdown,
+                                  ScanOutcome* outcome) {
   struct Task {
     Region* region;
     const KeyRange* range;
     kv::ScanStats stats;
     Status status;
+    int retries = 0;
     uint64_t wait_micros = 0;  // submit -> pool thread pickup
     uint64_t scan_micros = 0;  // inside the region scan
   };
   std::vector<Task> tasks;
   for (const KeyRange& range : ranges) {
     for (Region* region : RoutingRegions(range)) {
-      tasks.push_back(Task{region, &range, {}, Status::OK(), 0, 0});
+      tasks.push_back(Task{region, &range, {}, Status::OK(), 0, 0, 0});
     }
   }
 
   Stopwatch total;  // read only when metrics are on
   const bool timed = scans_ != nullptr || breakdown != nullptr;
+  const RetryPolicy retry = retry_;
   SerializedSink shared(sink);
   std::vector<std::future<void>> futures;
   futures.reserve(tasks.size());
   for (Task& task : tasks) {
     Stopwatch queued;  // captured by value: starts counting at submit time
     futures.push_back(
-        pool_->Submit([&task, &shared, filter, limit, timed, queued] {
+        pool_->Submit([&task, &shared, filter, limit, timed, queued, retry] {
           Stopwatch run;
           if (timed) task.wait_micros = queued.ElapsedMicros();
-          task.status = task.region->Scan(*task.range, filter, limit, &shared,
-                                          &task.stats);
+          if (retry.max_retries == 0) {
+            task.status = task.region->Scan(*task.range, filter, limit,
+                                            &shared, &task.stats);
+          } else {
+            ProgressSink progress(&shared);
+            task.status = task.region->Scan(*task.range, filter, limit,
+                                            &progress, &task.stats);
+            std::string resume_start;
+            // With a per-range limit, a mid-stream retry cannot know how
+            // many of the delivered rows counted against it, so only
+            // zero-delivery failures retry in that case.
+            while (!task.status.ok() &&
+                   retry.ShouldRetry(task.status, task.retries) &&
+                   (limit == 0 || progress.rows() == 0)) {
+              BackoffSleep(retry, task.retries);
+              task.retries++;
+              KeyRange resumed = *task.range;
+              if (progress.rows() > 0) {
+                resume_start = progress.last_key() + '\0';  // key successor
+                resumed.start = resume_start;
+              }
+              task.status = task.region->Scan(resumed, filter, limit,
+                                              &progress, &task.stats);
+            }
+          }
           if (timed) task.scan_micros = run.ElapsedMicros();
         }));
   }
@@ -213,8 +283,17 @@ Status ClusterTable::ParallelScan(const std::vector<KeyRange>& ranges,
 
   Status result;
   uint64_t matched = 0;
+  uint64_t failed = 0;
+  uint64_t retries_total = 0;
   for (Task& task : tasks) {
-    if (result.ok() && !task.status.ok()) result = task.status;
+    retries_total += task.retries;
+    if (!task.status.ok()) {
+      failed++;
+      if (result.ok()) result = task.status;
+      if (outcome != nullptr) {
+        outcome->region_errors.emplace_back(task.region->shard(), task.status);
+      }
+    }
     if (stats != nullptr) *stats += task.stats;
     matched += task.stats.matched;
     if (breakdown != nullptr) {
@@ -224,6 +303,15 @@ Status ClusterTable::ParallelScan(const std::vector<KeyRange>& ranges,
           static_cast<double>(task.scan_micros) / 1000.0});
     }
     if (wait_micros_ != nullptr) wait_micros_->Record(task.wait_micros);
+  }
+  if (outcome != nullptr) {
+    outcome->regions_attempted += tasks.size();
+    outcome->regions_failed += failed;
+    outcome->retries += retries_total;
+  }
+  if (region_failures_ != nullptr && failed > 0) region_failures_->Inc(failed);
+  if (region_retries_ != nullptr && retries_total > 0) {
+    region_retries_->Inc(retries_total);
   }
   if (scans_ != nullptr) {
     scans_->Inc();
@@ -238,7 +326,8 @@ Status ClusterTable::MultiScan(const std::vector<KeyRange>& ranges,
                                const kv::ScanFilter* filter, size_t limit,
                                kv::RowSink* sink, kv::ScanStats* stats,
                                std::vector<RegionScanStat>* breakdown,
-                               kv::MultiScanPerf* perf) {
+                               kv::MultiScanPerf* perf,
+                               ScanOutcome* outcome) {
   // Group windows by region: one task (and one iterator stack) per region
   // instead of one per (region, window). The window slices borrow the
   // KeyRange strings in `ranges`, which outlive the parallel join.
@@ -256,6 +345,7 @@ Status ClusterTable::MultiScan(const std::vector<KeyRange>& ranges,
     kv::ScanStats stats;
     kv::MultiScanPerf perf;
     Status status;
+    int retries = 0;
     uint64_t wait_micros = 0;  // submit -> pool thread pickup
     uint64_t scan_micros = 0;  // inside the region batch
   };
@@ -263,23 +353,60 @@ Status ClusterTable::MultiScan(const std::vector<KeyRange>& ranges,
   for (size_t shard = 0; shard < grouped.size(); shard++) {
     if (grouped[shard].empty()) continue;
     tasks.push_back(Task{regions_[shard].get(), &grouped[shard], {}, {},
-                         Status::OK(), 0, 0});
+                         Status::OK(), 0, 0, 0});
   }
 
   Stopwatch total;  // read only when metrics are on
   const bool timed = scans_ != nullptr || breakdown != nullptr;
+  const RetryPolicy retry = retry_;
   SerializedSink shared(sink);
   std::vector<std::future<void>> futures;
   futures.reserve(tasks.size());
   for (Task& task : tasks) {
     Stopwatch queued;  // captured by value: starts counting at submit time
     futures.push_back(
-        pool_->Submit([&task, &shared, filter, limit, timed, queued] {
+        pool_->Submit([&task, &shared, filter, limit, timed, queued, retry] {
           Stopwatch run;
           if (timed) task.wait_micros = queued.ElapsedMicros();
-          task.status = task.region->MultiScan(*task.windows, filter, limit,
-                                               &shared, &task.stats,
-                                               &task.perf);
+          if (retry.max_retries == 0) {
+            task.status = task.region->MultiScan(*task.windows, filter, limit,
+                                                 &shared, &task.stats,
+                                                 &task.perf);
+          } else {
+            ProgressSink progress(&shared);
+            task.status = task.region->MultiScan(*task.windows, filter, limit,
+                                                 &progress, &task.stats,
+                                                 &task.perf);
+            const bool resumable = WindowsSortedDisjoint(*task.windows);
+            std::string resume_start;
+            std::vector<kv::ScanWindow> resumed;
+            while (!task.status.ok() &&
+                   retry.ShouldRetry(task.status, task.retries) &&
+                   (limit == 0 || progress.rows() == 0) &&
+                   (resumable || progress.rows() == 0)) {
+              BackoffSleep(retry, task.retries);
+              task.retries++;
+              const std::vector<kv::ScanWindow>* windows = task.windows;
+              if (progress.rows() > 0) {
+                // Sorted windows: every window ending at or before the last
+                // delivered key's successor is fully streamed; the one
+                // containing it resumes just past it.
+                resume_start = progress.last_key() + '\0';  // key successor
+                const Slice resume(resume_start);
+                resumed.clear();
+                for (const kv::ScanWindow& w : *task.windows) {
+                  if (!w.end.empty() && w.end.compare(resume) <= 0) continue;
+                  kv::ScanWindow trimmed = w;
+                  if (trimmed.start.compare(resume) < 0) trimmed.start = resume;
+                  resumed.push_back(trimmed);
+                }
+                windows = &resumed;
+              }
+              task.status = task.region->MultiScan(*windows, filter, limit,
+                                                   &progress, &task.stats,
+                                                   &task.perf);
+            }
+          }
           if (timed) task.scan_micros = run.ElapsedMicros();
         }));
   }
@@ -287,8 +414,17 @@ Status ClusterTable::MultiScan(const std::vector<KeyRange>& ranges,
 
   Status result;
   uint64_t matched = 0;
+  uint64_t failed = 0;
+  uint64_t retries_total = 0;
   for (Task& task : tasks) {
-    if (result.ok() && !task.status.ok()) result = task.status;
+    retries_total += task.retries;
+    if (!task.status.ok()) {
+      failed++;
+      if (result.ok()) result = task.status;
+      if (outcome != nullptr) {
+        outcome->region_errors.emplace_back(task.region->shard(), task.status);
+      }
+    }
     if (stats != nullptr) *stats += task.stats;
     if (perf != nullptr) *perf += task.perf;
     matched += task.stats.matched;
@@ -299,6 +435,15 @@ Status ClusterTable::MultiScan(const std::vector<KeyRange>& ranges,
           static_cast<double>(task.scan_micros) / 1000.0});
     }
     if (wait_micros_ != nullptr) wait_micros_->Record(task.wait_micros);
+  }
+  if (outcome != nullptr) {
+    outcome->regions_attempted += tasks.size();
+    outcome->regions_failed += failed;
+    outcome->retries += retries_total;
+  }
+  if (region_failures_ != nullptr && failed > 0) region_failures_->Inc(failed);
+  if (region_retries_ != nullptr && retries_total > 0) {
+    region_retries_->Inc(retries_total);
   }
   if (scans_ != nullptr) {
     scans_->Inc();
@@ -330,20 +475,63 @@ Status ClusterTable::ScanWithoutPushdown(const std::vector<KeyRange>& ranges,
   return Status::OK();
 }
 
+namespace {
+
+// Rebuilds `s` with the same code and an annotated message (Status carries
+// no public re-message constructor).
+Status AnnotateRegionError(const Status& s, size_t succeeded, size_t total) {
+  const std::string msg = s.message() + " (" + std::to_string(succeeded) +
+                          " of " + std::to_string(total) +
+                          " regions succeeded)";
+  switch (s.code()) {
+    case Status::Code::kNotFound:
+      return Status::NotFound(msg);
+    case Status::Code::kCorruption:
+      return Status::Corruption(msg);
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(msg);
+    case Status::Code::kBusy:
+      return Status::Busy(msg);
+    case Status::Code::kIOError:
+    default:
+      return Status::IOError(msg);
+  }
+}
+
+}  // namespace
+
 Status ClusterTable::Flush() {
+  // Attempt every region: one failing store must not leave the others with
+  // unflushed memtables.
+  size_t succeeded = 0;
+  Status first;
   for (auto& region : regions_) {
     Status s = region->db()->Flush();
-    if (!s.ok()) return s;
+    if (s.ok()) {
+      succeeded++;
+    } else if (first.ok()) {
+      first = s;
+    }
   }
-  return Status::OK();
+  if (first.ok()) return first;
+  return AnnotateRegionError(first, succeeded, regions_.size());
 }
 
 Status ClusterTable::CompactAll() {
+  size_t succeeded = 0;
+  Status first;
   for (auto& region : regions_) {
     Status s = region->db()->CompactAll();
-    if (!s.ok()) return s;
+    if (s.ok()) {
+      succeeded++;
+    } else if (first.ok()) {
+      first = s;
+    }
   }
-  return Status::OK();
+  if (first.ok()) return first;
+  return AnnotateRegionError(first, succeeded, regions_.size());
 }
 
 kv::DB::Stats ClusterTable::GetStorageStats() {

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -63,6 +64,17 @@ class Region {
   std::unique_ptr<kv::DB> db_;
 };
 
+// Per-region failure accounting for one fan-out scan. Every region task is
+// attempted (and retried per the table's RetryPolicy) regardless of other
+// regions' failures; the scan's return status is still the first final
+// error, so callers that ignore the outcome keep strict semantics.
+struct ScanOutcome {
+  uint64_t regions_attempted = 0;
+  uint64_t regions_failed = 0;  // still failing after retries
+  uint64_t retries = 0;         // re-runs across all region tasks
+  std::vector<std::pair<int, Status>> region_errors;  // shard -> final error
+};
+
 // A distributed sorted table: `num_shards` regions spread over the cluster's
 // region servers. Writes route by the shard byte; scans fan out to every
 // region whose range intersects the query window and run in parallel on the
@@ -115,7 +127,8 @@ class ClusterTable {
   Status ParallelScan(const std::vector<KeyRange>& ranges,
                       const kv::ScanFilter* filter, size_t limit,
                       kv::RowSink* sink, kv::ScanStats* stats,
-                      std::vector<RegionScanStat>* breakdown = nullptr);
+                      std::vector<RegionScanStat>* breakdown = nullptr,
+                      ScanOutcome* outcome = nullptr);
 
   // Batched variant of the streaming ParallelScan: windows are grouped by
   // region and each region runs ONE pool task executing its whole batch
@@ -129,7 +142,8 @@ class ClusterTable {
                    const kv::ScanFilter* filter, size_t limit,
                    kv::RowSink* sink, kv::ScanStats* stats,
                    std::vector<RegionScanStat>* breakdown = nullptr,
-                   kv::MultiScanPerf* perf = nullptr);
+                   kv::MultiScanPerf* perf = nullptr,
+                   ScanOutcome* outcome = nullptr);
 
   // Same windows, but without push-down: all rows in the ranges are
   // shipped back and the filter is applied caller-side. Models systems that
@@ -138,6 +152,14 @@ class ClusterTable {
   Status ScanWithoutPushdown(const std::vector<KeyRange>& ranges,
                              const kv::ScanFilter* filter,
                              std::vector<Row>* out, kv::ScanStats* stats);
+
+  // Region-task retry policy for ParallelScan/MultiScan. With the default
+  // (max_retries == 0) failed tasks are never re-run and the scan path is
+  // byte-identical to the no-retry build. A retried task that already
+  // delivered rows resumes after the last delivered key, so no row is
+  // streamed twice.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   Status Flush();
   Status CompactAll();
@@ -156,9 +178,12 @@ class ClusterTable {
   std::string name_;
   std::vector<std::unique_ptr<Region>> regions_;
   ThreadPool* pool_;
+  RetryPolicy retry_;
 
   // Registry handles (all null = metrics off).
   obs::Counter* scans_ = nullptr;
+  obs::Counter* region_retries_ = nullptr;
+  obs::Counter* region_failures_ = nullptr;
   obs::Counter* rows_streamed_ = nullptr;
   obs::Histogram* fanout_regions_ = nullptr;
   obs::Histogram* scan_micros_ = nullptr;

@@ -1,0 +1,21 @@
+#include "common/retry.h"
+
+namespace tman {
+
+bool RetryPolicy::IsRetryable(const Status& s) {
+  return s.IsIOError() || s.IsBusy();
+}
+
+uint64_t RetryPolicy::BackoffMicros(int attempt) const {
+  double backoff = static_cast<double>(initial_backoff_micros);
+  for (int i = 0; i < attempt; i++) {
+    backoff *= backoff_multiplier;
+    if (backoff >= static_cast<double>(max_backoff_micros)) {
+      return max_backoff_micros;
+    }
+  }
+  const auto micros = static_cast<uint64_t>(backoff);
+  return micros < max_backoff_micros ? micros : max_backoff_micros;
+}
+
+}  // namespace tman

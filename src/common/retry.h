@@ -1,0 +1,33 @@
+#ifndef TMAN_COMMON_RETRY_H_
+#define TMAN_COMMON_RETRY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace tman {
+
+// Bounded exponential backoff for re-running failed tasks whose error is
+// plausibly transient (I/O hiccup, busy resource). Corruption and invalid
+// arguments are never retried: re-reading a bad checksum will not fix it.
+struct RetryPolicy {
+  int max_retries = 0;  // 0 disables retrying entirely
+  uint64_t initial_backoff_micros = 200;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_micros = 50'000;
+
+  static bool IsRetryable(const Status& s);
+
+  // Backoff before retry `attempt` (0-based): initial * multiplier^attempt,
+  // capped at max_backoff_micros.
+  uint64_t BackoffMicros(int attempt) const;
+
+  // Whether to run retry `attempt` (0-based) after failure `s`.
+  bool ShouldRetry(const Status& s, int attempt) const {
+    return attempt < max_retries && IsRetryable(s);
+  }
+};
+
+}  // namespace tman
+
+#endif  // TMAN_COMMON_RETRY_H_

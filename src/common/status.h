@@ -46,6 +46,7 @@ class Status {
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -26,13 +26,31 @@ Status Executor::RunScan(
     const kv::ScanFilter* pushed, kv::RowSink* stage,
     kv::ScanStats* scan_stats,
     std::vector<cluster::ClusterTable::RegionScanStat>* breakdown,
-    kv::MultiScanPerf* perf) {
+    kv::MultiScanPerf* perf, cluster::ScanOutcome* outcome) {
   if (use_multiscan_) {
     return table->MultiScan(plan.windows, pushed, 0, stage, scan_stats,
-                            breakdown, perf);
+                            breakdown, perf, outcome);
   }
   return table->ParallelScan(plan.windows, pushed, 0, stage, scan_stats,
-                             breakdown);
+                             breakdown, outcome);
+}
+
+Status Executor::ResolveOutcome(Status s, const QueryPlan& plan,
+                                const cluster::ScanOutcome& outcome,
+                                QueryStats* stats) {
+  if (stats != nullptr) stats->retries += outcome.retries;
+  if (s.ok() || outcome.regions_failed == 0) return s;
+  if (plan.allow_degraded &&
+      outcome.regions_failed < outcome.regions_attempted) {
+    // Partial results accepted: the surviving regions' rows have already
+    // streamed into the sink; record the loss instead of failing.
+    if (stats != nullptr) {
+      stats->regions_failed += outcome.regions_failed;
+      stats->degraded = true;
+    }
+    return Status::OK();
+  }
+  return s;
 }
 
 cluster::ClusterTable* Executor::Table(PlanTable table) const {
@@ -161,13 +179,28 @@ void FinishScanSpan(
     obs::TraceSpan* span,
     const std::vector<cluster::ClusterTable::RegionScanStat>& breakdown,
     const kv::ScanStats& scan_stats, size_t windows, bool pushed,
-    const kv::MultiScanPerf* perf) {
+    const kv::MultiScanPerf* perf, const cluster::ScanOutcome& outcome,
+    bool degraded) {
   span->End();
   span->Annotate("windows", static_cast<double>(windows));
   span->Annotate("scan_tasks", static_cast<double>(breakdown.size()));
   span->Annotate("rows_scanned", static_cast<double>(scan_stats.scanned));
   span->Annotate("rows_matched", static_cast<double>(scan_stats.matched));
   span->Annotate("push_down", pushed ? "true" : "false");
+  if (outcome.retries > 0) {
+    span->Annotate("region_retries", static_cast<double>(outcome.retries));
+  }
+  if (outcome.regions_failed > 0) {
+    span->Annotate("regions_failed",
+                   static_cast<double>(outcome.regions_failed));
+    span->Annotate("degraded", degraded ? "true" : "false");
+    for (const auto& [shard, err] : outcome.region_errors) {
+      obs::TraceSpan* es =
+          span->AddChild("region " + std::to_string(shard) + " FAILED");
+      es->End();
+      es->Annotate("error", err.ToString());
+    }
+  }
   if (perf != nullptr) {
     // Batched read path: read-path savings aggregated over all regions.
     span->Annotate("multiscan", "true");
@@ -236,11 +269,15 @@ Status Executor::ExecutePrimaryScan(const QueryPlan& plan, kv::RowSink* sink,
   std::vector<cluster::ClusterTable::RegionScanStat> breakdown;
   kv::ScanStats scan_stats;
   kv::MultiScanPerf perf;
+  cluster::ScanOutcome outcome;
   Status s = RunScan(Table(plan.scan_table), plan, pushed, stage, &scan_stats,
-                     scan_span != nullptr ? &breakdown : nullptr, &perf);
+                     scan_span != nullptr ? &breakdown : nullptr, &perf,
+                     &outcome);
+  s = ResolveOutcome(std::move(s), plan, outcome, stats);
   if (scan_span != nullptr) {
     FinishScanSpan(scan_span, breakdown, scan_stats, plan.windows.size(),
-                   pushed != nullptr, use_multiscan_ ? &perf : nullptr);
+                   pushed != nullptr, use_multiscan_ ? &perf : nullptr,
+                   outcome, s.ok() && outcome.regions_failed > 0);
   }
   if (stats != nullptr) {
     stats->windows += plan.windows.size();
@@ -267,17 +304,22 @@ Status Executor::ExecuteSecondaryFetch(const QueryPlan& plan,
   std::vector<cluster::ClusterTable::RegionScanStat> breakdown;
   kv::ScanStats scan_stats;
   kv::MultiScanPerf perf;
+  cluster::ScanOutcome outcome;
   Status s = RunScan(Table(plan.scan_table), plan, nullptr, scan_stage,
                      &scan_stats, scan_span != nullptr ? &breakdown : nullptr,
-                     &perf);
+                     &perf, &outcome);
+  s = ResolveOutcome(std::move(s), plan, outcome, stats);
   if (scan_span != nullptr) {
     FinishScanSpan(scan_span, breakdown, scan_stats, plan.windows.size(),
-                   false, use_multiscan_ ? &perf : nullptr);
+                   false, use_multiscan_ ? &perf : nullptr, outcome,
+                   s.ok() && outcome.regions_failed > 0);
   }
   if (stats != nullptr) {
     stats->windows += plan.windows.size();
     stats->candidates += scan_stats.scanned;
   }
+  // Fetch-stage errors (primary Get failures) are the sink's own; degraded
+  // mode covers region scan tasks, not the point-fetch path.
   if (s.ok()) s = fetch.status();
   return s;
 }

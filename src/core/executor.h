@@ -59,7 +59,14 @@ class Executor {
                  const kv::ScanFilter* pushed, kv::RowSink* stage,
                  kv::ScanStats* scan_stats,
                  std::vector<cluster::ClusterTable::RegionScanStat>* breakdown,
-                 kv::MultiScanPerf* perf);
+                 kv::MultiScanPerf* perf, cluster::ScanOutcome* outcome);
+  // Folds a scan's per-region failure accounting into the query result:
+  // retries/regions_failed accumulate into `stats`, and when the plan
+  // allows degraded execution and a strict subset of regions failed, the
+  // scan error is swallowed and the stats are marked degraded. All regions
+  // failing stays an error even in degraded mode.
+  Status ResolveOutcome(Status s, const QueryPlan& plan,
+                        const cluster::ScanOutcome& outcome, QueryStats* stats);
   cluster::ClusterTable* Table(PlanTable table) const;
 
   cluster::ClusterTable* primary_;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/retry.h"
 #include "index/shape_encoding.h"
 #include "index/tr_index.h"
 #include "index/tshape_index.h"
@@ -64,6 +65,12 @@ struct TManOptions {
   // DP-features kept per trajectory (§IV-B: dp-feature column).
   size_t max_dp_features = 8;
 
+  // Region-task retry policy for cluster scans. The default (max_retries
+  // == 0) never re-runs a failed region task; setting max_retries > 0 lets
+  // transient region faults (I/O errors, busy stores) heal in place —
+  // successful retries surface as QueryStats::retries with degraded=false.
+  RetryPolicy region_retry;
+
   kv::Options kv;
 };
 
@@ -74,6 +81,11 @@ struct QueryOptions {
   // the EXPLAIN ANALYZE input. Requires a non-null QueryStats out-param;
   // costs a few clock reads and small allocations per stage.
   bool trace = false;
+  // Accept partial results when some (but not all) regions fail after
+  // retries: the query succeeds with QueryStats::{degraded=true,
+  // regions_failed>0} instead of returning the region error. Off by
+  // default — strict executions are byte-identical to before this option.
+  bool allow_degraded = false;
 };
 
 }  // namespace tman::core

@@ -52,6 +52,11 @@ struct QueryPlan {
   // the executor through sink early termination, not post-truncation.
   size_t limit = 0;
 
+  // Degraded-mode flag copied from QueryOptions::allow_degraded: when set,
+  // the executor tolerates a strict subset of regions failing and marks
+  // the stats degraded instead of failing the query.
+  bool allow_degraded = false;
+
   // --- cost-model outputs (merged into QueryStats by the caller) ---
   uint64_t index_values = 0;      // index values the windows cover
   uint64_t elements_visited = 0;  // spatial elements inspected while planning

@@ -38,6 +38,14 @@ struct QueryStats {
   double planning_ms = 0;
   // Total wall time of the query including planning.
   double execution_ms = 0;
+  // Region tasks still failing after retries (degraded executions only;
+  // strict executions return the error instead of counting it here).
+  uint64_t regions_failed = 0;
+  // Region-task re-runs the retry policy performed across all scans.
+  uint64_t retries = 0;
+  // True when the query returned partial results because one or more
+  // regions failed and QueryOptions::allow_degraded accepted the loss.
+  bool degraded = false;
   // RBO/CBO decision, e.g. "primary:st-fine" or "count:temporal".
   std::string plan;
   // Per-stage trace tree (EXPLAIN ANALYZE); set only when the query ran

@@ -96,6 +96,13 @@ Status TMan::Init() {
   tr_table_ = cluster_->GetTable("tr_idx");
   idt_table_ = cluster_->GetTable("idt_idx");
   meta_table_ = cluster_->GetTable("meta");
+  if (options_.region_retry.max_retries > 0) {
+    // Region-task retries on the tables query scans fan out over; the meta
+    // table is point-read only and stays strict.
+    primary_->set_retry_policy(options_.region_retry);
+    tr_table_->set_retry_policy(options_.region_retry);
+    idt_table_->set_retry_policy(options_.region_retry);
+  }
 
   tr_index_ = std::make_unique<index::TRIndex>(options_.tr);
   xzt_index_ = std::make_unique<index::XZTIndex>(options_.xzt);
@@ -557,6 +564,7 @@ Status TMan::TemporalRangeQuery(int64_t ts, int64_t te,
   QueryPlan plan;
   Status s = planner_->PlanTemporalRange(ts, te, &plan);
   if (!s.ok()) return s;
+  plan.allow_degraded = qopts.allow_degraded;
   FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
 
@@ -590,6 +598,7 @@ Status TMan::SpatialRangeQuery(const geo::MBR& rect,
   QueryPlan plan;
   Status s = planner_->PlanSpatialRange(rect, &plan);
   if (!s.ok()) return s;
+  plan.allow_degraded = qopts.allow_degraded;
   FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
 
@@ -625,6 +634,7 @@ Status TMan::SpatioTemporalRangeQuery(const geo::MBR& rect, int64_t ts,
   QueryPlan plan;
   Status s = planner_->PlanSpatioTemporalRange(rect, ts, te, &plan);
   if (!s.ok()) return s;
+  plan.allow_degraded = qopts.allow_degraded;
   FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
 
@@ -658,6 +668,7 @@ Status TMan::IDTemporalQuery(const std::string& oid, int64_t ts, int64_t te,
   QueryPlan plan;
   Status s = planner_->PlanIDTemporal(oid, ts, te, &plan);
   if (!s.ok()) return s;
+  plan.allow_degraded = qopts.allow_degraded;
   FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
 
@@ -704,6 +715,7 @@ Status TMan::ThresholdSimilarityQuery(const traj::Trajectory& query,
       std::make_unique<SimilarityFilter>(query_features, threshold),
       "similarity:threshold", &plan);
   if (!s.ok()) return s;
+  plan.allow_degraded = qopts.allow_degraded;
   FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
 
@@ -768,6 +780,7 @@ Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
         qmbr, radius, std::make_unique<MBRDistanceFilter>(qmbr, radius),
         "similarity:topk", &plan);
     if (!s.ok()) return s;
+    plan.allow_degraded = qopts.allow_degraded;
     FinishPlanningSpan(plan_span, plan);
     MergePlanningStats(plan, planning, stats);
 
@@ -845,6 +858,7 @@ Status TMan::TemporalRangeCount(int64_t ts, int64_t te, uint64_t* count,
   QueryPlan plan;
   Status s = planner_->PlanTemporalRange(ts, te, &plan);
   if (!s.ok()) return s;
+  plan.allow_degraded = qopts.allow_degraded;
 
   if (plan.kind == PlanKind::kPrimaryScan) {
     FinishPlanningSpan(plan_span, plan);
@@ -892,6 +906,7 @@ Status TMan::SpatialRangeCount(const geo::MBR& rect, uint64_t* count,
   QueryPlan plan;
   Status s = planner_->PlanSpatialRange(rect, &plan);
   if (!s.ok()) return s;
+  plan.allow_degraded = qopts.allow_degraded;
   FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
   obs::TraceSpan* exec_span =
@@ -919,6 +934,7 @@ Status TMan::SpatioTemporalRangeCount(const geo::MBR& rect, int64_t ts,
   QueryPlan plan;
   Status s = planner_->PlanSpatioTemporalRange(rect, ts, te, &plan);
   if (!s.ok()) return s;
+  plan.allow_degraded = qopts.allow_degraded;
   FinishPlanningSpan(plan_span, plan);
   MergePlanningStats(plan, planning, stats);
   obs::TraceSpan* exec_span =

@@ -147,6 +147,11 @@ Status BuildTableFromMem(const Options& options, Env* env,
     if (!s.ok()) return s;
     meta->file_size = builder.FileSize();
   }
+  // The table must be durable before the MANIFEST references it and the WAL
+  // covering its contents is deleted; otherwise a crash after either loses
+  // acknowledged writes.
+  s = file->Sync();
+  if (!s.ok()) return s;
   return file->Close();
 }
 
@@ -179,6 +184,13 @@ DB::Metrics::Metrics(obs::MetricsRegistry* registry) {
   stalls = registry->GetCounter("tman_kv_write_stalls_total");
   stall_micros = registry->GetCounter("tman_kv_stall_micros_total");
   wal_syncs = registry->GetCounter("tman_kv_wal_syncs_total");
+  recovery_wal_records =
+      registry->GetCounter("tman_kv_recovery_wal_records_total");
+  recovery_wal_bytes_dropped =
+      registry->GetCounter("tman_kv_recovery_wal_bytes_dropped_total");
+  recovery_torn_tails =
+      registry->GetCounter("tman_kv_recovery_torn_tails_total");
+  recovery_resumes = registry->GetCounter("tman_kv_recovery_resumes_total");
   for (int l = 0; l < GetPerf::kMaxLevels; l++) {
     sstable_reads_per_level[l] = registry->GetCounter(
         "tman_kv_sstable_reads_total{level=\"" + std::to_string(l) + "\"}");
@@ -206,8 +218,13 @@ DB::~DB() {
   shutting_down_ = true;
   while (bg_active_) bg_cv_.wait(lock);
   // Persist any buffered writes so reopen sees them without WAL replay cost.
-  if (imm_ != nullptr) FlushImmutable(nullptr);
-  if (mem_->num_entries() > 0) FlushActiveLocked();
+  // Skipped when Recover() failed partway: the memtable then holds a
+  // partially-replayed WAL (and wal_ was never opened) — flushing it would
+  // persist exactly the state recovery refused to accept.
+  if (recovered_) {
+    if (imm_ != nullptr) FlushImmutable(nullptr);
+    if (mem_->num_entries() > 0) FlushActiveLocked();
+  }
   if (wal_ != nullptr) wal_->Close();
   // owned_pool_ (if any) joins its idle worker during member destruction;
   // no task can still be queued because bg_active_ is false.
@@ -279,12 +296,15 @@ Status DB::Recover() {
   s = versions_->WriteSnapshot();
   if (!s.ok()) return s;
   RemoveObsoleteFilesLocked();
-  return CompactLoopLocked();
+  s = CompactLoopLocked();
+  if (s.ok()) recovered_ = true;
+  return s;
 }
 
 Status DB::ReplayWal(uint64_t wal_number) {
+  const std::string fname = WalFileName(name_, wal_number);
   std::unique_ptr<SequentialFile> file;
-  Status s = env_->NewSequentialFile(WalFileName(name_, wal_number), &file);
+  Status s = env_->NewSequentialFile(fname, &file);
   if (!s.ok()) return s;
   LogReader reader(std::move(file));
   Slice record;
@@ -298,6 +318,45 @@ Status DB::ReplayWal(uint64_t wal_number) {
     if (last > versions_->last_sequence()) {
       versions_->SetLastSequence(last);
     }
+  }
+
+  switch (reader.end()) {
+    case LogReader::End::kReadError:
+      return reader.status();
+    case LogReader::End::kBadRecord:
+      // Bad checksum / implausible length mid-log: the bytes after it are
+      // suspect. Paranoid mode refuses to open; otherwise drop the tail
+      // (same consistent-prefix outcome as a torn tail) but account for it.
+      if (options_.paranoid_checks) {
+        return Status::Corruption("mid-log corruption in " + fname +
+                                  " at offset " +
+                                  std::to_string(reader.bytes_consumed()));
+      }
+      break;
+    case LogReader::End::kTornTail:
+      // Expected after a crash mid-write: only un-synced tail bytes are
+      // affected, which were never acknowledged as durable.
+      wal_torn_tails_++;
+      if (metrics_ != nullptr) metrics_->recovery_torn_tails->Inc();
+      break;
+    case LogReader::End::kEof:
+    case LogReader::End::kNone:
+      break;
+  }
+
+  uint64_t file_size = 0;
+  if (env_->GetFileSize(fname, &file_size).ok() &&
+      file_size > reader.bytes_consumed()) {
+    const uint64_t dropped = file_size - reader.bytes_consumed();
+    wal_bytes_dropped_ += dropped;
+    if (metrics_ != nullptr) {
+      metrics_->recovery_wal_bytes_dropped->Inc(dropped);
+    }
+  }
+  wal_records_recovered_ += reader.records_read();
+  wal_bytes_recovered_ += reader.bytes_consumed();
+  if (metrics_ != nullptr) {
+    metrics_->recovery_wal_records->Inc(reader.records_read());
   }
   return Status::OK();
 }
@@ -468,9 +527,18 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
     // Freeze the full memtable and switch to a fresh one + fresh WAL. The
     // old WAL stays on disk until the flush completes, so a crash in
     // between replays both.
+    //
+    // Sync the outgoing WAL before retiring it: a crash would otherwise
+    // truncate its un-synced tail while records in the successor WAL
+    // survive, so recovery would drop writes from the *middle* of the
+    // acknowledged sequence instead of a suffix (prefix-consistent
+    // recovery). One fsync per memtable rotation is noise next to the
+    // flush itself.
+    Status s = wal_->file()->Sync();
+    if (!s.ok()) return s;
     const uint64_t new_wal = versions_->NewFileNumber();
     std::unique_ptr<WritableFile> wal_file;
-    Status s = env_->NewWritableFile(WalFileName(name_, new_wal), &wal_file);
+    s = env_->NewWritableFile(WalFileName(name_, new_wal), &wal_file);
     if (!s.ok()) return s;
     wal_->Close();
     wal_ = std::make_unique<LogWriter>(std::move(wal_file));
@@ -723,6 +791,44 @@ Status DB::CompactAll() {
   });
 }
 
+Status DB::Resume() {
+  // Same exclusive dance as RunExclusive, but inline: RunExclusive itself
+  // short-circuits on a sticky bg_error, which is exactly what Resume needs
+  // to clear.
+  Writer w(nullptr, false);
+  std::unique_lock<std::mutex> lock(mu_);
+  writers_.push_back(&w);
+  while (&w != writers_.front()) {
+    w.cv.wait(lock);
+  }
+  exclusive_waiters_++;
+  while (bg_active_) bg_cv_.wait(lock);
+  exclusive_waiters_--;
+
+  Status s;
+  if (!bg_error_.ok()) {
+    if (bg_error_.IsCorruption()) {
+      // Not transient: retrying the flush cannot repair bad on-disk data.
+      s = bg_error_;
+    } else {
+      bg_error_ = Status::OK();
+      if (imm_ != nullptr) s = FlushImmutable(nullptr);
+      if (s.ok()) s = CompactLoopLocked();
+      if (s.ok()) {
+        resume_count_++;
+        if (metrics_ != nullptr) metrics_->recovery_resumes->Inc();
+      } else {
+        bg_error_ = s;  // still failing: stay bricked
+      }
+    }
+  }
+
+  writers_.pop_front();
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  MaybeScheduleBackground();
+  return s;
+}
+
 Status DB::WriteLevel0Table(const std::shared_ptr<MemTable>& mem,
                             std::unique_lock<std::mutex>* lock) {
   auto meta = std::make_shared<FileMetaData>();
@@ -902,6 +1008,9 @@ Status DB::RunCompaction(const CompactionJob& job,
     if (!fs.ok()) return fs;
     out_meta->file_size = builder->FileSize();
     builder.reset();
+    // Durable before the MANIFEST references it (see BuildTableFromMem).
+    fs = out_file->Sync();
+    if (!fs.ok()) return fs;
     fs = out_file->Close();
     out_file.reset();
     if (!fs.ok()) return fs;
@@ -1089,7 +1198,45 @@ DB::Stats DB::GetStats() {
   stats.stall_count = stall_count_;
   stats.stall_micros = stall_micros_;
   stats.wal_syncs = wal_syncs_;
+  stats.wal_records_recovered = wal_records_recovered_;
+  stats.wal_bytes_recovered = wal_bytes_recovered_;
+  stats.wal_bytes_dropped = wal_bytes_dropped_;
+  stats.wal_torn_tails = wal_torn_tails_;
+  stats.resume_count = resume_count_;
   return stats;
+}
+
+Status DB::VerifyIntegrity(IntegrityReport* report) {
+  // A consistent snapshot is enough: files are immutable once installed and
+  // the shared_ptrs keep them alive even if a concurrent compaction drops
+  // them from the tree.
+  ReadSnapshot snap = AcquireReadSnapshot();
+  IntegrityReport local;
+  IntegrityReport* rep = report != nullptr ? report : &local;
+  *rep = IntegrityReport{};
+
+  Status first_error;
+  for (int level = 0; level < snap.version->num_levels(); level++) {
+    for (const auto& f : snap.version->LevelFiles(level)) {
+      IntegrityReport::FileResult result;
+      result.level = level;
+      result.number = f->number;
+      result.file_size = f->file_size;
+      if (f->table != nullptr) {
+        result.status = f->table->VerifyChecksums(&result.blocks);
+      } else {
+        result.status = Status::Corruption("table not open");
+      }
+      rep->files_checked++;
+      rep->blocks_checked += result.blocks;
+      if (!result.status.ok()) {
+        rep->files_corrupt++;
+        if (first_error.ok()) first_error = result.status;
+      }
+      rep->files.push_back(std::move(result));
+    }
+  }
+  return first_error;
 }
 
 }  // namespace tman::kv

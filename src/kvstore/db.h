@@ -105,6 +105,33 @@ class DB {
   // Compacts everything down to the last occupied level.
   Status CompactAll();
 
+  // Clears a *transient* sticky background error (failed flush fsync,
+  // ENOSPC, ...) by re-running the failed flush work inline against the
+  // current memtable set. Returns OK once the DB is writable again (also
+  // when there was no error to clear). Corruption is not transient and is
+  // returned unchanged — the store needs repair, not a retry.
+  Status Resume();
+
+  // Per-file result of VerifyIntegrity.
+  struct IntegrityReport {
+    struct FileResult {
+      int level = 0;
+      uint64_t number = 0;
+      uint64_t file_size = 0;
+      uint64_t blocks = 0;  // data blocks checksummed
+      Status status;
+    };
+    std::vector<FileResult> files;
+    uint64_t files_checked = 0;
+    uint64_t blocks_checked = 0;
+    uint64_t files_corrupt = 0;
+  };
+
+  // Walks the current MANIFEST state and re-reads every data block of every
+  // live SSTable, verifying its CRC trailer (bypassing the block cache).
+  // Fills `report` (may be nullptr) and returns the first corruption found.
+  Status VerifyIntegrity(IntegrityReport* report);
+
   struct Stats {
     std::vector<int> files_per_level;
     std::vector<uint64_t> bytes_per_level;
@@ -121,6 +148,12 @@ class DB {
     uint64_t stall_count = 0;   // slowdown sleeps + hard stalls
     uint64_t stall_micros = 0;  // total time writers spent throttled
     uint64_t wal_syncs = 0;     // fsyncs issued for sync writes
+    // Recovery accounting (filled by Open, bumped by Resume).
+    uint64_t wal_records_recovered = 0;  // WAL records replayed at Open
+    uint64_t wal_bytes_recovered = 0;    // bytes of good replayed records
+    uint64_t wal_bytes_dropped = 0;      // torn/corrupt tail bytes discarded
+    uint64_t wal_torn_tails = 0;         // WALs ending in a torn record
+    uint64_t resume_count = 0;           // successful Resume() calls
   };
   Stats GetStats();
 
@@ -173,6 +206,10 @@ class DB {
     obs::Counter* stalls;
     obs::Counter* stall_micros;
     obs::Counter* wal_syncs;
+    obs::Counter* recovery_wal_records;
+    obs::Counter* recovery_wal_bytes_dropped;
+    obs::Counter* recovery_torn_tails;
+    obs::Counter* recovery_resumes;
     obs::Counter* sstable_reads_per_level[GetPerf::kMaxLevels];
   };
 
@@ -277,6 +314,7 @@ class DB {
   std::unique_ptr<ThreadPool> owned_pool_;  // when no shared pool was given
   bool bg_active_ = false;       // a background task is scheduled/running
   bool shutting_down_ = false;
+  bool recovered_ = false;       // Recover() completed; safe to flush on close
   int exclusive_waiters_ = 0;    // RunExclusive callers draining background
   Status bg_error_;              // sticky failure from background work
   std::set<uint64_t> pending_outputs_;  // files being written, GC-protected
@@ -289,6 +327,11 @@ class DB {
   uint64_t stall_count_ = 0;
   uint64_t stall_micros_ = 0;
   uint64_t wal_syncs_ = 0;
+  uint64_t wal_records_recovered_ = 0;
+  uint64_t wal_bytes_recovered_ = 0;
+  uint64_t wal_bytes_dropped_ = 0;
+  uint64_t wal_torn_tails_ = 0;
+  uint64_t resume_count_ = 0;
 };
 
 }  // namespace tman::kv

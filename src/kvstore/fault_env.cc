@@ -1,0 +1,452 @@
+#include "kvstore/fault_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tman::kv {
+
+namespace {
+
+Status CrashError() { return Status::IOError("simulated crash"); }
+
+}  // namespace
+
+bool FaultInjectionEnv::CountedFault::Matches(const std::string& fname) const {
+  return substr.empty() || fname.find(substr) != std::string::npos;
+}
+
+bool FaultInjectionEnv::CountedFault::Fire(const std::string& fname) {
+  if (remaining == 0 || !Matches(fname)) return false;
+  if (remaining > 0) remaining--;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// File wrappers. All fault decisions and state updates go through the env so
+// they are serialized under one mutex and keyed by path, not by handle.
+// ---------------------------------------------------------------------------
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::string fname,
+                    std::unique_ptr<WritableFile> base)
+      : env_(env), fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override {
+    uint64_t allowed = data.size();
+    Status s = env_->RegisterAppend(fname_, data.size(), &allowed);
+    if (!s.ok()) {
+      if (allowed > 0) {
+        // Torn append: the prefix made it to the file before the failure.
+        base_->Append(Slice(data.data(), allowed));
+        base_->Flush();
+      }
+      return s;
+    }
+    Status bs = base_->Append(data);
+    if (bs.ok()) env_->NoteAppended(fname_, data.size());
+    return bs;
+  }
+
+  Status Flush() override {
+    if (env_->crashed()) return CrashError();
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    Status s = env_->RegisterSync(fname_);
+    if (!s.ok()) return s;
+    s = base_->Sync();
+    if (s.ok()) env_->MarkSynced(fname_);
+    return s;
+  }
+
+  // Close is not a durability point: buffered OS data may still be lost.
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string fname_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultInjectionEnv* env, std::string fname,
+                        std::unique_ptr<RandomAccessFile> base)
+      : env_(env), fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    bool flip = false;
+    Status s = env_->CheckRead(fname_, &flip);
+    if (!s.ok()) return s;
+    s = base_->Read(offset, n, result, scratch);
+    if (s.ok() && flip) env_->FlipBit(result);
+    return s;
+  }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string fname_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+class FaultSequentialFile : public SequentialFile {
+ public:
+  FaultSequentialFile(FaultInjectionEnv* env, std::string fname,
+                      std::unique_ptr<SequentialFile> base)
+      : env_(env), fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    bool flip = false;
+    Status s = env_->CheckRead(fname_, &flip);
+    if (!s.ok()) return s;
+    s = base_->Read(n, result, scratch);
+    if (s.ok() && flip) env_->FlipBit(result);
+    return s;
+  }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string fname_;
+  std::unique_ptr<SequentialFile> base_;
+};
+
+// ---------------------------------------------------------------------------
+// Env interface
+// ---------------------------------------------------------------------------
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed)
+    : base_(base), rng_(seed ? seed : 0xfa17) {}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashError();
+  }
+  std::unique_ptr<WritableFile> base_file;
+  Status s = base_->NewWritableFile(fname, &base_file);
+  if (!s.ok()) return s;
+  {
+    // Created-or-truncated: tracked write state starts from zero.
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[fname] = FileState{};
+  }
+  *result = std::make_unique<FaultWritableFile>(this, fname,
+                                                std::move(base_file));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> base_file;
+  Status s = base_->NewRandomAccessFile(fname, &base_file);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultRandomAccessFile>(this, fname,
+                                                    std::move(base_file));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> base_file;
+  Status s = base_->NewSequentialFile(fname, &base_file);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultSequentialFile>(this, fname,
+                                                  std::move(base_file));
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& fname) {
+  return base_->FileExists(fname);
+}
+
+Status FaultInjectionEnv::GetChildren(const std::string& dir,
+                                      std::vector<std::string>* result) {
+  return base_->GetChildren(dir, result);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashError();
+  }
+  Status s = base_->RemoveFile(fname);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(fname);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::CreateDirIfMissing(const std::string& dirname) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashError();
+  }
+  return base_->CreateDirIfMissing(dirname);
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& fname,
+                                      uint64_t* size) {
+  return base_->GetFileSize(fname, size);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return CrashError();
+    if (fail_renames_.Fire(src)) {
+      faults_injected_++;
+      return Status::IOError("injected rename failure");
+    }
+  }
+  Status s = base_->RenameFile(src, target);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(src);
+    if (it != files_.end()) {
+      files_[target] = it->second;
+      files_.erase(it);
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::SyncFile(WritableFile* file) {
+  // The wrapper's Sync applies fault checks and sync-state tracking.
+  return file->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// Crash simulation
+// ---------------------------------------------------------------------------
+
+void FaultInjectionEnv::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultInjectionEnv::set_torn_tail_on_crash(bool v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_tail_on_crash_ = v;
+}
+
+Status FaultInjectionEnv::DropUnsyncedAndReset() {
+  std::map<std::string, FileState> files;
+  bool torn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files.swap(files_);
+    crashed_ = false;
+    torn = torn_tail_on_crash_;
+  }
+  for (const auto& [fname, st] : files) {
+    if (!base_->FileExists(fname)) continue;  // unlinked pre-crash: gone
+    uint64_t actual = 0;
+    Status s = base_->GetFileSize(fname, &actual);
+    if (!s.ok()) return s;
+    uint64_t keep = std::min(st.synced, actual);
+    if (torn && actual > keep) {
+      // Some un-synced bytes may have hit the platter anyway; keeping a
+      // random prefix of them is exactly what a torn tail looks like.
+      std::lock_guard<std::mutex> lock(mu_);
+      keep += rng_.Uniform(actual - keep + 1);
+    }
+    if (keep == actual) continue;
+
+    std::string data;
+    data.resize(keep);
+    if (keep > 0) {
+      std::unique_ptr<SequentialFile> in;
+      s = base_->NewSequentialFile(fname, &in);
+      if (!s.ok()) return s;
+      uint64_t off = 0;
+      while (off < keep) {
+        Slice chunk;
+        s = in->Read(keep - off, &chunk, data.data() + off);
+        if (!s.ok()) return s;
+        if (chunk.empty()) break;
+        if (chunk.data() != data.data() + off) {
+          std::memmove(data.data() + off, chunk.data(), chunk.size());
+        }
+        off += chunk.size();
+      }
+      data.resize(off);
+    }
+
+    std::unique_ptr<WritableFile> out;
+    s = base_->NewWritableFile(fname, &out);  // truncates
+    if (!s.ok()) return s;
+    if (!data.empty()) s = out->Append(data);
+    if (s.ok()) s = out->Flush();
+    if (s.ok()) s = out->Sync();
+    if (s.ok()) s = out->Close();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Scripted fault points
+// ---------------------------------------------------------------------------
+
+void FaultInjectionEnv::FailSyncs(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_syncs_ = {"", n};
+}
+
+void FaultInjectionEnv::FailAppends(const std::string& substr, int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_appends_ = {substr, n};
+}
+
+void FaultInjectionEnv::NoSpaceAppends(const std::string& substr, int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  nospace_appends_ = {substr, n};
+}
+
+void FaultInjectionEnv::TornAppends(const std::string& substr, int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_appends_ = {substr, n};
+}
+
+void FaultInjectionEnv::FailReads(const std::string& substr, int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_reads_ = {substr, n};
+}
+
+void FaultInjectionEnv::CorruptReads(const std::string& substr, int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  corrupt_reads_ = {substr, n};
+}
+
+void FaultInjectionEnv::FailRenames(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_renames_ = {"", n};
+}
+
+void FaultInjectionEnv::RandomReadFaults(const std::string& substr, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  random_read_substr_ = substr;
+  random_read_prob_ = p;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_appends_ = {};
+  nospace_appends_ = {};
+  torn_appends_ = {};
+  fail_reads_ = {};
+  corrupt_reads_ = {};
+  fail_syncs_ = {};
+  fail_renames_ = {};
+  random_read_substr_.clear();
+  random_read_prob_ = 0.0;
+}
+
+uint64_t FaultInjectionEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+std::map<std::string, FaultInjectionEnv::FileState>
+FaultInjectionEnv::TrackedFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_;
+}
+
+// ---------------------------------------------------------------------------
+// Wrapper callbacks
+// ---------------------------------------------------------------------------
+
+Status FaultInjectionEnv::RegisterAppend(const std::string& fname,
+                                         uint64_t len,
+                                         uint64_t* allowed_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    *allowed_prefix = 0;
+    return CrashError();
+  }
+  if (nospace_appends_.Fire(fname)) {
+    faults_injected_++;
+    *allowed_prefix = 0;
+    return Status::IOError("No space left on device (injected)");
+  }
+  if (fail_appends_.Fire(fname)) {
+    faults_injected_++;
+    *allowed_prefix = 0;
+    return Status::IOError("injected append failure");
+  }
+  if (len > 0 && torn_appends_.Fire(fname)) {
+    faults_injected_++;
+    *allowed_prefix = rng_.Uniform(len);  // strictly shorter than len
+    files_[fname].appended += *allowed_prefix;
+    return Status::IOError("injected torn append");
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::NoteAppended(const std::string& fname, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[fname].appended += len;
+}
+
+void FaultInjectionEnv::MarkSynced(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& st = files_[fname];
+  st.synced = st.appended;
+}
+
+Status FaultInjectionEnv::RegisterSync(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashError();
+  if (fail_syncs_.Fire(fname)) {
+    faults_injected_++;
+    return Status::IOError("injected fsync failure");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CheckRead(const std::string& fname, bool* flip_bit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *flip_bit = false;
+  if (fail_reads_.Fire(fname)) {
+    faults_injected_++;
+    return Status::IOError("injected read error");
+  }
+  if (random_read_prob_ > 0.0 &&
+      (random_read_substr_.empty() ||
+       fname.find(random_read_substr_) != std::string::npos) &&
+      rng_.Bernoulli(random_read_prob_)) {
+    faults_injected_++;
+    return Status::IOError("injected read error (random)");
+  }
+  if (corrupt_reads_.Fire(fname)) {
+    faults_injected_++;
+    *flip_bit = true;
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::FlipBit(Slice* result) {
+  if (result->empty()) return;
+  uint64_t pos;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pos = rng_.Uniform(result->size());
+  }
+  // The slice points into the caller-provided scratch buffer, which this
+  // wrapper owns for the duration of the read.
+  const_cast<char*>(result->data())[pos] ^= 0x40;
+}
+
+}  // namespace tman::kv

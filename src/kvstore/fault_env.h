@@ -1,0 +1,154 @@
+#ifndef TMAN_KVSTORE_FAULT_ENV_H_
+#define TMAN_KVSTORE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "kvstore/env.h"
+
+namespace tman::kv {
+
+// An Env wrapper that injects storage faults deterministically, for
+// crash-recovery and degraded-mode testing.
+//
+// Two fault families:
+//
+//  * Scripted fault points: "fail the next n appends to files whose path
+//    contains <substr>" and friends. Counted triggers, disarmed at zero;
+//    n < 0 means fire forever until ClearFaults().
+//  * Seeded-random faults: every matching read fails (or bit-flips) with a
+//    fixed probability drawn from a seeded tman::Random, so a given seed
+//    replays the exact same fault schedule.
+//
+// Crash simulation models power loss in three steps:
+//
+//   1. Crash()               — every subsequent mutating operation fails
+//                              with IOError("simulated crash"). Reads still
+//                              work so the dying process can limp along.
+//   2. <destroy the DB>      — its destructor flush attempts fail harmlessly.
+//   3. DropUnsyncedAndReset() — truncates every tracked file back to its
+//                              last-synced length (optionally keeping a
+//                              seeded-random prefix of the un-synced bytes,
+//                              which is what a torn sector write looks like),
+//                              then clears the crash flag so the store can be
+//                              reopened against the surviving state.
+//
+// Per-file sync state is tracked by path in the env (not in the file
+// object), so it survives the file handle being closed or destroyed.
+// Metadata operations (create/rename/remove) are modeled as durable once
+// they return — a simplification that matches rename-based publication of
+// the MANIFEST.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base, uint64_t seed = 0);
+  ~FaultInjectionEnv() override = default;
+
+  FaultInjectionEnv(const FaultInjectionEnv&) = delete;
+  FaultInjectionEnv& operator=(const FaultInjectionEnv&) = delete;
+
+  // Env interface.
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+  Status SyncFile(WritableFile* file) override;
+
+  // -- Crash simulation ------------------------------------------------
+
+  void Crash();
+  bool crashed() const;
+  // Restores the on-disk state a real power loss would have left behind and
+  // re-enables the env. Only call once the store using it is destroyed.
+  Status DropUnsyncedAndReset();
+  // Whether DropUnsyncedAndReset keeps a random prefix of un-synced bytes
+  // (a torn tail) instead of cutting exactly at the synced length. On.
+  void set_torn_tail_on_crash(bool v);
+
+  // -- Scripted fault points -------------------------------------------
+  // `substr` matches any path containing it; empty matches everything.
+
+  void FailSyncs(int n);
+  void FailAppends(const std::string& substr, int n);
+  // ENOSPC-flavoured append failures ("No space left on device").
+  void NoSpaceAppends(const std::string& substr, int n);
+  // Writes a prefix of the data, then fails: a torn append.
+  void TornAppends(const std::string& substr, int n);
+  void FailReads(const std::string& substr, int n);
+  // Reads succeed but one bit of the result is flipped (caught by CRCs).
+  void CorruptReads(const std::string& substr, int n);
+  void FailRenames(int n);
+  // Every matching read fails with probability p (seeded-deterministic).
+  void RandomReadFaults(const std::string& substr, double p);
+  void ClearFaults();
+
+  uint64_t faults_injected() const;
+
+  // -- Per-file sync-state tracking ------------------------------------
+
+  struct FileState {
+    uint64_t appended = 0;  // bytes written since the file was (re)created
+    uint64_t synced = 0;    // prefix guaranteed to survive a crash
+  };
+  // Snapshot of the tracked write state, keyed by path.
+  std::map<std::string, FileState> TrackedFiles() const;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
+  friend class FaultSequentialFile;
+
+  struct CountedFault {
+    std::string substr;
+    int remaining = 0;  // < 0: unbounded
+    bool Matches(const std::string& fname) const;
+    // Consumes one trigger if armed and matching.
+    bool Fire(const std::string& fname);
+  };
+
+  // Called by the file wrappers (all take mu_).
+  Status RegisterAppend(const std::string& fname, uint64_t len,
+                        uint64_t* allowed_prefix);
+  void NoteAppended(const std::string& fname, uint64_t len);
+  Status RegisterSync(const std::string& fname);
+  void MarkSynced(const std::string& fname);
+  Status CheckRead(const std::string& fname, bool* flip_bit);
+  void FlipBit(Slice* result);
+
+  Env* const base_;
+  mutable std::mutex mu_;
+  bool crashed_ = false;
+  bool torn_tail_on_crash_ = true;
+  Random rng_;
+  uint64_t faults_injected_ = 0;
+  std::map<std::string, FileState> files_;
+
+  CountedFault fail_appends_;
+  CountedFault nospace_appends_;
+  CountedFault torn_appends_;
+  CountedFault fail_reads_;
+  CountedFault corrupt_reads_;
+  CountedFault fail_syncs_;
+  CountedFault fail_renames_;
+  std::string random_read_substr_;
+  double random_read_prob_ = 0.0;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_FAULT_ENV_H_

@@ -16,23 +16,53 @@ Status LogWriter::AddRecord(const Slice& payload) {
 }
 
 bool LogReader::ReadRecord(Slice* record, std::string* scratch) {
+  if (end_ != End::kNone) return false;
+
   char header[8];
   Slice h;
   Status s = src_->Read(8, &h, header);
-  if (!s.ok() || h.size() < 8) return false;
+  if (!s.ok()) {
+    end_ = End::kReadError;
+    status_ = s;
+    return false;
+  }
+  if (h.size() == 0) {
+    end_ = End::kEof;
+    return false;
+  }
+  if (h.size() < 8) {
+    end_ = End::kTornTail;  // crash mid-header
+    return false;
+  }
 
   const uint32_t expected_crc = DecodeFixed32(h.data());
   const uint32_t length = DecodeFixed32(h.data() + 4);
   // Sanity cap: a single batch never exceeds 1 GiB; larger means corruption.
-  if (length > (1u << 30)) return false;
+  if (length > (1u << 30)) {
+    end_ = End::kBadRecord;
+    return false;
+  }
 
   scratch->resize(length);
   Slice payload;
   s = src_->Read(length, &payload, scratch->data());
-  if (!s.ok() || payload.size() < length) return false;
+  if (!s.ok()) {
+    end_ = End::kReadError;
+    status_ = s;
+    return false;
+  }
+  if (payload.size() < length) {
+    end_ = End::kTornTail;  // crash mid-payload
+    return false;
+  }
 
-  if (Crc32c(payload.data(), payload.size()) != expected_crc) return false;
+  if (Crc32c(payload.data(), payload.size()) != expected_crc) {
+    end_ = End::kBadRecord;
+    return false;
+  }
 
+  bytes_consumed_ += 8 + length;
+  records_read_++;
   *record = Slice(scratch->data(), length);
   return true;
 }

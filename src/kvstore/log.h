@@ -32,15 +32,39 @@ class LogWriter {
 
 class LogReader {
  public:
+  // Why ReadRecord stopped returning records. A torn tail (truncated header
+  // or payload, i.e. a crash mid-write) is expected and tolerated; a bad
+  // record (checksum mismatch, implausible length) in the middle of the log
+  // means the data after it is suspect and recovery may want to refuse.
+  enum class End {
+    kNone,       // still reading records
+    kEof,        // clean end of log
+    kTornTail,   // truncated final record
+    kBadRecord,  // CRC mismatch or implausible length: corruption
+    kReadError,  // the underlying file read failed (see status())
+  };
+
   explicit LogReader(std::unique_ptr<SequentialFile> src)
       : src_(std::move(src)) {}
 
   // Reads the next record into *record (backed by *scratch). Returns false
-  // at end-of-log or on a torn/corrupt tail record.
+  // once the log ends for any reason; end() reports which.
   bool ReadRecord(Slice* record, std::string* scratch);
+
+  End end() const { return end_; }
+  // Only meaningful for kReadError.
+  Status status() const { return status_; }
+  // Offset just past the last good record: everything before it was
+  // returned, everything at or after it was dropped.
+  uint64_t bytes_consumed() const { return bytes_consumed_; }
+  uint64_t records_read() const { return records_read_; }
 
  private:
   std::unique_ptr<SequentialFile> src_;
+  End end_ = End::kNone;
+  Status status_;
+  uint64_t bytes_consumed_ = 0;
+  uint64_t records_read_ = 0;
 };
 
 }  // namespace tman::kv

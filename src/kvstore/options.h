@@ -71,6 +71,13 @@ struct Options {
 
   bool create_if_missing = true;
 
+  // If true, WAL recovery refuses to open when it hits a corrupt record in
+  // the middle of the log (bad checksum, implausible length) and surfaces
+  // Corruption instead. A torn tail — a truncated final record from a crash
+  // mid-write — is tolerated in both modes; only the un-acknowledged tail
+  // bytes are dropped and counted in DB::Stats.
+  bool paranoid_checks = false;
+
   Env* env = nullptr;  // defaults to Env::Default()
 
   // Metrics registry the DB records into (tman_kv_* latency histograms and

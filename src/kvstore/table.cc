@@ -240,6 +240,46 @@ Status Table::ReadBlock(const BlockHandle& handle, bool fill_cache,
   return Status::OK();
 }
 
+Status Table::VerifyChecksums(uint64_t* blocks_checked) const {
+  uint64_t checked = 0;
+  Status result;
+  std::unique_ptr<Iterator> index_iter(index_block_->NewIterator(&icmp_));
+  for (index_iter->SeekToFirst(); index_iter->Valid(); index_iter->Next()) {
+    Slice handle_value = index_iter->value();
+    BlockHandle handle;
+    if (!handle.DecodeFrom(&handle_value)) {
+      result = Status::Corruption("bad block handle in index block");
+      break;
+    }
+    // Direct read, never through the cache: a cached copy proves nothing
+    // about the bytes on disk.
+    std::string contents(handle.size, '\0');
+    Slice input;
+    Status s =
+        file_->Read(handle.offset, handle.size, &input, contents.data());
+    if (s.ok()) {
+      char trailer_space[kBlockTrailerSize];
+      Slice trailer;
+      s = file_->Read(handle.offset + handle.size, kBlockTrailerSize,
+                      &trailer, trailer_space);
+      if (s.ok() &&
+          DecodeFixed32(trailer.data()) !=
+              Crc32c(input.data(), input.size())) {
+        s = Status::Corruption("data block checksum mismatch at offset " +
+                               std::to_string(handle.offset));
+      }
+    }
+    if (!s.ok()) {
+      result = s;
+      break;
+    }
+    checked++;
+  }
+  if (result.ok()) result = index_iter->status();
+  if (blocks_checked != nullptr) *blocks_checked = checked;
+  return result;
+}
+
 std::shared_ptr<Block> Table::CachedBlock(const BlockHandle& handle) const {
   if (cache_ == nullptr) return nullptr;
   return cache_->Lookup(BlockCacheKey(table_id_, handle.offset));

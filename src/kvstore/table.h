@@ -101,6 +101,12 @@ class Table {
   // Whether this table carries a bloom filter at all.
   bool has_filter() const { return !filter_data_.empty(); }
 
+  // Re-reads every data block from disk (bypassing the block cache, which
+  // would mask on-disk damage) and verifies its CRC trailer. *blocks_checked
+  // (may be nullptr) receives the number of blocks read. Returns the first
+  // corruption found.
+  Status VerifyChecksums(uint64_t* blocks_checked) const;
+
  private:
   friend class TableIterator;
 

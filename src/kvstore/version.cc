@@ -191,6 +191,11 @@ Status VersionSet::Recover() {
       !GetVarint64(&input, &wal_number) || !GetVarint32(&input, &num_levels)) {
     return Status::Corruption("bad MANIFEST header");
   }
+  // Sanity caps: the CRC already screens random corruption, but a valid-CRC
+  // record from the wrong file (or a bug) must not drive huge allocations.
+  if (num_levels > 64) {
+    return Status::Corruption("bad MANIFEST level count");
+  }
   next_file_number_.store(next_file, std::memory_order_relaxed);
   last_sequence_ = last_seq;
   wal_number_ = wal_number;
@@ -198,7 +203,7 @@ Status VersionSet::Recover() {
   auto v = std::make_shared<Version>(options_.num_levels);
   for (uint32_t level = 0; level < num_levels; level++) {
     uint32_t count;
-    if (!GetVarint32(&input, &count)) {
+    if (!GetVarint32(&input, &count) || count > (1u << 20)) {
       return Status::Corruption("bad MANIFEST level count");
     }
     for (uint32_t i = 0; i < count; i++) {
@@ -212,6 +217,12 @@ Status VersionSet::Recover() {
       }
       meta->smallest.DecodeFrom(smallest);
       meta->largest.DecodeFrom(largest);
+      if (!env_->FileExists(TableFileName(dbname_, meta->number))) {
+        // The MANIFEST is the commit record: a referenced table that is not
+        // on disk means the directory is damaged, not "empty".
+        return Status::Corruption("MANIFEST references missing table file " +
+                                  TableFileName(dbname_, meta->number));
+      }
       s = OpenTable(meta.get());
       if (!s.ok()) return s;
       if (level < static_cast<uint32_t>(options_.num_levels)) {
@@ -250,6 +261,9 @@ Status VersionSet::WriteSnapshot() {
   if (!s.ok()) return s;
   LogWriter writer(std::move(file));
   s = writer.AddRecord(record);
+  // Sync before the rename publishes it: the renamed MANIFEST must never be
+  // shorter than what its tables and WAL deletions assume.
+  if (s.ok()) s = writer.file()->Sync();
   if (s.ok()) s = writer.Close();
   if (s.ok()) s = env_->RenameFile(tmp, ManifestFileName(dbname_));
   return s;
