@@ -1,17 +1,28 @@
-// Sustained-ingest benchmark for the background flush/compaction pipeline.
+// Sustained-ingest benchmark for the background flush/compaction pipeline
+// and the multicore write path.
 //
-// Streams BatchPut batches into a 4-shard cluster table twice: once with
-// the legacy synchronous write path (flush + compaction inline in the
-// writing thread) and once with the asynchronous pipeline (group-commit
-// WAL, background flush/compaction, write backpressure). Reports sustained
-// throughput and per-batch latency percentiles, and writes the comparison
-// to BENCH_ingest.json for machine consumption.
+// Section 1 streams BatchPut batches into a 4-shard cluster table twice:
+// once with the legacy synchronous write path (flush + compaction inline
+// in the writing thread) and once with the asynchronous pipeline
+// (group-commit WAL, background flush/compaction, write backpressure).
+//
+// Section 2 hammers a single kv::DB with N client threads issuing
+// WriteBatch writes, with the parallel group-commit memtable apply
+// (Options::allow_concurrent_memtable_write) on and off, and reports the
+// per-thread-count scaling. Both sections land in BENCH_ingest.json.
+//
+// Flags:
+//   --threads 1,2,4,8   thread counts for the multicore section
+//   --check             verify row counts by scanning after each run;
+//                       exits nonzero on any mismatch (CI smoke mode)
 //
 // Scale with TMAN_SCALE (default 1).
 
 #include <cinttypes>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,7 +30,10 @@
 #include "bench/bench_util.h"
 #include "cluster/cluster.h"
 #include "common/random.h"
+#include "kvstore/db.h"
 #include "kvstore/options.h"
+#include "kvstore/scan_filter.h"
+#include "kvstore/write_batch.h"
 #include "obs/metrics.h"
 
 namespace tman::bench {
@@ -100,11 +114,141 @@ IngestResult RunIngest(bool background, int batches, int rows_per_batch,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Multicore write scaling: N client threads -> one kv::DB.
+
+struct MulticoreResult {
+  int threads = 0;
+  bool concurrent = false;
+  double seconds = 0;
+  double rows_per_sec = 0;
+  uint64_t apply_groups = 0;
+  uint64_t apply_batches = 0;
+};
+
+class CountingSink : public kv::RowSink {
+ public:
+  bool Accept(const Slice& key, const Slice& value) override {
+    (void)key;
+    (void)value;
+    rows++;
+    return true;
+  }
+  uint64_t rows = 0;
+};
+
+// Each of `threads` client threads writes `total_rows / threads` rows in
+// WriteBatch chunks of `rows_per_batch` into one DB (disjoint per-thread
+// key ranges, 100-byte values). Returns sustained throughput including the
+// final drain. With `check`, scans the DB afterwards and verifies the row
+// count; a mismatch aborts the benchmark with a nonzero exit.
+MulticoreResult RunMulticore(int threads, bool concurrent, int total_rows,
+                             int rows_per_batch, bool check) {
+  const std::string dir =
+      BenchDir("ingest_mc_" + std::to_string(threads) +
+               (concurrent ? "_conc" : "_serial"));
+  kv::Options options;
+  options.write_buffer_size = 4 * 1024 * 1024;
+  options.allow_concurrent_memtable_write = concurrent;
+  std::unique_ptr<kv::DB> db;
+  Status s = kv::DB::Open(options, dir, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    exit(1);
+  }
+
+  const int per_thread = total_rows / threads;
+  const std::string value(100, 'v');
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      kv::WriteOptions wo;
+      for (int i = 0; i < per_thread; i += rows_per_batch) {
+        kv::WriteBatch batch;
+        for (int j = i; j < i + rows_per_batch && j < per_thread; j++) {
+          char key[32];
+          snprintf(key, sizeof(key), "t%02d-%08d", t, j);
+          batch.Put(key, value);
+        }
+        Status ws = db->Write(wo, &batch);
+        if (!ws.ok()) {
+          fprintf(stderr, "write: %s\n", ws.ToString().c_str());
+          exit(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  s = db->Flush();
+  if (!s.ok()) {
+    fprintf(stderr, "flush: %s\n", s.ToString().c_str());
+    exit(1);
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  MulticoreResult result;
+  result.threads = threads;
+  result.concurrent = concurrent;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.rows_per_sec =
+      static_cast<double>(per_thread) * threads / result.seconds;
+  kv::DB::Stats stats = db->GetStats();
+  result.apply_groups = stats.concurrent_apply_groups;
+  result.apply_batches = stats.concurrent_apply_batches;
+
+  if (check) {
+    CountingSink sink;
+    s = db->Scan(kv::ReadOptions(), "", "\xff", nullptr, 0, &sink, nullptr);
+    const uint64_t expected = static_cast<uint64_t>(per_thread) * threads;
+    if (!s.ok() || sink.rows != expected) {
+      fprintf(stderr,
+              "CHECK FAILED: threads=%d concurrent=%d expected %" PRIu64
+              " rows, scanned %" PRIu64 " (%s)\n",
+              threads, concurrent, expected, sink.rows,
+              s.ToString().c_str());
+      exit(1);
+    }
+  }
+  return result;
+}
+
+std::vector<int> ParseThreadList(const char* arg) {
+  std::vector<int> out;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* next = nullptr;
+    const long v = strtol(p, &next, 10);
+    if (next == p) break;
+    if (v >= 1 && v <= 64) out.push_back(static_cast<int>(v));
+    p = (*next == ',') ? next + 1 : next;
+  }
+  if (out.empty()) out = {1, 2, 4, 8};
+  return out;
+}
+
 }  // namespace
 }  // namespace tman::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tman::bench;
+
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  bool check = false;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts = ParseThreadList(argv[++i]);
+    } else if (strncmp(argv[i], "--threads=", 10) == 0) {
+      thread_counts = ParseThreadList(argv[i] + 10);
+    } else if (strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      fprintf(stderr, "usage: %s [--threads 1,2,4,8] [--check]\n", argv[0]);
+      return 2;
+    }
+  }
 
   const int batches = 400 * Scale();
   const int rows_per_batch = 250;
@@ -152,6 +296,42 @@ int main() {
            "bounded here; the tail-latency bound remains.\n");
   }
 
+  // Section 2: multicore write scaling against one DB.
+  const int mc_rows = 100000 * Scale();
+  const int mc_rows_per_batch = 64;
+  printf("\nMulticore write scaling: %d rows total, %d-row batches, "
+         "one DB (%u core%s)\n\n",
+         mc_rows, mc_rows_per_batch, cores, cores == 1 ? "" : "s");
+  PrintHeader({"threads", "serial rows/s", "conc rows/s", "conc/serial",
+               "vs 1 thread", "groups", "batches"});
+  std::vector<MulticoreResult> mc_serial, mc_conc;
+  double conc_1t = 0;
+  for (int n : thread_counts) {
+    MulticoreResult serial =
+        RunMulticore(n, false, mc_rows, mc_rows_per_batch, check);
+    MulticoreResult conc =
+        RunMulticore(n, true, mc_rows, mc_rows_per_batch, check);
+    if (conc_1t == 0) conc_1t = conc.rows_per_sec;
+    mc_serial.push_back(serial);
+    mc_conc.push_back(conc);
+    PrintCell(static_cast<double>(n));
+    PrintCell(serial.rows_per_sec);
+    PrintCell(conc.rows_per_sec);
+    PrintCell(conc.rows_per_sec / serial.rows_per_sec);
+    PrintCell(conc.rows_per_sec / conc_1t);
+    PrintCell(static_cast<double>(conc.apply_groups));
+    PrintCell(static_cast<double>(conc.apply_batches));
+    EndRow();
+  }
+  if (cores <= 1) {
+    printf("\nnote: single-CPU host -- parallel memtable appliers "
+           "timeslice one core,\nso multicore scaling cannot materialize "
+           "here; rerun on a multicore host.\n");
+  }
+  if (check) {
+    printf("check: all multicore row counts verified by scan\n");
+  }
+
   FILE* json = fopen("BENCH_ingest.json", "w");
   if (json != nullptr) {
     fprintf(json,
@@ -182,8 +362,7 @@ int main() {
             "  },\n"
             "  \"throughput_speedup\": %.3f,\n"
             "  \"p99_ratio_sync_over_pipelined\": %.3f,\n"
-            "  \"max_latency_ratio_sync_over_pipelined\": %.3f\n"
-            "}\n",
+            "  \"max_latency_ratio_sync_over_pipelined\": %.3f,\n",
             cores, batches, rows_per_batch, sync.rows_per_sec, sync.p50_ms,
             sync.p99_ms, sync.p999_ms, sync.max_ms, sync.storage.flush_count,
             sync.storage.compaction_count,
@@ -194,6 +373,35 @@ int main() {
             static_cast<double>(pipelined.storage.stall_micros) / 1000.0,
             speedup, sync.p99_ms / pipelined.p99_ms,
             sync.max_ms / pipelined.max_ms);
+    // Multicore scaling rows: serial = allow_concurrent_memtable_write
+    // off, concurrent = on; speedups are relative to the 1-thread
+    // concurrent run on this host (cpu_cores above qualifies them).
+    fprintf(json,
+            "  \"multicore\": {\n"
+            "    \"rows\": %d,\n"
+            "    \"rows_per_batch\": %d,\n"
+            "    \"checked\": %s,\n"
+            "    \"runs\": [\n",
+            mc_rows, mc_rows_per_batch, check ? "true" : "false");
+    for (size_t i = 0; i < mc_conc.size(); i++) {
+      fprintf(json,
+              "      {\"threads\": %d, \"serial_rows_per_sec\": %.1f, "
+              "\"concurrent_rows_per_sec\": %.1f, "
+              "\"concurrent_over_serial\": %.3f, "
+              "\"speedup_vs_1thread\": %.3f, "
+              "\"apply_groups\": %" PRIu64 ", \"apply_batches\": %" PRIu64
+              "}%s\n",
+              mc_conc[i].threads, mc_serial[i].rows_per_sec,
+              mc_conc[i].rows_per_sec,
+              mc_conc[i].rows_per_sec / mc_serial[i].rows_per_sec,
+              mc_conc[i].rows_per_sec / conc_1t, mc_conc[i].apply_groups,
+              mc_conc[i].apply_batches,
+              i + 1 < mc_conc.size() ? "," : "");
+    }
+    fprintf(json,
+            "    ]\n"
+            "  }\n"
+            "}\n");
     fclose(json);
     printf("wrote BENCH_ingest.json\n");
   }

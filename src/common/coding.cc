@@ -28,6 +28,21 @@ uint64_t DecodeFixed64(const char* ptr) {
   return result;
 }
 
+char* EncodeFixed64To(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+  return dst + sizeof(value);
+}
+
+char* EncodeVarint32To(char* dst, uint32_t value) {
+  unsigned char* p = reinterpret_cast<unsigned char*>(dst);
+  while (value >= 0x80) {
+    *p++ = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  *p++ = static_cast<unsigned char>(value);
+  return reinterpret_cast<char*>(p);
+}
+
 void PutBigEndian32(std::string* dst, uint32_t value) {
   char buf[4];
   buf[0] = static_cast<char>(value >> 24);

@@ -17,6 +17,12 @@ void PutFixed64(std::string* dst, uint64_t value);
 uint32_t DecodeFixed32(const char* ptr);
 uint64_t DecodeFixed64(const char* ptr);
 
+// Raw-buffer variants (no std::string append) for pre-sized encodes on hot
+// paths. The caller guarantees room; both return the pointer past the
+// encoded value.
+char* EncodeFixed64To(char* dst, uint64_t value);
+char* EncodeVarint32To(char* dst, uint32_t value);
+
 // Big-endian order-preserving encodings for rowkeys.
 void PutBigEndian32(std::string* dst, uint32_t value);
 void PutBigEndian64(std::string* dst, uint64_t value);

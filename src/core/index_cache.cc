@@ -31,7 +31,7 @@ std::shared_ptr<const ElementShapes> IndexCache::GetElement(
     return cached;
   }
   // Miss: load the element's tuples from Redis.
-  redis_loads_++;
+  redis_loads_.fetch_add(1, std::memory_order_relaxed);
   if (ext_redis_loads_ != nullptr) ext_redis_loads_->Inc();
   auto shapes = std::make_shared<ElementShapes>();
   for (const auto& [field, value] : redis_->HGetAll(RedisKey(quad_code))) {
@@ -88,33 +88,40 @@ index::ShapeLookup IndexCache::AsLookup() {
 }
 
 size_t BufferShapeCache::Add(uint64_t quad_code, uint32_t bits) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& shapes = buffered_[quad_code];
+  Stripe& stripe = StripeFor(quad_code);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto& shapes = stripe.buffered[quad_code];
   if (std::find(shapes.begin(), shapes.end(), bits) == shapes.end()) {
     shapes.push_back(bits);
-    count_++;
+    return count_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
-  return count_;
+  return count_.load(std::memory_order_relaxed);
 }
 
 bool BufferShapeCache::Contains(uint64_t quad_code, uint32_t bits) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = buffered_.find(quad_code);
-  if (it == buffered_.end()) return false;
+  const Stripe& stripe = StripeFor(quad_code);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.buffered.find(quad_code);
+  if (it == stripe.buffered.end()) return false;
   return std::find(it->second.begin(), it->second.end(), bits) !=
          it->second.end();
 }
 
 std::vector<std::pair<uint64_t, std::vector<uint32_t>>>
 BufferShapeCache::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::pair<uint64_t, std::vector<uint32_t>>> result;
-  result.reserve(buffered_.size());
-  for (auto& [code, shapes] : buffered_) {
-    result.emplace_back(code, std::move(shapes));
+  // Lock all stripes in index order for a consistent cross-stripe snapshot.
+  std::array<std::unique_lock<std::mutex>, kNumStripes> locks;
+  for (size_t i = 0; i < kNumStripes; i++) {
+    locks[i] = std::unique_lock<std::mutex>(stripes_[i].mu);
   }
-  buffered_.clear();
-  count_ = 0;
+  std::vector<std::pair<uint64_t, std::vector<uint32_t>>> result;
+  for (auto& stripe : stripes_) {
+    for (auto& [code, shapes] : stripe.buffered) {
+      result.emplace_back(code, std::move(shapes));
+    }
+    stripe.buffered.clear();
+  }
+  count_.store(0, std::memory_order_relaxed);
   return result;
 }
 

@@ -1,6 +1,8 @@
 #ifndef TMAN_CORE_INDEX_CACHE_H_
 #define TMAN_CORE_INDEX_CACHE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -60,20 +62,28 @@ class IndexCache {
 
   uint64_t lfu_hits() const { return lfu_.hits(); }
   uint64_t lfu_misses() const { return lfu_.misses(); }
-  uint64_t redis_loads() const { return redis_loads_; }
+  uint64_t redis_loads() const {
+    return redis_loads_.load(std::memory_order_relaxed);
+  }
 
  private:
   static std::string RedisKey(uint64_t quad_code);
 
   cache::RedisLikeStore* redis_;
   cache::LFUCache<uint64_t, std::shared_ptr<const ElementShapes>> lfu_;
-  uint64_t redis_loads_ = 0;
+  std::atomic<uint64_t> redis_loads_{0};
   obs::Counter* ext_redis_loads_ = nullptr;
 };
 
 // Buffer shape cache (paper §IV-C): holds shapes first seen after the last
 // re-encode, keyed by element. When the total buffered shape count crosses
 // the threshold, the storage layer triggers a re-encode.
+//
+// Striped 16 ways by element so concurrent ingest threads registering
+// shapes for different elements do not serialize on one mutex. The global
+// buffered-shape count is a relaxed atomic; Drain locks every stripe (in
+// index order, so concurrent Drains cannot deadlock) to take a consistent
+// snapshot.
 class BufferShapeCache {
  public:
   // Records (element, bits); returns the number of buffered shapes.
@@ -84,12 +94,25 @@ class BufferShapeCache {
   // Elements with buffered shapes and those shapes.
   std::vector<std::pair<uint64_t, std::vector<uint32_t>>> Drain();
 
-  size_t size() const { return count_; }
+  size_t size() const { return count_.load(std::memory_order_relaxed); }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> buffered_;
-  size_t count_ = 0;
+  static constexpr size_t kNumStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buffered;
+  };
+
+  Stripe& StripeFor(uint64_t quad_code) {
+    return stripes_[quad_code % kNumStripes];
+  }
+  const Stripe& StripeFor(uint64_t quad_code) const {
+    return stripes_[quad_code % kNumStripes];
+  }
+
+  std::array<Stripe, kNumStripes> stripes_;
+  std::atomic<size_t> count_{0};
 };
 
 }  // namespace tman::core

@@ -25,7 +25,7 @@ MemTable::MemTable(const InternalKeyComparator& cmp)
     : comparator_{cmp}, table_(comparator_, &arena_) {}
 
 void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key,
-                   const Slice& value) {
+                   const Slice& value, bool concurrent) {
   const size_t key_size = key.size();
   const size_t val_size = value.size();
   const size_t internal_key_size = key_size + 8;
@@ -34,16 +34,21 @@ void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key,
                              val_size;
   char* buf = arena_.Allocate(encoded_len);
 
-  std::string tmp;
-  tmp.reserve(encoded_len);
-  PutVarint32(&tmp, static_cast<uint32_t>(internal_key_size));
-  tmp.append(key.data(), key_size);
-  PutFixed64(&tmp, PackSequenceAndType(seq, type));
-  PutVarint32(&tmp, static_cast<uint32_t>(val_size));
-  tmp.append(value.data(), val_size);
-  memcpy(buf, tmp.data(), encoded_len);
+  // Encode in place; the record becomes visible only once the skiplist
+  // insert publishes `buf`.
+  char* p = EncodeVarint32To(buf, static_cast<uint32_t>(internal_key_size));
+  memcpy(p, key.data(), key_size);
+  p += key_size;
+  p = EncodeFixed64To(p, PackSequenceAndType(seq, type));
+  p = EncodeVarint32To(p, static_cast<uint32_t>(val_size));
+  memcpy(p, value.data(), val_size);
+  assert(p + val_size == buf + encoded_len);
 
-  table_.Insert(buf);
+  if (concurrent) {
+    table_.InsertConcurrently(buf);
+  } else {
+    table_.Insert(buf);
+  }
   num_entries_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -80,7 +85,8 @@ namespace {
 class MemTableIterator final : public Iterator {
  public:
   explicit MemTableIterator(
-      const SkipList<const char*, MemTable::KeyComparator>* table)
+      const SkipList<const char*, MemTable::KeyComparator, ConcurrentArena>*
+          table)
       : iter_(table) {}
 
   bool Valid() const override { return iter_.Valid(); }
@@ -107,7 +113,8 @@ class MemTableIterator final : public Iterator {
   Status status() const override { return Status::OK(); }
 
  private:
-  SkipList<const char*, MemTable::KeyComparator>::Iterator iter_;
+  SkipList<const char*, MemTable::KeyComparator, ConcurrentArena>::Iterator
+      iter_;
   std::string tmp_;
 };
 

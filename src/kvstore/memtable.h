@@ -17,6 +17,14 @@ namespace tman::kv {
 // In-memory sorted write buffer. Entries live in an arena; the table is a
 // skiplist over encoded records:
 //   varint32 internal_key_len | internal_key | varint32 value_len | value
+//
+// Concurrency: readers (Get/NewIterator/ApproximateMemoryUsage) are always
+// safe against in-flight writers. Writers are either exclusive (the default
+// Add, used by the group-commit leader and WAL replay) or concurrent
+// (Add(..., /*concurrent=*/true), used by parallel group-commit appliers):
+// concurrent adds go through the CAS-based skiplist insert and the striped
+// arena, so any number may run at once — but must not overlap an exclusive
+// Add.
 class MemTable {
  public:
   explicit MemTable(const InternalKeyComparator& cmp);
@@ -25,7 +33,7 @@ class MemTable {
   MemTable& operator=(const MemTable&) = delete;
 
   void Add(SequenceNumber seq, ValueType type, const Slice& key,
-           const Slice& value);
+           const Slice& value, bool concurrent = false);
 
   // If the memtable holds a value for key, sets *value and returns true.
   // If it holds a deletion, sets *s to NotFound and returns true.
@@ -36,7 +44,7 @@ class MemTable {
 
   size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
 
-  // Safe to read while the (single) writer inserts; monotonically grows.
+  // Safe to read while writers insert; monotonically grows.
   uint64_t num_entries() const {
     return num_entries_.load(std::memory_order_relaxed);
   }
@@ -49,10 +57,10 @@ class MemTable {
   };
 
  private:
-  using Table = SkipList<const char*, KeyComparator>;
+  using Table = SkipList<const char*, KeyComparator, ConcurrentArena>;
 
   KeyComparator comparator_;
-  Arena arena_;
+  ConcurrentArena arena_;
   Table table_;
   std::atomic<uint64_t> num_entries_{0};
 };

@@ -54,6 +54,17 @@ struct Options {
   // private single worker thread. Ignored when background_flush is false.
   tman::ThreadPool* background_pool = nullptr;
 
+  // If true (default), a group-commit leader that folded several queued
+  // writers into one WAL record wakes those writers after the record lands
+  // and lets each apply its own batch into the memtable in parallel
+  // (CAS-based concurrent skiplist insert), instead of replaying the whole
+  // group single-threaded. Sequence sub-ranges are pre-assigned so the
+  // result is byte-identical to the serial apply; the leader still owns WAL
+  // append + fsync ordering and publishes the group's visibility only after
+  // every applier finishes. If false, the leader applies the folded batch
+  // alone (the legacy single-writer memtable path).
+  bool allow_concurrent_memtable_write = true;
+
   // Number of levels (L0..Lmax-1).
   int num_levels = 7;
 
