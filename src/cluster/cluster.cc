@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "kvstore/sst_file_writer.h"
 #include "kvstore/write_batch.h"
 
 namespace tman::cluster {
@@ -99,6 +100,11 @@ Status ClusterTable::Get(const Slice& key, std::string* value) {
 }
 
 Status ClusterTable::BatchPut(const std::vector<Row>& rows) {
+  return BatchPut(rows, kv::WriteOptions());
+}
+
+Status ClusterTable::BatchPut(const std::vector<Row>& rows,
+                              const kv::WriteOptions& wo) {
   std::vector<kv::WriteBatch> batches(regions_.size());
   for (const Row& row : rows) {
     batches[ShardOf(row.key) % num_shards()].Put(row.key, row.value);
@@ -106,8 +112,55 @@ Status ClusterTable::BatchPut(const std::vector<Row>& rows) {
   std::vector<std::future<Status>> futures;
   for (size_t i = 0; i < regions_.size(); i++) {
     if (batches[i].Count() == 0) continue;
-    futures.push_back(pool_->Submit([this, i, &batches] {
-      return regions_[i]->db()->Write(kv::WriteOptions(), &batches[i]);
+    futures.push_back(pool_->Submit([this, i, wo, &batches] {
+      return regions_[i]->db()->Write(wo, &batches[i]);
+    }));
+  }
+  Status result;
+  for (auto& f : futures) {
+    Status s = f.get();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  return result;
+}
+
+Status ClusterTable::BulkLoad(const std::vector<Row>& rows) {
+  if (rows.empty()) return Status::OK();
+  std::vector<std::vector<const Row*>> by_region(regions_.size());
+  for (const Row& row : rows) {
+    by_region[ShardOf(row.key) % num_shards()].push_back(&row);
+  }
+  std::vector<std::future<Status>> futures;
+  for (size_t i = 0; i < regions_.size(); i++) {
+    if (by_region[i].empty()) continue;
+    futures.push_back(pool_->Submit([this, i, &by_region] {
+      std::vector<const Row*>& group = by_region[i];
+      std::sort(group.begin(), group.end(), [](const Row* a, const Row* b) {
+        return a->key < b->key;
+      });
+      kv::DB* db = regions_[i]->db();
+      // Build inside the region directory under a .tmp name: invisible to
+      // the store's GC while live, swept by Recover after a crash.
+      const std::string path =
+          db->name() + "/bulk-" +
+          std::to_string(bulk_seq_.fetch_add(1, std::memory_order_relaxed)) +
+          ".tmp";
+      kv::SstFileWriter writer(db->options());
+      Status s = writer.Open(path);
+      for (size_t j = 0; s.ok() && j < group.size(); j++) {
+        s = writer.Put(group[j]->key, group[j]->value);
+      }
+      kv::ExternalSstFileInfo info;
+      if (s.ok()) s = writer.Finish(&info);
+      if (s.ok()) {
+        kv::DB::IngestOptions io;
+        io.move_file = true;
+        s = db->IngestExternalFile(io, path);
+      }
+      if (!s.ok() && db->options().env != nullptr) {
+        db->options().env->RemoveFile(path);  // best effort
+      }
+      return s;
     }));
   }
   Status result;
@@ -557,6 +610,10 @@ kv::DB::Stats ClusterTable::GetStorageStats() {
     total.stall_count += s.stall_count;
     total.stall_micros += s.stall_micros;
     total.wal_syncs += s.wal_syncs;
+    total.compaction_filter_dropped += s.compaction_filter_dropped;
+    total.compaction_filter_tombstoned += s.compaction_filter_tombstoned;
+    total.files_ingested += s.files_ingested;
+    total.rows_ingested += s.rows_ingested;
   }
   return total;
 }
@@ -588,10 +645,15 @@ Cluster::Cluster(std::string base_dir, int num_servers, kv::Options options)
   std::filesystem::create_directories(base_dir_);
 }
 
-Status Cluster::CreateTable(const std::string& name, int num_shards) {
+Status Cluster::CreateTable(const std::string& name, int num_shards,
+                            const kv::Options* options_override) {
   std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(name) > 0) {
     return Status::InvalidArgument("table exists: " + name);
+  }
+  kv::Options opt = options_override != nullptr ? *options_override : options_;
+  if (opt.background_flush && opt.background_pool == nullptr) {
+    opt.background_pool = &bg_pool_;  // same wiring as the cluster defaults
   }
   const std::string table_dir = base_dir_ + "/" + name;
   std::filesystem::create_directories(table_dir);
@@ -599,14 +661,14 @@ Status Cluster::CreateTable(const std::string& name, int num_shards) {
   regions.reserve(num_shards);
   for (int i = 0; i < num_shards; i++) {
     std::unique_ptr<kv::DB> db;
-    Status s = kv::DB::Open(options_, table_dir + "/shard" + std::to_string(i),
+    Status s = kv::DB::Open(opt, table_dir + "/shard" + std::to_string(i),
                             &db);
     if (!s.ok()) return s;
     regions.push_back(
         std::make_unique<Region>(static_cast<uint8_t>(i), std::move(db)));
   }
   tables_[name] = std::make_unique<ClusterTable>(name, std::move(regions),
-                                                 &pool_, options_.metrics);
+                                                 &pool_, opt.metrics);
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef TMAN_CLUSTER_CLUSTER_H_
 #define TMAN_CLUSTER_CLUSTER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -109,6 +110,22 @@ class ClusterTable {
   // compaction latency moves off this path onto the maintenance pool.
   Status BatchPut(const std::vector<Row>& rows);
 
+  // As above, with caller-chosen write options (e.g. wo.sync=true to fsync
+  // each region's WAL append before the batch is acknowledged — the
+  // durability level a crash-safe online backfill needs).
+  Status BatchPut(const std::vector<Row>& rows, const kv::WriteOptions& wo);
+
+  // Offline backfill: groups `rows` by shard, sorts each group, builds one
+  // SSTable per region with kv::SstFileWriter and installs it directly into
+  // the region store via DB::IngestExternalFile (move, not copy) — no WAL,
+  // no memtable, no compaction debt. Regions load in parallel on the
+  // cluster pool. Constraints inherited from ingestion: row keys must be
+  // unique and each region group's key range must not overlap live keys in
+  // that region (backfill disjoint ranges, e.g. historical days). On a
+  // per-region failure the remaining regions still load; the first error is
+  // returned.
+  Status BulkLoad(const std::vector<Row>& rows);
+
   // Scans all `ranges` in parallel with the filter pushed down to the
   // regions. Results are concatenated (callers needing global key order
   // sort afterwards). limit==0 means unlimited; a non-zero limit applies
@@ -179,6 +196,7 @@ class ClusterTable {
   std::vector<std::unique_ptr<Region>> regions_;
   ThreadPool* pool_;
   RetryPolicy retry_;
+  std::atomic<uint64_t> bulk_seq_{0};  // unique names for bulk-load temps
 
   // Registry handles (all null = metrics off).
   obs::Counter* scans_ = nullptr;
@@ -205,7 +223,13 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  Status CreateTable(const std::string& name, int num_shards);
+  // Creates a table of `num_shards` regions. `options_override` (borrowed
+  // for the call) replaces the cluster-wide kv::Options for this table's
+  // region stores — e.g. a per-table compaction filter or compression
+  // choice; the cluster's maintenance pool is still wired in when the
+  // override leaves background_pool unset.
+  Status CreateTable(const std::string& name, int num_shards,
+                     const kv::Options* options_override = nullptr);
   Status DropTable(const std::string& name);
   ClusterTable* GetTable(const std::string& name);
 

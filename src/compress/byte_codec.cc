@@ -1,0 +1,107 @@
+#include "compress/byte_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace tman::compress {
+
+namespace {
+
+// 2^13 slots is plenty for block-sized inputs (4-64 KiB); each slot holds
+// the most recent position whose 4-byte prefix hashed there.
+constexpr uint32_t kHashBits = 13;
+constexpr uint32_t kHashSize = 1u << kHashBits;
+
+inline uint32_t HashFour(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline void PutLiteralRun(const char* data, size_t begin, size_t end,
+                          std::string* out) {
+  while (begin < end) {
+    const size_t len = end - begin;
+    PutVarint32(out, static_cast<uint32_t>(len) << 1);
+    out->append(data + begin, len);
+    begin = end;
+  }
+}
+
+}  // namespace
+
+void ByteLzEncode(const char* data, size_t n, std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(n));
+  if (n == 0) return;
+
+  uint32_t table[kHashSize];
+  for (uint32_t& slot : table) slot = UINT32_MAX;
+
+  size_t pos = 0;
+  size_t literal_start = 0;
+  // Stop probing once fewer than kMinMatch bytes remain.
+  const size_t match_limit = n >= kByteLzMinMatch ? n - kByteLzMinMatch + 1 : 0;
+  while (pos < match_limit) {
+    const uint32_t h = HashFour(data + pos);
+    const uint32_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (candidate != UINT32_MAX &&
+        std::memcmp(data + candidate, data + pos, kByteLzMinMatch) == 0) {
+      size_t len = kByteLzMinMatch;
+      while (pos + len < n && data[candidate + len] == data[pos + len]) len++;
+      PutLiteralRun(data, literal_start, pos, out);
+      PutVarint32(out, (static_cast<uint32_t>(len) << 1) | 1);
+      PutVarint32(out, static_cast<uint32_t>(pos - candidate));
+      // Seed the table across the match so later data can reference it.
+      const size_t seed_end = std::min(pos + len, match_limit);
+      for (size_t i = pos + 1; i < seed_end; i++) {
+        table[HashFour(data + i)] = static_cast<uint32_t>(i);
+      }
+      pos += len;
+      literal_start = pos;
+    } else {
+      pos++;
+    }
+  }
+  PutLiteralRun(data, literal_start, n, out);
+}
+
+bool ByteLzDecode(const char* data, size_t n, std::string* out) {
+  const char* p = data;
+  const char* limit = data + n;
+  uint32_t raw_size = 0;
+  p = GetVarint32Ptr(p, limit, &raw_size);
+  if (p == nullptr) return false;
+
+  const size_t base = out->size();
+  out->reserve(base + raw_size);
+  while (p < limit) {
+    uint32_t tag = 0;
+    p = GetVarint32Ptr(p, limit, &tag);
+    if (p == nullptr) return false;
+    const size_t len = tag >> 1;
+    if (len == 0) return false;
+    if (out->size() - base + len > raw_size) return false;
+    if ((tag & 1) == 0) {
+      if (static_cast<size_t>(limit - p) < len) return false;
+      out->append(p, len);
+      p += len;
+    } else {
+      if (len < kByteLzMinMatch) return false;
+      uint32_t distance = 0;
+      p = GetVarint32Ptr(p, limit, &distance);
+      if (p == nullptr) return false;
+      const size_t produced = out->size() - base;
+      if (distance == 0 || distance > produced) return false;
+      // Overlapping copies are legal (distance < len repeats a pattern), so
+      // copy byte-by-byte from the already-produced output.
+      size_t from = out->size() - distance;
+      for (size_t i = 0; i < len; i++) out->push_back((*out)[from + i]);
+    }
+  }
+  return out->size() - base == raw_size;
+}
+
+}  // namespace tman::compress

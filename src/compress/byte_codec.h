@@ -1,0 +1,32 @@
+#ifndef TMAN_COMPRESS_BYTE_CODEC_H_
+#define TMAN_COMPRESS_BYTE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tman::compress {
+
+// Dependency-free byte-oriented LZ codec used as the generic fallback for
+// SSTable block compression (restart arrays, repeated key prefixes and
+// value headers compress well even when the payload is not point data).
+//
+// Format: varint32 raw_size, then a token stream. Each token is a varint32
+// `tag`; tag&1==0 encodes a literal run of tag>>1 bytes (copied verbatim),
+// tag&1==1 encodes a back-reference of length tag>>1 (>= kMinMatch) whose
+// varint32 distance follows. Greedy matching against a small hash table of
+// 4-byte sequences; blocks are a few KiB so offsets stay tiny.
+
+inline constexpr size_t kByteLzMinMatch = 4;
+
+// Appends the encoded form of data[0,n) to *out.
+void ByteLzEncode(const char* data, size_t n, std::string* out);
+
+// Decodes a ByteLzEncode stream, appending to *out. Returns false on any
+// malformed input (bad varint, distance past start, truncated literal run,
+// or output size mismatch vs the declared raw_size).
+bool ByteLzDecode(const char* data, size_t n, std::string* out);
+
+}  // namespace tman::compress
+
+#endif  // TMAN_COMPRESS_BYTE_CODEC_H_

@@ -2,6 +2,7 @@
 #define TMAN_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/retry.h"
@@ -70,6 +71,17 @@ struct TManOptions {
   // transient region faults (I/O errors, busy stores) heal in place —
   // successful retries surface as QueryStats::retries with degraded=false.
   RetryPolicy region_retry;
+
+  // Retention (TTL) for primary-table rows, enforced by a compaction
+  // filter on the primary table only: a row whose record end time `te` is
+  // older than now - retention_seconds is expired the next time compaction
+  // rewrites it (see core/ttl_filter.h for the exact drop-vs-tombstone
+  // semantics and why secondary tables are exempt). 0 disables retention.
+  int64_t retention_seconds = 0;
+
+  // Test hook: clock used by the TTL filter, seconds since epoch. Null
+  // means the system realtime clock.
+  std::function<int64_t()> retention_clock;
 
   kv::Options kv;
 };

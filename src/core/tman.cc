@@ -84,7 +84,20 @@ Status TMan::Init() {
   }
   cluster_ = std::make_unique<cluster::Cluster>(path_, options_.num_servers,
                                                 options_.kv);
-  Status s = cluster_->CreateTable("primary", options_.num_shards);
+  Status s;
+  if (options_.retention_seconds > 0) {
+    // Retention applies to the primary table only; secondary tables store
+    // primary-key strings as values, which the record decoder must never
+    // be pointed at (see core/ttl_filter.h). The filter outlives the
+    // cluster (member declaration order).
+    ttl_filter_ = std::make_unique<TtlCompactionFilter>(
+        options_.retention_seconds, options_.retention_clock);
+    kv::Options primary_opts = options_.kv;
+    primary_opts.compaction_filter = ttl_filter_.get();
+    s = cluster_->CreateTable("primary", options_.num_shards, &primary_opts);
+  } else {
+    s = cluster_->CreateTable("primary", options_.num_shards);
+  }
   if (!s.ok()) return s;
   s = cluster_->CreateTable("tr_idx", options_.num_shards);
   if (!s.ok()) return s;

@@ -15,6 +15,7 @@
 #include "core/planner.h"
 #include "core/query_stats.h"
 #include "core/record.h"
+#include "core/ttl_filter.h"
 #include "geo/similarity.h"
 #include "index/tr_index.h"
 #include "index/tshape_index.h"
@@ -181,6 +182,10 @@ class TMan {
 
   TManOptions options_;
   std::string path_;
+  // Declared before cluster_ so it is destroyed after it: compaction
+  // threads owned by the cluster's stores may consult the filter until
+  // they join in ~Cluster.
+  std::unique_ptr<TtlCompactionFilter> ttl_filter_;
   std::unique_ptr<cluster::Cluster> cluster_;
   cluster::ClusterTable* primary_ = nullptr;
   cluster::ClusterTable* tr_table_ = nullptr;

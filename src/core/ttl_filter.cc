@@ -1,0 +1,28 @@
+#include "core/ttl_filter.h"
+
+#include <ctime>
+
+#include "core/record.h"
+
+namespace tman::core {
+
+TtlCompactionFilter::TtlCompactionFilter(int64_t retention_seconds,
+                                         Clock clock)
+    : retention_seconds_(retention_seconds), clock_(std::move(clock)) {
+  if (!clock_) {
+    clock_ = [] { return static_cast<int64_t>(std::time(nullptr)); };
+  }
+}
+
+bool TtlCompactionFilter::ShouldDrop(int /*level*/, const Slice& /*user_key*/,
+                                     const Slice& value) const {
+  if (retention_seconds_ <= 0) return false;
+  RecordHeader header;
+  if (!DecodeRecordHeader(value, &header)) return false;
+  const int64_t cutoff = clock_() - retention_seconds_;
+  if (header.te >= cutoff) return false;
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace tman::core

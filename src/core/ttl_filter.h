@@ -1,0 +1,58 @@
+#ifndef TMAN_CORE_TTL_FILTER_H_
+#define TMAN_CORE_TTL_FILTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/slice.h"
+#include "kvstore/compaction_filter.h"
+
+namespace tman::core {
+
+// Retention policy for primary-table trajectory rows: a row whose record
+// end time `te` is older than `now - retention_seconds` is expired during
+// compaction (kv::CompactionFilter semantics: dropped outright when the
+// key is bottommost, rewritten as a tombstone otherwise).
+//
+// Applies ONLY to the primary table. Secondary index tables (tr_idx /
+// idt_idx) store primary-key strings as values, not records, so the filter
+// must never be attached to them; dangling secondary rows left behind by an
+// expired primary row are already tolerated by the executor (a NotFound
+// primary lookup is skipped as "row rewritten concurrently").
+//
+// Values that fail to parse as records are never dropped: expiry must be
+// provably safe, and an undecodable value proves nothing.
+//
+// Thread-safe and stateless apart from the expired counter; `clock` is
+// called once per candidate row from compaction threads and must itself be
+// thread-safe. The default clock reads the system realtime clock.
+class TtlCompactionFilter : public kv::CompactionFilter {
+ public:
+  using Clock = std::function<int64_t()>;  // seconds since epoch
+
+  // retention_seconds <= 0 disables expiry (ShouldDrop always false).
+  explicit TtlCompactionFilter(int64_t retention_seconds,
+                               Clock clock = Clock());
+
+  const char* Name() const override { return "tman.ttl"; }
+
+  bool ShouldDrop(int level, const Slice& user_key,
+                  const Slice& value) const override;
+
+  // Rows this filter has asked compaction to expire (dropped or
+  // tombstoned) since construction.
+  uint64_t expired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int64_t retention_seconds_;
+  Clock clock_;
+  mutable std::atomic<uint64_t> expired_{0};
+};
+
+}  // namespace tman::core
+
+#endif  // TMAN_CORE_TTL_FILTER_H_

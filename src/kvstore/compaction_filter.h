@@ -1,0 +1,40 @@
+#ifndef TMAN_KVSTORE_COMPACTION_FILTER_H_
+#define TMAN_KVSTORE_COMPACTION_FILTER_H_
+
+#include "common/slice.h"
+
+namespace tman::kv {
+
+// Retention hook consulted by leveled compactions (Options::compaction_filter).
+//
+// Semantics: for each user key, the compaction already keeps only the newest
+// version it sees; the filter is asked about exactly that surviving value
+// entry (deletions are never filtered). If it returns true, the entry is
+// expired:
+//   - when no deeper level can hold an older version of the key, it is
+//     dropped outright;
+//   - otherwise it is rewritten as a deletion tombstone at the same
+//     sequence number, so stale versions in deeper levels stay shadowed
+//     until they compact away too.
+// Trivial file moves are disabled while a filter is set so every entry
+// eventually flows through a rewriting compaction.
+//
+// Implementations must be thread-safe (compactions run on background
+// threads, several DBs may share one filter) and must be stable for the
+// lifetime of the DB: flipping decisions between compactions is legal
+// (clocks advance), but a decision must never depend on compaction order.
+class CompactionFilter {
+ public:
+  virtual ~CompactionFilter() = default;
+
+  virtual const char* Name() const = 0;
+
+  // True to expire `value` (the newest surviving version of `user_key`)
+  // from the table being written to `level`.
+  virtual bool ShouldDrop(int level, const Slice& user_key,
+                          const Slice& value) const = 0;
+};
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_COMPACTION_FILTER_H_

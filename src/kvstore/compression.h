@@ -1,0 +1,58 @@
+#ifndef TMAN_KVSTORE_COMPRESSION_H_
+#define TMAN_KVSTORE_COMPRESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tman::kv {
+
+// Per-block compression negotiated at table-build time and recorded in the
+// one-byte block trailer (format v2). Readers dispatch on the stored byte,
+// so a table may freely mix block types: the builder picks, per block, the
+// cheapest encoding that actually pays for itself.
+enum CompressionType : uint8_t {
+  kNoCompression = 0x0,
+  // Generic byte-oriented LZ (compress::ByteLz*) — the fallback for blocks
+  // holding arbitrary rows (secondary index rows, metadata, record blobs).
+  kByteCompression = 0x1,
+  // Columnar trajectory point codec: applies when every value in the block
+  // is a fixed 24-byte point row (EncodePointValue below). Timestamps go
+  // through delta-of-delta + zigzag + simple8b and coordinates through
+  // Gorilla XOR via compress::EncodePoints; keys and the restart array are
+  // carried verbatim so decompression is byte-identical.
+  kTrajPointCompression = 0x2,
+};
+
+inline bool IsValidCompressionType(uint8_t t) {
+  return t <= kTrajPointCompression;
+}
+
+// Fixed 24-byte point row value: fixed64 timestamp, fixed64 longitude bits,
+// fixed64 latitude bits. The bulk-load and bench workloads write one point
+// per row in this layout, which is what makes kTrajPointCompression
+// applicable to whole blocks.
+inline constexpr size_t kPointValueSize = 24;
+void EncodePointValue(int64_t ts, double lon, double lat, std::string* out);
+bool DecodePointValue(const Slice& value, int64_t* ts, double* lon,
+                      double* lat);
+
+// Compresses a raw (uncompressed) block per `requested`, appending the
+// payload to *out and returning the type actually used. Falls back
+// kTrajPointCompression -> kByteCompression -> kNoCompression: a codec is
+// kept only if it is applicable and saves at least 1/8 of the raw size.
+// When the result is kNoCompression, *out is left untouched and the caller
+// writes the raw bytes.
+CompressionType CompressBlock(CompressionType requested, const Slice& raw,
+                              std::string* out);
+
+// Inverse of CompressBlock for one stored block payload; appends the raw
+// block bytes to *out. Returns Corruption on any malformed payload.
+Status UncompressBlock(CompressionType type, const char* data, size_t size,
+                       std::string* out);
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_COMPRESSION_H_

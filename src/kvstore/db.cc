@@ -8,6 +8,7 @@
 #include "common/coding.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "kvstore/compaction_filter.h"
 #include "kvstore/filename.h"
 #include "kvstore/merge_iterator.h"
 #include "kvstore/table.h"
@@ -199,6 +200,12 @@ DB::Metrics::Metrics(obs::MetricsRegistry* registry) {
   recovery_torn_tails =
       registry->GetCounter("tman_kv_recovery_torn_tails_total");
   recovery_resumes = registry->GetCounter("tman_kv_recovery_resumes_total");
+  compaction_filter_dropped =
+      registry->GetCounter("tman_kv_compaction_filter_dropped_total");
+  compaction_filter_tombstoned =
+      registry->GetCounter("tman_kv_compaction_filter_tombstoned_total");
+  ingest_files = registry->GetCounter("tman_kv_ingest_files_total");
+  ingest_rows = registry->GetCounter("tman_kv_ingest_rows_total");
   for (int l = 0; l < GetPerf::kMaxLevels; l++) {
     sstable_reads_per_level[l] = registry->GetCounter(
         "tman_kv_sstable_reads_total{level=\"" + std::to_string(l) + "\"}");
@@ -279,13 +286,26 @@ Status DB::Recover() {
   s = env_->GetChildren(name_, &children);
   if (!s.ok()) return s;
   std::vector<uint64_t> wals;
+  uint64_t max_file_number = 0;
   for (const auto& child : children) {
     uint64_t number;
     std::string suffix;
-    if (ParseFileName(child, &number, &suffix) && suffix == "wal") {
-      wals.push_back(number);
+    if (ParseFileName(child, &number, &suffix)) {
+      max_file_number = std::max(max_file_number, number);
+      if (suffix == "wal") wals.push_back(number);
+    } else if (child.size() > 4 &&
+               child.compare(child.size() - 4, 4, ".tmp") == 0) {
+      // Leftover temp file from a crashed ingest build or MANIFEST swap.
+      // Nothing live ever ends in .tmp at recovery time, and GC skips
+      // unparseable names, so collect them here.
+      env_->RemoveFile(name_ + "/" + child);
     }
   }
+  // A crash can leave numbered files (e.g. a torn ingest copy or flush
+  // output) above the persisted next-file counter; without this bump they
+  // would sit at or above the GC horizon forever and eventually collide
+  // with a fresh allocation.
+  versions_->EnsureFileNumberFloor(max_file_number + 1);
   std::sort(wals.begin(), wals.end());
   for (uint64_t number : wals) {
     s = ReplayWal(number);
@@ -878,6 +898,129 @@ Status DB::CompactAll() {
   });
 }
 
+Status DB::IngestExternalFile(const IngestOptions& io,
+                              const std::string& file_path) {
+  // Validate the external file and learn its key range before taking the
+  // writer slot: open it as a table and walk every entry. The walk doubles
+  // as a structural check (sorted keys, sequence 0, valid blocks) — a bad
+  // file is rejected without ever touching DB state.
+  uint64_t ext_size = 0;
+  Status s = env_->GetFileSize(file_path, &ext_size);
+  if (!s.ok()) return s;
+  std::unique_ptr<RandomAccessFile> ext_raf;
+  s = env_->NewRandomAccessFile(file_path, &ext_raf);
+  if (!s.ok()) return s;
+  std::unique_ptr<Table> ext_table;
+  s = Table::Open(options_, /*table_id=*/0, std::move(ext_raf), ext_size,
+                  /*cache=*/nullptr, &ext_table);
+  if (!s.ok()) return s;
+
+  std::string smallest_user_key, largest_user_key;
+  uint64_t num_entries = 0;
+  {
+    ReadOptions ro;
+    ro.fill_cache = false;
+    std::unique_ptr<Iterator> it(ext_table->NewIterator(ro));
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(it->key(), &parsed) ||
+          parsed.sequence != 0 || parsed.type != kTypeValue) {
+        return Status::InvalidArgument(
+            "external file was not built by SstFileWriter");
+      }
+      if (num_entries == 0) {
+        smallest_user_key = parsed.user_key.ToString();
+      }
+      largest_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
+      num_entries++;
+    }
+    if (!it->status().ok()) return it->status();
+  }
+  ext_table.reset();
+  if (num_entries == 0) {
+    return Status::InvalidArgument("external file is empty");
+  }
+
+  return RunExclusive([&]() {
+    // Buffered writes may cover the ingest range with *newer* sequence
+    // numbers; flushing them first makes every live key visible to the
+    // overlap check below.
+    Status es;
+    if (imm_ != nullptr) es = FlushImmutable(nullptr);
+    if (es.ok() && mem_->num_entries() > 0) es = FlushActiveLocked();
+    if (!es.ok()) return es;
+
+    VersionPtr current = versions_->current();
+    for (int level = 0; level < current->num_levels(); level++) {
+      if (current->OverlapsRange(level, Slice(smallest_user_key),
+                                 Slice(largest_user_key))) {
+        return Status::InvalidArgument(
+            "external file overlaps live key range [" + smallest_user_key +
+            ", " + largest_user_key + "] at level " + std::to_string(level));
+      }
+    }
+    // Sequence-0 rows are older than everything: the deepest level is the
+    // only placement that keeps LSM age ordering without renumbering.
+    const int target_level = current->num_levels() - 1;
+
+    auto meta = std::make_shared<FileMetaData>();
+    meta->number = versions_->NewFileNumber();
+    pending_outputs_.insert(meta->number);
+    const std::string table_name = TableFileName(name_, meta->number);
+
+    if (io.move_file) {
+      es = env_->RenameFile(file_path, table_name);
+    } else {
+      // Copy + sync: the installed file must be durable before the
+      // MANIFEST references it (prefix-consistency, as in flushes).
+      std::unique_ptr<SequentialFile> src;
+      es = env_->NewSequentialFile(file_path, &src);
+      std::unique_ptr<WritableFile> dst;
+      if (es.ok()) es = env_->NewWritableFile(table_name, &dst);
+      if (es.ok()) {
+        constexpr size_t kCopyChunk = 64 * 1024;
+        std::string scratch(kCopyChunk, '\0');
+        uint64_t copied = 0;
+        while (es.ok() && copied < ext_size) {
+          Slice chunk;
+          es = src->Read(kCopyChunk, &chunk, scratch.data());
+          if (es.ok() && chunk.empty()) {
+            es = Status::IOError("external file shrank during ingest");
+          }
+          if (es.ok()) {
+            es = dst->Append(chunk);
+            copied += chunk.size();
+          }
+        }
+        if (es.ok()) es = env_->SyncFile(dst.get());
+        if (es.ok()) es = dst->Close();
+      }
+    }
+
+    if (es.ok()) {
+      meta->file_size = ext_size;
+      meta->smallest.Set(Slice(smallest_user_key), 0, kTypeValue);
+      meta->largest.Set(Slice(largest_user_key), 0, kTypeValue);
+      es = versions_->OpenTable(meta.get());
+    }
+    if (es.ok()) {
+      es = versions_->InstallVersion(target_level, {meta}, {}, -1);
+    }
+    pending_outputs_.erase(meta->number);
+    if (!es.ok()) {
+      env_->RemoveFile(table_name);
+      return es;
+    }
+    files_ingested_++;
+    rows_ingested_ += num_entries;
+    if (metrics_ != nullptr) {
+      metrics_->ingest_files->Inc();
+      metrics_->ingest_rows->Inc(num_entries);
+    }
+    return Status::OK();
+  });
+}
+
 Status DB::Resume() {
   // Same exclusive dance as RunExclusive, but inline: RunExclusive itself
   // short-circuits on a sticky bg_error, which is exactly what Resume needs
@@ -1048,7 +1191,11 @@ Status DB::RunCompaction(const CompactionJob& job,
 
   // Trivial move: a single deeper-level input with nothing to merge into
   // simply changes level (no rewrite, as in RocksDB's trivial move).
-  if (job.inputs_n.size() == 1 && job.inputs_np1.empty() && level > 0) {
+  // Disabled while a compaction filter is set: retention only applies when
+  // entries flow through a rewriting merge, and a moved file could
+  // otherwise carry expired rows to the bottom level forever.
+  if (job.inputs_n.size() == 1 && job.inputs_np1.empty() && level > 0 &&
+      options_.compaction_filter == nullptr) {
     return versions_->InstallVersion(output_level, {job.inputs_n[0]}, removed,
                                      level);
   }
@@ -1109,6 +1256,8 @@ Status DB::RunCompaction(const CompactionJob& job,
 
   std::string current_user_key;
   bool has_current_user_key = false;
+  uint64_t filter_dropped = 0;
+  uint64_t filter_tombstoned = 0;
 
   for (iter->SeekToFirst(); s.ok() && iter->Valid(); iter->Next()) {
     ParsedInternalKey parsed;
@@ -1128,6 +1277,28 @@ Status DB::RunCompaction(const CompactionJob& job,
       continue;  // tombstone no longer shadows anything
     }
 
+    // Retention: the filter sees only the newest surviving version of each
+    // user key (exactly what readers would see), never tombstones.
+    Slice emit_key = iter->key();
+    Slice emit_value = iter->value();
+    std::string rewritten_key;
+    if (options_.compaction_filter != nullptr && parsed.type == kTypeValue &&
+        options_.compaction_filter->ShouldDrop(output_level, parsed.user_key,
+                                               emit_value)) {
+      if (current->IsBottommostForKey(output_level, parsed.user_key)) {
+        filter_dropped++;
+        continue;  // expired, and no deeper level can resurrect it
+      }
+      // Expired, but an older version may live deeper: rewrite as a
+      // deletion tombstone at the same sequence so it stays shadowed
+      // until the deeper copy compacts away too.
+      filter_tombstoned++;
+      AppendInternalKey(&rewritten_key, parsed.user_key, parsed.sequence,
+                        kTypeDeletion);
+      emit_key = Slice(rewritten_key);
+      emit_value = Slice();
+    }
+
     if (builder == nullptr) {
       out_meta = std::make_shared<FileMetaData>();
       out_meta->number = versions_->NewFileNumber();
@@ -1136,10 +1307,10 @@ Status DB::RunCompaction(const CompactionJob& job,
                                 &out_file);
       if (!s.ok()) break;
       builder = std::make_unique<TableBuilder>(options_, out_file.get());
-      out_meta->smallest.DecodeFrom(iter->key());
+      out_meta->smallest.DecodeFrom(emit_key);
     }
-    builder->Add(iter->key(), iter->value());
-    out_meta->largest.DecodeFrom(iter->key());
+    builder->Add(emit_key, emit_value);
+    out_meta->largest.DecodeFrom(emit_key);
 
     if (builder->FileSize() >= options_.max_file_bytes) {
       s = finish_output();
@@ -1162,11 +1333,19 @@ Status DB::RunCompaction(const CompactionJob& job,
   compaction_count_++;
   compaction_bytes_read_ += bytes_read;
   compaction_bytes_written_ += bytes_written;
+  compaction_filter_dropped_ += filter_dropped;
+  compaction_filter_tombstoned_ += filter_tombstoned;
   if (metrics_ != nullptr) {
     metrics_->compactions->Inc();
     metrics_->compaction_micros->RecordMicros(watch.ElapsedMicros());
     metrics_->compaction_bytes_read->Inc(bytes_read);
     metrics_->compaction_bytes_written->Inc(bytes_written);
+    if (filter_dropped > 0) {
+      metrics_->compaction_filter_dropped->Inc(filter_dropped);
+    }
+    if (filter_tombstoned > 0) {
+      metrics_->compaction_filter_tombstoned->Inc(filter_tombstoned);
+    }
   }
 
   s = versions_->InstallVersion(output_level, std::move(outputs), removed,
@@ -1292,6 +1471,10 @@ DB::Stats DB::GetStats() {
   stats.wal_bytes_dropped = wal_bytes_dropped_;
   stats.wal_torn_tails = wal_torn_tails_;
   stats.resume_count = resume_count_;
+  stats.compaction_filter_dropped = compaction_filter_dropped_;
+  stats.compaction_filter_tombstoned = compaction_filter_tombstoned_;
+  stats.files_ingested = files_ingested_;
+  stats.rows_ingested = rows_ingested_;
   return stats;
 }
 

@@ -61,6 +61,13 @@ class DB {
   DB(const DB&) = delete;
   DB& operator=(const DB&) = delete;
 
+  // Directory this DB lives in (as passed to Open).
+  const std::string& name() const { return name_; }
+
+  // Effective options (env resolved). Lets callers build SstFileWriters
+  // that match this DB's block format, compression and environment.
+  const Options& options() const { return options_; }
+
   Status Put(const WriteOptions& wo, const Slice& key, const Slice& value);
   Status Delete(const WriteOptions& wo, const Slice& key);
   Status Write(const WriteOptions& wo, WriteBatch* batch);
@@ -101,6 +108,25 @@ class DB {
   Status MultiScan(const ReadOptions& ro, const std::vector<ScanWindow>& windows,
                    const ScanFilter* filter, size_t limit, RowSink* sink,
                    ScanStats* stats, MultiScanPerf* perf = nullptr);
+
+  struct IngestOptions {
+    // Move (rename) the file into the DB directory instead of copying it.
+    // The source file is consumed on success; with false it is left intact.
+    bool move_file = false;
+  };
+
+  // Installs an SSTable built by kv::SstFileWriter directly into the
+  // version, bypassing the WAL/memtable write path (offline backfill).
+  // The file's user-key range must not overlap any live key range: a
+  // non-empty memtable covering it is flushed first, and if any live
+  // SSTable still overlaps the ingest is refused with InvalidArgument
+  // (ingested rows carry sequence 0, so overlap would break LSM version
+  // ordering). The file is copied/renamed to its allocated table number,
+  // synced, and committed through the MANIFEST before the call returns —
+  // the same durability order as a flush. It lands at the deepest level
+  // whose files it does not overlap.
+  Status IngestExternalFile(const IngestOptions& io,
+                            const std::string& file_path);
 
   // Synchronously persists all buffered writes to L0 (and runs any pending
   // compactions). Waits for in-flight background work first, so the DB is
@@ -162,6 +188,11 @@ class DB {
     uint64_t wal_bytes_dropped = 0;      // torn/corrupt tail bytes discarded
     uint64_t wal_torn_tails = 0;         // WALs ending in a torn record
     uint64_t resume_count = 0;           // successful Resume() calls
+    // Data lifecycle accounting.
+    uint64_t compaction_filter_dropped = 0;     // expired entries removed
+    uint64_t compaction_filter_tombstoned = 0;  // expired -> tombstone
+    uint64_t files_ingested = 0;  // external SSTables installed
+    uint64_t rows_ingested = 0;   // entries across those files
   };
   Stats GetStats();
 
@@ -243,6 +274,10 @@ class DB {
     obs::Counter* recovery_wal_bytes_dropped;
     obs::Counter* recovery_torn_tails;
     obs::Counter* recovery_resumes;
+    obs::Counter* compaction_filter_dropped;
+    obs::Counter* compaction_filter_tombstoned;
+    obs::Counter* ingest_files;
+    obs::Counter* ingest_rows;
     obs::Counter* sstable_reads_per_level[GetPerf::kMaxLevels];
   };
 
@@ -367,6 +402,10 @@ class DB {
   uint64_t wal_bytes_dropped_ = 0;
   uint64_t wal_torn_tails_ = 0;
   uint64_t resume_count_ = 0;
+  uint64_t compaction_filter_dropped_ = 0;
+  uint64_t compaction_filter_tombstoned_ = 0;
+  uint64_t files_ingested_ = 0;
+  uint64_t rows_ingested_ = 0;
 };
 
 }  // namespace tman::kv

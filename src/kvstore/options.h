@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "kvstore/compression.h"
+
 namespace tman {
 class ThreadPool;
 }  // namespace tman
@@ -14,6 +16,7 @@ class MetricsRegistry;
 
 namespace tman::kv {
 
+class CompactionFilter;
 class Env;
 
 struct Options {
@@ -73,6 +76,25 @@ struct Options {
 
   // Max SSTable file size produced by compactions.
   uint64_t max_file_bytes = 2 * 1024 * 1024;
+
+  // Per-block compression applied when tables are built (flush, compaction,
+  // SstFileWriter). Stored in each block's trailer byte, so readers never
+  // consult this option and a table may mix block encodings; the block
+  // cache always holds uncompressed blocks, keeping zero-copy iteration
+  // unchanged. kTrajPointCompression falls back per block to the generic
+  // byte codec (and then to none) when values are not point rows or when a
+  // codec does not actually shrink the block.
+  CompressionType compression = kNoCompression;
+
+  // When set, leveled compactions consult this filter on the newest version
+  // of each surviving user key (TTL/retention). Borrowed pointer; must be
+  // thread-safe and outlive the DB. See kvstore/compaction_filter.h.
+  const CompactionFilter* compaction_filter = nullptr;
+
+  // Test hook: write SSTables in the legacy v1 format (4-byte crc-only
+  // block trailer, no compression, v1 footer magic) so compatibility with
+  // pre-compression tables stays covered by tests.
+  bool write_legacy_table_format = false;
 
   // Sequential block readahead budget applied by DB::MultiScan when the
   // caller's ReadOptions leave readahead_bytes at 0. Readahead only

@@ -11,9 +11,9 @@
 namespace tman::kv {
 
 namespace {
-constexpr uint64_t kTableMagic = 0x7472616a6d616e21ULL;  // "trajman!"
+constexpr uint64_t kTableMagicV1 = 0x7472616a6d616e21ULL;  // "trajman!"
+constexpr uint64_t kTableMagicV2 = 0x7472616a6d616e32ULL;  // "trajman2"
 constexpr size_t kFooterSize = 48;  // two handles (<=40) + magic
-constexpr size_t kBlockTrailerSize = 4;  // crc32 of block contents
 }  // namespace
 
 void BlockHandle::EncodeTo(std::string* dst) const {
@@ -73,15 +73,25 @@ void TableBuilder::FlushDataBlock() {
 
 Status TableBuilder::WriteBlock(const Slice& contents, BlockHandle* handle) {
   handle->offset = offset_;
-  handle->size = contents.size();
-  Status s = file_->Append(contents);
-  if (s.ok()) {
-    std::string trailer;
-    PutFixed32(&trailer, Crc32c(contents.data(), contents.size()));
-    s = file_->Append(trailer);
+  Slice payload = contents;
+  std::string compressed;
+  CompressionType type = kNoCompression;
+  if (!options_.write_legacy_table_format) {
+    type = CompressBlock(options_.compression, contents, &compressed);
+    if (type != kNoCompression) payload = Slice(compressed);
   }
+  handle->size = payload.size();
+  Status s = file_->Append(payload);
   if (s.ok()) {
-    offset_ += contents.size() + kBlockTrailerSize;
+    // The crc covers the on-disk bytes, so integrity checks never need to
+    // decompress. v2 trailers lead with the compression type byte.
+    std::string trailer;
+    if (!options_.write_legacy_table_format) {
+      trailer.push_back(static_cast<char>(type));
+    }
+    PutFixed32(&trailer, Crc32c(payload.data(), payload.size()));
+    s = file_->Append(trailer);
+    if (s.ok()) offset_ += payload.size() + trailer.size();
   }
   return s;
 }
@@ -123,7 +133,8 @@ Status TableBuilder::Finish() {
   filter_handle.EncodeTo(&footer);
   index_handle.EncodeTo(&footer);
   footer.resize(kFooterSize - 8);
-  PutFixed64(&footer, kTableMagic);
+  PutFixed64(&footer, options_.write_legacy_table_format ? kTableMagicV1
+                                                         : kTableMagicV2);
   status_ = file_->Append(footer);
   if (status_.ok()) offset_ += kFooterSize;
   if (status_.ok()) status_ = file_->Flush();
@@ -147,7 +158,13 @@ Status Table::Open(const Options& options, uint64_t table_id,
                         footer_space);
   if (!s.ok()) return s;
 
-  if (DecodeFixed64(footer_input.data() + kFooterSize - 8) != kTableMagic) {
+  const uint64_t magic = DecodeFixed64(footer_input.data() + kFooterSize - 8);
+  int format_version;
+  if (magic == kTableMagicV2) {
+    format_version = 2;
+  } else if (magic == kTableMagicV1) {
+    format_version = 1;
+  } else {
     return Status::Corruption("bad sstable magic number");
   }
   Slice handles(footer_input.data(), kFooterSize - 8);
@@ -159,6 +176,7 @@ Status Table::Open(const Options& options, uint64_t table_id,
 
   auto t = std::unique_ptr<Table>(
       new Table(options, table_id, std::move(file), cache));
+  t->format_version_ = format_version;
 
   // Load the bloom filter (small; kept pinned in memory).
   if (filter_handle.size > 0) {
@@ -170,18 +188,18 @@ Status Table::Open(const Options& options, uint64_t table_id,
   }
 
   // Load and pin the index block.
-  std::string index_contents(index_handle.size, '\0');
+  std::string index_buffer(index_handle.size + t->trailer_size(), '\0');
   Slice index_input;
-  s = t->file_->Read(index_handle.offset, index_handle.size, &index_input,
-                     index_contents.data());
+  s = t->file_->Read(index_handle.offset, index_buffer.size(), &index_input,
+                     index_buffer.data());
   if (!s.ok()) return s;
-  char trailer_space[kBlockTrailerSize];
-  Slice trailer;
-  s = t->file_->Read(index_handle.offset + index_handle.size,
-                     kBlockTrailerSize, &trailer, trailer_space);
-  if (!s.ok()) return s;
-  if (DecodeFixed32(trailer.data()) !=
-      Crc32c(index_contents.data(), index_contents.size())) {
+  if (index_input.size() < index_buffer.size()) {
+    return Status::Corruption("truncated index block read");
+  }
+  std::string index_contents;
+  s = t->DecodeBlockContents(index_input.data(), index_handle.size,
+                             &index_contents);
+  if (!s.ok()) {
     return Status::Corruption("index block checksum mismatch");
   }
   t->index_block_ = std::make_unique<Block>(std::move(index_contents));
@@ -206,6 +224,30 @@ std::string BlockCacheKey(uint64_t table_id, uint64_t offset) {
 
 }  // namespace
 
+Status Table::DecodeBlockContents(const char* payload, uint64_t payload_size,
+                                  std::string* raw) const {
+  uint8_t type = kNoCompression;
+  uint32_t stored_crc;
+  if (format_version_ >= 2) {
+    type = static_cast<uint8_t>(payload[payload_size]);
+    stored_crc = DecodeFixed32(payload + payload_size + 1);
+  } else {
+    stored_crc = DecodeFixed32(payload + payload_size);
+  }
+  if (stored_crc != Crc32c(payload, payload_size)) {
+    return Status::Corruption("data block checksum mismatch");
+  }
+  if (!IsValidCompressionType(type)) {
+    return Status::Corruption("unknown block compression type");
+  }
+  if (type == kNoCompression) {
+    raw->append(payload, payload_size);
+    return Status::OK();
+  }
+  return UncompressBlock(static_cast<CompressionType>(type), payload,
+                         payload_size, raw);
+}
+
 Status Table::ReadBlock(const BlockHandle& handle, bool fill_cache,
                         std::shared_ptr<Block>* block) const {
   std::string cache_key;
@@ -218,19 +260,16 @@ Status Table::ReadBlock(const BlockHandle& handle, bool fill_cache,
     }
   }
 
-  std::string contents(handle.size, '\0');
+  std::string buffer(handle.size + trailer_size(), '\0');
   Slice input;
-  Status s = file_->Read(handle.offset, handle.size, &input, contents.data());
+  Status s = file_->Read(handle.offset, buffer.size(), &input, buffer.data());
   if (!s.ok()) return s;
-  char trailer_space[kBlockTrailerSize];
-  Slice trailer;
-  s = file_->Read(handle.offset + handle.size, kBlockTrailerSize, &trailer,
-                  trailer_space);
-  if (!s.ok()) return s;
-  if (DecodeFixed32(trailer.data()) !=
-      Crc32c(contents.data(), contents.size())) {
-    return Status::Corruption("data block checksum mismatch");
+  if (input.size() < buffer.size()) {
+    return Status::Corruption("truncated data block read");
   }
+  std::string contents;
+  s = DecodeBlockContents(input.data(), handle.size, &contents);
+  if (!s.ok()) return s;
 
   auto b = std::make_shared<Block>(std::move(contents));
   if (cache_ != nullptr && fill_cache) {
@@ -252,20 +291,21 @@ Status Table::VerifyChecksums(uint64_t* blocks_checked) const {
       break;
     }
     // Direct read, never through the cache: a cached copy proves nothing
-    // about the bytes on disk.
-    std::string contents(handle.size, '\0');
+    // about the bytes on disk. The crc covers the on-disk (compressed)
+    // payload; decoding additionally proves the block decompresses.
+    std::string buffer(handle.size + trailer_size(), '\0');
     Slice input;
     Status s =
-        file_->Read(handle.offset, handle.size, &input, contents.data());
+        file_->Read(handle.offset, buffer.size(), &input, buffer.data());
+    if (s.ok() && input.size() < buffer.size()) {
+      s = Status::Corruption("truncated data block read at offset " +
+                             std::to_string(handle.offset));
+    }
     if (s.ok()) {
-      char trailer_space[kBlockTrailerSize];
-      Slice trailer;
-      s = file_->Read(handle.offset + handle.size, kBlockTrailerSize,
-                      &trailer, trailer_space);
-      if (s.ok() &&
-          DecodeFixed32(trailer.data()) !=
-              Crc32c(input.data(), input.size())) {
-        s = Status::Corruption("data block checksum mismatch at offset " +
+      std::string contents;
+      s = DecodeBlockContents(input.data(), handle.size, &contents);
+      if (!s.ok()) {
+        s = Status::Corruption(std::string(s.message()) + " at offset " +
                                std::to_string(handle.offset));
       }
     }
@@ -306,7 +346,7 @@ Status Table::ReadBlockRun(const BlockHandle& first,
 
   const BlockHandle& last = more.back();
   const uint64_t total =
-      last.offset + last.size + kBlockTrailerSize - first.offset;
+      last.offset + last.size + trailer_size() - first.offset;
   std::string buffer(total, '\0');
   Slice input;
   Status s = file_->Read(first.offset, total, &input, buffer.data());
@@ -319,8 +359,9 @@ Status Table::ReadBlockRun(const BlockHandle& first,
   auto slice_block = [&](const BlockHandle& h,
                          std::shared_ptr<Block>* out) -> bool {
     const char* base = input.data() + (h.offset - first.offset);
-    if (DecodeFixed32(base + h.size) != Crc32c(base, h.size)) return false;
-    *out = std::make_shared<Block>(std::string(base, h.size));
+    std::string contents;
+    if (!DecodeBlockContents(base, h.size, &contents).ok()) return false;
+    *out = std::make_shared<Block>(std::move(contents));
     return true;
   };
 
@@ -442,7 +483,8 @@ class TableIterator final : public Iterator {
       return;
     }
     cur_block_offset_ = handle.offset;
-    next_sequential_offset_ = handle.offset + handle.size + kBlockTrailerSize;
+    next_sequential_offset_ =
+        handle.offset + handle.size + table_->trailer_size();
     data_block_ = std::move(block);
     data_iter_.reset(data_block_->NewIterator(&table_->icmp_));
   }
@@ -453,7 +495,8 @@ class TableIterator final : public Iterator {
   std::vector<BlockHandle> CollectRunHandles(const BlockHandle& first,
                                              size_t budget) const {
     std::vector<BlockHandle> run;
-    uint64_t expected = first.offset + first.size + kBlockTrailerSize;
+    const size_t trailer = table_->trailer_size();
+    uint64_t expected = first.offset + first.size + trailer;
     std::unique_ptr<Iterator> peek(
         table_->index_block_->NewIterator(&table_->icmp_));
     peek->Seek(index_iter_->key());
@@ -463,9 +506,9 @@ class TableIterator final : public Iterator {
       BlockHandle h;
       if (!h.DecodeFrom(&hv)) break;
       if (h.offset != expected) break;  // not contiguous; stop the run
-      if (h.size + kBlockTrailerSize > budget) break;
-      budget -= static_cast<size_t>(h.size) + kBlockTrailerSize;
-      expected = h.offset + h.size + kBlockTrailerSize;
+      if (h.size + trailer > budget) break;
+      budget -= static_cast<size_t>(h.size) + trailer;
+      expected = h.offset + h.size + trailer;
       run.push_back(h);
     }
     return run;

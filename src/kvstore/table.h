@@ -28,10 +28,19 @@ struct BlockHandle {
   bool DecodeFrom(Slice* input);
 };
 
+// Per-block trailer sizes by table format version. v1 (legacy) blocks end
+// with fixed32 crc over the block contents; v2 blocks end with one
+// CompressionType byte followed by fixed32 crc over the on-disk (possibly
+// compressed) payload. The footer magic selects the version, so old tables
+// keep reading without a rewrite.
+inline constexpr size_t kBlockTrailerSizeV1 = 4;
+inline constexpr size_t kBlockTrailerSizeV2 = 5;
+
 // SSTable file layout:
-//   data block*           (each followed by a fixed32 crc trailer)
+//   data block*           (each followed by a versioned trailer, see above;
+//                          v2 payloads may be per-block compressed)
 //   filter block          (one bloom filter over all user keys; no trailer)
-//   index block           (separator key -> BlockHandle; crc trailer)
+//   index block           (separator key -> BlockHandle; same trailer)
 //   footer                (filter handle | index handle | padding | magic)
 class TableBuilder {
  public:
@@ -102,10 +111,18 @@ class Table {
   bool has_filter() const { return !filter_data_.empty(); }
 
   // Re-reads every data block from disk (bypassing the block cache, which
-  // would mask on-disk damage) and verifies its CRC trailer. *blocks_checked
+  // would mask on-disk damage), verifies its CRC trailer over the on-disk
+  // (compressed) bytes, and proves it decompresses cleanly. *blocks_checked
   // (may be nullptr) receives the number of blocks read. Returns the first
   // corruption found.
   Status VerifyChecksums(uint64_t* blocks_checked) const;
+
+  // Table format version parsed from the footer magic (1 = legacy
+  // crc-only trailers, 2 = compression-type + crc trailers).
+  int format_version() const { return format_version_; }
+  size_t trailer_size() const {
+    return format_version_ >= 2 ? kBlockTrailerSizeV2 : kBlockTrailerSizeV1;
+  }
 
  private:
   friend class TableIterator;
@@ -119,7 +136,14 @@ class Table {
         bloom_(options.bloom_bits_per_key > 0 ? options.bloom_bits_per_key
                                               : 10) {}
 
-  // Reads (or fetches from cache) the block at `handle`.
+  // Verifies the trailer (located at payload + handle-size) against the
+  // on-disk payload bytes and appends the uncompressed block contents to
+  // *raw. `payload` must have at least payload_size + trailer_size() bytes.
+  Status DecodeBlockContents(const char* payload, uint64_t payload_size,
+                             std::string* raw) const;
+
+  // Reads (or fetches from cache) the block at `handle`. Cached blocks are
+  // always the uncompressed contents.
   Status ReadBlock(const BlockHandle& handle, bool fill_cache,
                    std::shared_ptr<Block>* block) const;
 
@@ -146,6 +170,7 @@ class Table {
   std::string filter_data_;
   std::unique_ptr<Block> index_block_;
   InternalKeyComparator icmp_;
+  int format_version_ = 2;
 };
 
 }  // namespace tman::kv

@@ -147,6 +147,16 @@ bool Version::IsBottommostForKey(int level, const Slice& user_key) const {
   return true;
 }
 
+bool Version::OverlapsRange(int level, const Slice& smallest_user_key,
+                            const Slice& largest_user_key) const {
+  for (const FileMetaPtr& f : files_[level]) {
+    if (largest_user_key.compare(f->smallest.user_key()) < 0) continue;
+    if (smallest_user_key.compare(f->largest.user_key()) > 0) continue;
+    return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // VersionSet
 

@@ -66,6 +66,11 @@ class Version {
   // (tombstones can then be dropped during compaction at `level`).
   bool IsBottommostForKey(int level, const Slice& user_key) const;
 
+  // True if any file at `level` overlaps the closed user-key range
+  // [smallest, largest] (used by external-file ingestion placement).
+  bool OverlapsRange(int level, const Slice& smallest_user_key,
+                     const Slice& largest_user_key) const;
+
  private:
   friend class VersionSet;
 
@@ -94,6 +99,18 @@ class VersionSet {
   // value did not exist when the call was made (numbers are monotonic).
   uint64_t PeekNextFileNumber() const {
     return next_file_number_.load(std::memory_order_relaxed);
+  }
+  // Raises the next file number to at least `floor`. Recovery calls this
+  // with 1 + the highest numbered file found on disk so that leftovers of a
+  // crashed ingest/flush (numbered but never committed to the MANIFEST)
+  // fall below the GC horizon and get collected instead of colliding with
+  // future allocations.
+  void EnsureFileNumberFloor(uint64_t floor) {
+    uint64_t cur = next_file_number_.load(std::memory_order_relaxed);
+    while (cur < floor &&
+           !next_file_number_.compare_exchange_weak(
+               cur, floor, std::memory_order_relaxed)) {
+    }
   }
   uint64_t last_sequence() const { return last_sequence_; }
   void SetLastSequence(uint64_t s) { last_sequence_ = s; }

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/random.h"
@@ -171,6 +173,95 @@ TEST(TrajCodecTest, SinglePoint) {
   ASSERT_TRUE(DecodePoints(blob.data(), blob.size(), &decoded));
   EXPECT_EQ(decoded.timestamps, columns.timestamps);
   EXPECT_EQ(decoded.lons, columns.lons);
+}
+
+TEST(TrajCodecTest, EmptySeriesRoundTrips) {
+  PointColumns columns;
+  std::string blob;
+  ASSERT_TRUE(EncodePoints(columns, &blob));
+  PointColumns decoded;
+  ASSERT_TRUE(DecodePoints(blob.data(), blob.size(), &decoded));
+  EXPECT_TRUE(decoded.timestamps.empty());
+  EXPECT_TRUE(decoded.lons.empty());
+  EXPECT_TRUE(decoded.lats.empty());
+}
+
+TEST(TrajCodecTest, NonMonotoneTimestampsRoundTrip) {
+  // Delta-of-delta must be lossless even when the series goes backwards
+  // (GPS clock skew, out-of-order fixes stitched into one row).
+  PointColumns columns;
+  columns.timestamps = {100, 50, 200, 199, -7, 1ll << 40, 0};
+  for (size_t i = 0; i < columns.timestamps.size(); i++) {
+    columns.lons.push_back(116.0 + static_cast<double>(i));
+    columns.lats.push_back(39.0 - static_cast<double>(i));
+  }
+  std::string blob;
+  ASSERT_TRUE(EncodePoints(columns, &blob));
+  PointColumns decoded;
+  ASSERT_TRUE(DecodePoints(blob.data(), blob.size(), &decoded));
+  EXPECT_EQ(decoded.timestamps, columns.timestamps);
+  EXPECT_EQ(decoded.lons, columns.lons);
+  EXPECT_EQ(decoded.lats, columns.lats);
+}
+
+TEST(TrajCodecTest, ExtremeCoordinatesRoundTrip) {
+  PointColumns columns;
+  columns.lons = {-180.0, 180.0, 0.0, -0.0,
+                  std::numeric_limits<double>::min(),
+                  std::numeric_limits<double>::max(),
+                  std::numeric_limits<double>::denorm_min(),
+                  -std::numeric_limits<double>::max()};
+  for (size_t i = 0; i < columns.lons.size(); i++) {
+    columns.lats.push_back(i % 2 == 0 ? 90.0 : -90.0);
+    columns.timestamps.push_back(static_cast<int64_t>(i));
+  }
+  std::string blob;
+  ASSERT_TRUE(EncodePoints(columns, &blob));
+  PointColumns decoded;
+  ASSERT_TRUE(DecodePoints(blob.data(), blob.size(), &decoded));
+  // Bit-exact: -0.0 must stay -0.0, denormals must survive.
+  for (size_t i = 0; i < columns.lons.size(); i++) {
+    uint64_t want, got;
+    std::memcpy(&want, &columns.lons[i], 8);
+    std::memcpy(&got, &decoded.lons[i], 8);
+    EXPECT_EQ(got, want) << "lon " << i;
+  }
+  EXPECT_EQ(decoded.lats, columns.lats);
+  EXPECT_EQ(decoded.timestamps, columns.timestamps);
+}
+
+TEST(TrajCodecTest, CorruptedPayloadFailsCleanly) {
+  PointColumns columns;
+  for (int i = 0; i < 300; i++) {
+    columns.timestamps.push_back(1400000000 + i * 5);
+    columns.lons.push_back(116.3 + i * 1e-5);
+    columns.lats.push_back(39.9 + i * 1e-5);
+  }
+  std::string blob;
+  ASSERT_TRUE(EncodePoints(columns, &blob));
+
+  // Every truncation must be rejected, never crash or hand back columns of
+  // the wrong length.
+  for (size_t len = 0; len < blob.size(); len += 7) {
+    PointColumns decoded;
+    if (DecodePoints(blob.data(), len, &decoded)) {
+      EXPECT_EQ(decoded.timestamps.size(), columns.timestamps.size());
+    }
+  }
+  // Single-byte flips either fail or decode to *some* equal-length columns
+  // (the blob has no checksum of its own; the SSTable trailer CRC guards
+  // end-to-end integrity).
+  Random rnd(31);
+  for (int trial = 0; trial < 100; trial++) {
+    std::string mut = blob;
+    mut[rnd.Uniform(static_cast<int>(mut.size()))] ^=
+        static_cast<char>(1 + rnd.Uniform(255));
+    PointColumns decoded;
+    if (DecodePoints(mut.data(), mut.size(), &decoded)) {
+      EXPECT_EQ(decoded.lons.size(), decoded.timestamps.size());
+      EXPECT_EQ(decoded.lats.size(), decoded.timestamps.size());
+    }
+  }
 }
 
 }  // namespace

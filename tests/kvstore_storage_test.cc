@@ -1,0 +1,548 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "compress/byte_codec.h"
+#include "core/ttl_filter.h"
+#include "kvstore/compaction_filter.h"
+#include "kvstore/compression.h"
+#include "kvstore/db.h"
+#include "kvstore/env.h"
+#include "kvstore/sst_file_writer.h"
+#include "kvstore/table.h"
+
+namespace tman::kv {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  std::string dir = std::string(::testing::TempDir()) + "tman_storage_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string PointKey(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "pt%08d", i);
+  return buf;
+}
+
+std::string PointValue(int i) {
+  std::string v;
+  EncodePointValue(1700000000 + i * 15, -122.4 + i * 1e-4, 37.7 + i * 1e-4,
+                   &v);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Generic byte codec
+
+TEST(ByteCodecTest, RoundTripsCompressibleData) {
+  std::string raw;
+  for (int i = 0; i < 500; i++) raw += "row-payload-" + std::to_string(i % 7);
+  std::string comp;
+  compress::ByteLzEncode(raw.data(), raw.size(), &comp);
+  EXPECT_LT(comp.size(), raw.size());
+  std::string back;
+  ASSERT_TRUE(compress::ByteLzDecode(comp.data(), comp.size(), &back));
+  EXPECT_EQ(back, raw);
+}
+
+TEST(ByteCodecTest, RoundTripsRandomAndEmpty) {
+  Random rnd(42);
+  std::string raw;
+  for (int i = 0; i < 4096; i++) raw.push_back(static_cast<char>(rnd.Next()));
+  std::string comp;
+  compress::ByteLzEncode(raw.data(), raw.size(), &comp);
+  std::string back;
+  ASSERT_TRUE(compress::ByteLzDecode(comp.data(), comp.size(), &back));
+  EXPECT_EQ(back, raw);
+
+  std::string empty_comp;
+  compress::ByteLzEncode("", 0, &empty_comp);
+  std::string empty_back;
+  ASSERT_TRUE(
+      compress::ByteLzDecode(empty_comp.data(), empty_comp.size(), &empty_back));
+  EXPECT_TRUE(empty_back.empty());
+}
+
+TEST(ByteCodecTest, DecodeRejectsCorruptPayloads) {
+  std::string raw(2000, 'a');
+  std::string comp;
+  compress::ByteLzEncode(raw.data(), raw.size(), &comp);
+  std::string out;
+  // Truncations at every prefix must fail cleanly, never crash.
+  for (size_t len = 0; len < comp.size(); len++) {
+    out.clear();
+    if (compress::ByteLzDecode(comp.data(), len, &out)) {
+      EXPECT_EQ(out, raw);  // only acceptable if it still decodes fully
+      FAIL() << "truncated payload decoded at len " << len;
+    }
+  }
+  // Random single-byte flips either fail or reproduce the input exactly.
+  Random rnd(7);
+  for (int trial = 0; trial < 64; trial++) {
+    std::string mut = comp;
+    mut[rnd.Uniform(static_cast<int>(mut.size()))] ^=
+        static_cast<char>(1 + rnd.Uniform(255));
+    out.clear();
+    if (compress::ByteLzDecode(mut.data(), mut.size(), &out)) {
+      EXPECT_EQ(out.size(), raw.size());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block compression negotiation
+
+TEST(CompressionTest, PointValueRoundTrip) {
+  std::string v;
+  EncodePointValue(1234567890, -122.4194, 37.7749, &v);
+  ASSERT_EQ(v.size(), kPointValueSize);
+  int64_t ts;
+  double lon, lat;
+  ASSERT_TRUE(DecodePointValue(Slice(v), &ts, &lon, &lat));
+  EXPECT_EQ(ts, 1234567890);
+  EXPECT_EQ(lon, -122.4194);
+  EXPECT_EQ(lat, 37.7749);
+}
+
+TEST(CompressionTest, IncompressibleBlockStaysRaw) {
+  Random rnd(99);
+  std::string raw;
+  for (int i = 0; i < 512; i++) raw.push_back(static_cast<char>(rnd.Next()));
+  std::string out;
+  CompressionType used = CompressBlock(kByteCompression, Slice(raw), &out);
+  EXPECT_EQ(used, kNoCompression);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CompressionTest, UncompressRejectsGarbage) {
+  std::string out;
+  Status s = UncompressBlock(kByteCompression, "\xff\xff\xff", 3, &out);
+  EXPECT_TRUE(s.IsCorruption());
+  out.clear();
+  s = UncompressBlock(kTrajPointCompression, "junk", 4, &out);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// DB-level compression round trips
+
+Options CompressedOptions(CompressionType type) {
+  Options options;
+  options.compression = type;
+  options.background_flush = false;
+  options.write_buffer_size = 64 * 1024;
+  return options;
+}
+
+void WriteReadCycle(const std::string& dir, Options options, int n) {
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), PointKey(i), PointValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->CompactAll().ok());
+    for (int i = 0; i < n; i++) {
+      std::string value;
+      ASSERT_TRUE(db->Get(ReadOptions(), PointKey(i), &value).ok());
+      ASSERT_EQ(value, PointValue(i));
+    }
+    DB::IntegrityReport report;
+    ASSERT_TRUE(db->VerifyIntegrity(&report).ok());
+    EXPECT_GT(report.blocks_checked, 0u);
+  }
+  // Reopen: the on-disk format must self-describe.
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+  for (int i = 0; i < n; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), PointKey(i), &value).ok());
+    ASSERT_EQ(value, PointValue(i));
+  }
+}
+
+TEST(StorageFormatTest, TrajPointCompressionRoundTrip) {
+  WriteReadCycle(TestDir("traj_rt"), CompressedOptions(kTrajPointCompression),
+                 4000);
+}
+
+TEST(StorageFormatTest, ByteCompressionRoundTrip) {
+  WriteReadCycle(TestDir("byte_rt"), CompressedOptions(kByteCompression),
+                 4000);
+}
+
+TEST(StorageFormatTest, TrajCompressionShrinksPointTables) {
+  auto total_sst_bytes = [](const std::string& dir) {
+    uint64_t total = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      if (e.path().extension() == ".sst") total += e.file_size();
+    }
+    return total;
+  };
+  const std::string plain_dir = TestDir("size_plain");
+  const std::string comp_dir = TestDir("size_comp");
+  const int n = 8000;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(CompressedOptions(kNoCompression), plain_dir, &db)
+                    .ok());
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), PointKey(i), PointValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->CompactAll().ok());
+  }
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(
+        DB::Open(CompressedOptions(kTrajPointCompression), comp_dir, &db).ok());
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), PointKey(i), PointValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->CompactAll().ok());
+  }
+  const uint64_t plain = total_sst_bytes(plain_dir);
+  const uint64_t comp = total_sst_bytes(comp_dir);
+  ASSERT_GT(plain, 0u);
+  ASSERT_GT(comp, 0u);
+  // ISSUE acceptance: at least 2x bytes/point reduction on point rows.
+  EXPECT_LE(comp * 2, plain) << "plain=" << plain << " comp=" << comp;
+}
+
+TEST(StorageFormatTest, LegacyV1TablesStillRead) {
+  const std::string dir = TestDir("legacy");
+  Options legacy = CompressedOptions(kNoCompression);
+  legacy.write_legacy_table_format = true;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(legacy, dir, &db).ok());
+    for (int i = 0; i < 2000; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), PointKey(i), PointValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  // Reopen with a modern, compression-enabled config: v1 tables written
+  // before the upgrade must keep reading, and new writes land as v2.
+  Options modern = CompressedOptions(kTrajPointCompression);
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(modern, dir, &db).ok());
+  for (int i = 0; i < 2000; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), PointKey(i), &value).ok());
+    ASSERT_EQ(value, PointValue(i));
+  }
+  for (int i = 2000; i < 3000; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), PointKey(i), PointValue(i)).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->CompactAll().ok());  // merges v1 + v2 inputs
+  for (int i = 0; i < 3000; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), PointKey(i), &value).ok());
+    ASSERT_EQ(value, PointValue(i));
+  }
+  DB::IntegrityReport report;
+  ASSERT_TRUE(db->VerifyIntegrity(&report).ok());
+}
+
+TEST(StorageFormatTest, VerifyIntegrityCatchesCompressedCorruption) {
+  const std::string dir = TestDir("corrupt");
+  Options options = CompressedOptions(kTrajPointCompression);
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+    for (int i = 0; i < 4000; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), PointKey(i), PointValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  // Flip one byte in the middle of the (compressed) table body.
+  std::string sst;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".sst") sst = e.path().string();
+  }
+  ASSERT_FALSE(sst.empty());
+  {
+    std::fstream f(sst, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(128);
+    char b;
+    f.seekg(128);
+    f.get(b);
+    f.seekp(128);
+    f.put(static_cast<char>(b ^ 0x5a));
+  }
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+  DB::IntegrityReport report;
+  Status s = db->VerifyIntegrity(&report);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// SstFileWriter + IngestExternalFile
+
+TEST(SstFileWriterTest, EnforcesOrderAndNonEmpty) {
+  const std::string dir = TestDir("writer");
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir).ok());
+  Options options;
+  {
+    SstFileWriter writer(options);
+    ASSERT_TRUE(writer.Open(dir + "/empty.sst").ok());
+    ExternalSstFileInfo info;
+    EXPECT_TRUE(writer.Finish(&info).IsInvalidArgument());
+  }
+  SstFileWriter writer(options);
+  ASSERT_TRUE(writer.Open(dir + "/order.sst").ok());
+  ASSERT_TRUE(writer.Put("b", "1").ok());
+  EXPECT_TRUE(writer.Put("a", "0").IsInvalidArgument());  // out of order
+  EXPECT_TRUE(writer.Put("b", "2").IsInvalidArgument());  // duplicate
+  ASSERT_TRUE(writer.Put("c", "2").ok());
+  ExternalSstFileInfo info;
+  ASSERT_TRUE(writer.Finish(&info).ok());
+  EXPECT_EQ(info.num_entries, 2u);
+  EXPECT_EQ(info.smallest_user_key, "b");
+  EXPECT_EQ(info.largest_user_key, "c");
+  EXPECT_GT(info.file_size, 0u);
+}
+
+TEST(IngestTest, IngestedFileIsVisibleAndDurable) {
+  const std::string dir = TestDir("ingest");
+  Options options = CompressedOptions(kTrajPointCompression);
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+
+  const std::string ext = dir + "/bulk-0.tmp";
+  SstFileWriter writer(options);
+  ASSERT_TRUE(writer.Open(ext).ok());
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(writer.Put(PointKey(i), PointValue(i)).ok());
+  }
+  ExternalSstFileInfo info;
+  ASSERT_TRUE(writer.Finish(&info).ok());
+
+  DB::IngestOptions io;
+  io.move_file = true;
+  ASSERT_TRUE(db->IngestExternalFile(io, ext).ok());
+  EXPECT_FALSE(Env::Default()->FileExists(ext));  // moved, not copied
+
+  DB::Stats stats = db->GetStats();
+  EXPECT_EQ(stats.files_ingested, 1u);
+  EXPECT_EQ(stats.rows_ingested, 3000u);
+
+  for (int i = 0; i < 3000; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), PointKey(i), &value).ok());
+    ASSERT_EQ(value, PointValue(i));
+  }
+  db.reset();
+
+  // Survives reopen: the install was committed through the MANIFEST.
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), PointKey(1234), &value).ok());
+  EXPECT_EQ(value, PointValue(1234));
+  DB::IntegrityReport report;
+  ASSERT_TRUE(db->VerifyIntegrity(&report).ok());
+}
+
+TEST(IngestTest, OverlappingRangeIsRejected) {
+  const std::string dir = TestDir("overlap");
+  Options options;
+  options.background_flush = false;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), PointKey(500), "live").ok());
+  ASSERT_TRUE(db->Flush().ok());
+
+  const std::string ext = dir + "/bulk-1.tmp";
+  SstFileWriter writer(options);
+  ASSERT_TRUE(writer.Open(ext).ok());
+  for (int i = 400; i < 600; i++) {
+    ASSERT_TRUE(writer.Put(PointKey(i), PointValue(i)).ok());
+  }
+  ExternalSstFileInfo info;
+  ASSERT_TRUE(writer.Finish(&info).ok());
+
+  DB::IngestOptions io;
+  Status s = db->IngestExternalFile(io, ext);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  // The live row must win and the store must stay consistent.
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), PointKey(500), &value).ok());
+  EXPECT_EQ(value, "live");
+
+  // A disjoint file still ingests (copy mode keeps the source).
+  const std::string ext2 = dir + "/bulk-2.tmp";
+  SstFileWriter writer2(options);
+  ASSERT_TRUE(writer2.Open(ext2).ok());
+  for (int i = 600; i < 700; i++) {
+    ASSERT_TRUE(writer2.Put(PointKey(i), PointValue(i)).ok());
+  }
+  ASSERT_TRUE(writer2.Finish(&info).ok());
+  ASSERT_TRUE(db->IngestExternalFile(io, ext2).ok());
+  EXPECT_TRUE(Env::Default()->FileExists(ext2));  // copy, source kept
+  ASSERT_TRUE(db->Get(ReadOptions(), PointKey(650), &value).ok());
+}
+
+TEST(IngestTest, RejectsFilesNotBuiltBySstFileWriter) {
+  const std::string dir = TestDir("badfile");
+  Options options;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+  const std::string ext = dir + "/bulk-3.tmp";
+  {
+    std::ofstream f(ext, std::ios::binary);
+    f << "this is not an sstable";
+  }
+  DB::IngestOptions io;
+  Status s = db->IngestExternalFile(io, ext);
+  EXPECT_FALSE(s.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Compaction filter
+
+// Drops every row whose value is the literal "expired".
+class ValueFilter : public CompactionFilter {
+ public:
+  const char* Name() const override { return "test.value"; }
+  bool ShouldDrop(int, const Slice&, const Slice& value) const override {
+    return value == Slice("expired");
+  }
+};
+
+TEST(CompactionFilterTest, ExpiredRowsAreDroppedAndCounted) {
+  const std::string dir = TestDir("filter");
+  ValueFilter filter;
+  Options options;
+  options.background_flush = false;
+  options.compaction_filter = &filter;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+  for (int i = 0; i < 1000; i++) {
+    const bool expired = i % 3 == 0;
+    ASSERT_TRUE(db->Put(WriteOptions(), PointKey(i),
+                        expired ? "expired" : "live")
+                    .ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->CompactAll().ok());
+
+  for (int i = 0; i < 1000; i++) {
+    std::string value;
+    Status s = db->Get(ReadOptions(), PointKey(i), &value);
+    if (i % 3 == 0) {
+      EXPECT_TRUE(s.IsNotFound()) << PointKey(i);
+    } else {
+      ASSERT_TRUE(s.ok());
+      EXPECT_EQ(value, "live");
+    }
+  }
+  DB::Stats stats = db->GetStats();
+  EXPECT_GT(stats.compaction_filter_dropped +
+                stats.compaction_filter_tombstoned,
+            0u);
+
+  // After full compaction to the bottom, survivors stay and the dropped
+  // rows stay gone across reopen.
+  db.reset();
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+  std::string value;
+  EXPECT_TRUE(db->Get(ReadOptions(), PointKey(0), &value).IsNotFound());
+  EXPECT_TRUE(db->Get(ReadOptions(), PointKey(1), &value).ok());
+}
+
+TEST(CompactionFilterTest, NewestVersionWinsOverFilter) {
+  // A newer live version of a key must shadow an older expired one: the
+  // filter is consulted only on the newest surviving version.
+  const std::string dir = TestDir("filter_ver");
+  ValueFilter filter;
+  Options options;
+  options.background_flush = false;
+  options.compaction_filter = &filter;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), "k", "expired").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), "k", "live-again").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->CompactAll().ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ(value, "live-again");
+}
+
+// ---------------------------------------------------------------------------
+// TTL filter (core)
+
+TEST(TtlFilterTest, ExpiresOnlyDecodableOldRecords) {
+  const int64_t now = 1700000000;
+  core::TtlCompactionFilter ttl(3600, [now] { return now; });
+  // Undecodable values (e.g. secondary index rows holding primary-key
+  // strings) are never dropped.
+  EXPECT_FALSE(ttl.ShouldDrop(1, Slice("k"), Slice("primary-key-string")));
+  EXPECT_FALSE(ttl.ShouldDrop(1, Slice("k"), Slice()));
+  EXPECT_EQ(ttl.expired(), 0u);
+  // Disabled filter never drops.
+  core::TtlCompactionFilter off(0, [now] { return now; });
+  EXPECT_FALSE(off.ShouldDrop(1, Slice("k"), Slice("anything")));
+}
+
+// ---------------------------------------------------------------------------
+// Cluster bulk load
+
+TEST(ClusterBulkLoadTest, LoadsAcrossRegionsAndReadsBack) {
+  cluster::Cluster cl(TestDir("bulkload"), 3, Options());
+  ASSERT_TRUE(cl.CreateTable("t", 4).ok());
+  cluster::ClusterTable* table = cl.GetTable("t");
+
+  std::vector<cluster::Row> rows;
+  for (int shard = 0; shard < 4; shard++) {
+    for (int i = 0; i < 500; i++) {
+      cluster::Row row;
+      row.key.push_back(static_cast<char>(shard));
+      row.key += PointKey(i);
+      row.value = PointValue(i);
+      rows.push_back(std::move(row));
+    }
+  }
+  ASSERT_TRUE(table->BulkLoad(rows).ok());
+  for (const cluster::Row& row : rows) {
+    std::string value;
+    ASSERT_TRUE(table->Get(row.key, &value).ok());
+    ASSERT_EQ(value, row.value);
+  }
+  // Ingestion accounting reached the region stores.
+  DB::Stats stats = table->GetStorageStats();
+  EXPECT_EQ(stats.files_ingested, 4u);
+  EXPECT_EQ(stats.rows_ingested, rows.size());
+
+  // A second overlapping load must fail (live range overlap)...
+  EXPECT_FALSE(table->BulkLoad(rows).ok());
+  // ...while a disjoint one succeeds.
+  std::vector<cluster::Row> more;
+  for (int shard = 0; shard < 4; shard++) {
+    for (int i = 500; i < 600; i++) {
+      cluster::Row row;
+      row.key.push_back(static_cast<char>(shard));
+      row.key += PointKey(i);
+      row.value = PointValue(i);
+      more.push_back(std::move(row));
+    }
+  }
+  ASSERT_TRUE(table->BulkLoad(more).ok());
+}
+
+}  // namespace
+}  // namespace tman::kv
