@@ -1,0 +1,213 @@
+// Live telemetry tour: the grown-up sibling of tman_dump_metrics. Instead
+// of rendering the registry in-process at the end of the run, this example
+// starts the embedded telemetry server (TManOptions::telemetry_port), runs
+// the same mixed workload with slow-query capture armed, and then scrapes
+// its own HTTP endpoints — exactly what `curl` (or Prometheus) would see.
+//
+//   ./build/examples/tman_statusz [data_dir] [--port N] [--out FILE]
+//                                 [--serve SECONDS]
+//
+// --port N        bind the telemetry server on port N (default 0 =
+//                 ephemeral; the chosen port is printed).
+// --out FILE      also write the /statusz JSON document to FILE (CI
+//                 archives it as an artifact).
+// --serve SECONDS keep the server up for SECONDS after the workload so
+//                 you can poke the endpoints from another terminal.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tman.h"
+#include "geo/similarity.h"
+#include "obs/metrics.h"
+#include "traj/generator.h"
+
+using tman::core::QueryOptions;
+using tman::core::QueryStats;
+using tman::core::TMan;
+using tman::core::TManOptions;
+
+namespace {
+
+// Minimal HTTP/1.0-style GET against the loopback telemetry server; body
+// is everything after the blank line. Empty string on any failure.
+std::string HttpGet(int port, const std::string& path) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    ssize_t n = write(fd, req.data() + off, req.size() - off);
+    if (n <= 0) {
+      close(fd);
+      return "";
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) raw.append(buf, static_cast<size_t>(n));
+  close(fd);
+  const size_t split = raw.find("\r\n\r\n");
+  return split == std::string::npos ? "" : raw.substr(split + 4);
+}
+
+// First `max_lines` lines of `text` (enough to show the shape of a
+// document without flooding the terminal).
+std::string Head(const std::string& text, int max_lines) {
+  size_t pos = 0;
+  for (int i = 0; i < max_lines && pos != std::string::npos; i++) {
+    pos = text.find('\n', pos);
+    if (pos != std::string::npos) pos++;
+  }
+  return pos == std::string::npos ? text : text.substr(0, pos) + "...\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "/tmp/tman_statusz";
+  std::string out_file;
+  int port = 0;
+  int serve_seconds = 0;
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_file = argv[++i];
+    } else if (strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_seconds = atoi(argv[++i]);
+    } else {
+      dir = argv[i];
+    }
+  }
+
+  tman::obs::MetricsRegistry registry;
+
+  const tman::traj::DatasetSpec spec = tman::traj::TDriveLikeSpec();
+  TManOptions options;
+  options.bounds = spec.bounds;
+  options.tr.period_seconds = 1800;
+  options.tr.max_periods = 48;
+  options.tshape = tman::index::TShapeConfig{3, 3, 15};
+  options.kv.metrics = &registry;
+  // The telemetry plane: HTTP server + event log + background reporter,
+  // with slow-query capture armed so /tracez has content (1us threshold
+  // means every query counts as "slow" — demo setting, not production).
+  options.telemetry_port = port;
+  options.slow_query_micros = 1;
+  options.telemetry_report_interval_seconds = 2;
+
+  std::unique_ptr<TMan> db;
+  tman::Status s = TMan::Open(options, dir, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const int bound = db->telemetry_port();
+  if (bound < 0) {
+    fprintf(stderr, "telemetry server failed to start\n");
+    return 1;
+  }
+  printf("telemetry server listening on 127.0.0.1:%d\n", bound);
+  printf("  curl http://127.0.0.1:%d/metrics\n", bound);
+  printf("  curl http://127.0.0.1:%d/metrics.json\n", bound);
+  printf("  curl http://127.0.0.1:%d/healthz\n", bound);
+  printf("  curl http://127.0.0.1:%d/statusz\n", bound);
+  printf("  curl http://127.0.0.1:%d/eventz\n", bound);
+  printf("  curl http://127.0.0.1:%d/tracez\n\n", bound);
+
+  // Mixed workload: bulk load, incremental insert, flush, one query of
+  // each fundamental type — so every endpoint has live data to show.
+  const auto data = tman::traj::Generate(spec, 1500, /*seed=*/7);
+  s = db->BulkLoad(data);
+  if (!s.ok()) {
+    fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const auto extra = tman::traj::Generate(spec, 100, /*seed=*/8);
+  db->Insert(extra);
+  db->Flush();
+
+  const int64_t ts = spec.t0 + 24 * 3600;
+  const tman::geo::MBR window{116.3, 39.85, 116.5, 39.95};
+  std::vector<tman::traj::Trajectory> results;
+  QueryStats stats;
+  db->TemporalRangeQuery(ts, ts + 2 * 3600, &results, &stats);
+  results.clear();
+  db->SpatialRangeQuery(window, &results, &stats);
+  results.clear();
+  db->SpatioTemporalRangeQuery(window, ts, ts + 6 * 3600, &results, &stats);
+  results.clear();
+  db->IDTemporalQuery(data[0].oid, spec.t0, spec.t0 + 24 * 3600, &results,
+                      &stats);
+  results.clear();
+  db->TopKSimilarityQuery(data[10], tman::geo::SimilarityMeasure::kFrechet, 3,
+                          &results, &stats);
+  uint64_t count = 0;
+  db->SpatioTemporalRangeCount(window, ts, ts + 6 * 3600, &count, &stats);
+
+  // Scrape our own endpoints — the same bytes any HTTP client gets.
+  const std::string health = HttpGet(bound, "/healthz");
+  printf("=== GET /healthz ===\n%s\n", health.c_str());
+
+  const std::string statusz = HttpGet(bound, "/statusz");
+  printf("=== GET /statusz (head) ===\n%s\n", Head(statusz, 14).c_str());
+
+  const std::string metrics = HttpGet(bound, "/metrics");
+  printf("=== GET /metrics (head) ===\n%s\n", Head(metrics, 12).c_str());
+
+  const std::string eventz = HttpGet(bound, "/eventz");
+  printf("=== GET /eventz (head) ===\n%s\n", Head(eventz, 8).c_str());
+
+  const std::string tracez = HttpGet(bound, "/tracez");
+  printf("=== GET /tracez (head) ===\n%s\n", Head(tracez, 16).c_str());
+
+  if (!out_file.empty()) {
+    FILE* f = fopen(out_file.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write %s\n", out_file.c_str());
+      return 1;
+    }
+    fwrite(statusz.data(), 1, statusz.size(), f);
+    fclose(f);
+    printf("wrote /statusz to %s\n", out_file.c_str());
+  }
+
+  // Sanity for scripted callers (CI): all endpoints answered, and the
+  // slow-query ring actually captured traces.
+  if (health.find("ok") == std::string::npos ||
+      statusz.find("\"tables\"") == std::string::npos ||
+      metrics.find("tman_kv_") == std::string::npos ||
+      tracez.find("captured") == std::string::npos) {
+    fprintf(stderr, "endpoint self-check failed\n");
+    return 1;
+  }
+
+  if (serve_seconds > 0) {
+    printf("serving for %d more seconds (Ctrl-C to stop early)...\n",
+           serve_seconds);
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  }
+  return 0;
+}

@@ -72,6 +72,16 @@ ClusterTable::ClusterTable(std::string name,
         metrics->GetHistogram("tman_cluster_scan_fanout_regions");
     scan_micros_ = metrics->GetHistogram("tman_cluster_scan_micros");
     wait_micros_ = metrics->GetHistogram("tman_cluster_scan_wait_micros");
+    region_rows_scanned_.reserve(regions_.size());
+    region_writes_.reserve(regions_.size());
+    for (const auto& region : regions_) {
+      const std::string labels = "{table=\"" + name_ + "\",shard=\"" +
+                                 std::to_string(region->shard()) + "\"}";
+      region_rows_scanned_.push_back(metrics->GetCounter(
+          "tman_cluster_region_rows_scanned_total" + labels));
+      region_writes_.push_back(
+          metrics->GetCounter("tman_cluster_region_writes_total" + labels));
+    }
   }
 }
 
@@ -86,12 +96,16 @@ uint8_t ShardOf(const Slice& key) {
 
 Status ClusterTable::Put(const Slice& key, const Slice& value) {
   const int shard = ShardOf(key) % num_shards();
-  return regions_[shard]->db()->Put(kv::WriteOptions(), key, value);
+  Status s = regions_[shard]->db()->Put(kv::WriteOptions(), key, value);
+  if (s.ok() && !region_writes_.empty()) region_writes_[shard]->Inc();
+  return s;
 }
 
 Status ClusterTable::Delete(const Slice& key) {
   const int shard = ShardOf(key) % num_shards();
-  return regions_[shard]->db()->Delete(kv::WriteOptions(), key);
+  Status s = regions_[shard]->db()->Delete(kv::WriteOptions(), key);
+  if (s.ok() && !region_writes_.empty()) region_writes_[shard]->Inc();
+  return s;
 }
 
 Status ClusterTable::Get(const Slice& key, std::string* value) {
@@ -113,7 +127,11 @@ Status ClusterTable::BatchPut(const std::vector<Row>& rows,
   for (size_t i = 0; i < regions_.size(); i++) {
     if (batches[i].Count() == 0) continue;
     futures.push_back(pool_->Submit([this, i, wo, &batches] {
-      return regions_[i]->db()->Write(wo, &batches[i]);
+      Status s = regions_[i]->db()->Write(wo, &batches[i]);
+      if (s.ok() && !region_writes_.empty()) {
+        region_writes_[i]->Inc(batches[i].Count());
+      }
+      return s;
     }));
   }
   Status result;
@@ -156,6 +174,9 @@ Status ClusterTable::BulkLoad(const std::vector<Row>& rows) {
         kv::DB::IngestOptions io;
         io.move_file = true;
         s = db->IngestExternalFile(io, path);
+        if (s.ok() && !region_writes_.empty()) {
+          region_writes_[i]->Inc(group.size());
+        }
       }
       if (!s.ok() && db->options().env != nullptr) {
         db->options().env->RemoveFile(path);  // best effort
@@ -356,6 +377,10 @@ Status ClusterTable::ParallelScan(const std::vector<KeyRange>& ranges,
           static_cast<double>(task.scan_micros) / 1000.0});
     }
     if (wait_micros_ != nullptr) wait_micros_->Record(task.wait_micros);
+    if (!region_rows_scanned_.empty() && task.stats.scanned > 0) {
+      region_rows_scanned_[task.region->shard() % num_shards()]->Inc(
+          task.stats.scanned);
+    }
   }
   if (outcome != nullptr) {
     outcome->regions_attempted += tasks.size();
@@ -488,6 +513,10 @@ Status ClusterTable::MultiScan(const std::vector<KeyRange>& ranges,
           static_cast<double>(task.scan_micros) / 1000.0});
     }
     if (wait_micros_ != nullptr) wait_micros_->Record(task.wait_micros);
+    if (!region_rows_scanned_.empty() && task.stats.scanned > 0) {
+      region_rows_scanned_[task.region->shard() % num_shards()]->Inc(
+          task.stats.scanned);
+    }
   }
   if (outcome != nullptr) {
     outcome->regions_attempted += tasks.size();
@@ -616,6 +645,20 @@ kv::DB::Stats ClusterTable::GetStorageStats() {
     total.rows_ingested += s.rows_ingested;
   }
   return total;
+}
+
+std::vector<ClusterTable::RegionStats> ClusterTable::GetPerRegionStats() {
+  std::vector<RegionStats> out;
+  out.reserve(regions_.size());
+  for (auto& region : regions_) {
+    RegionStats rs;
+    rs.shard = region->shard();
+    rs.db_name = region->db()->name();
+    rs.background_error = region->db()->background_error();
+    rs.stats = region->db()->GetStats();
+    out.push_back(std::move(rs));
+  }
+  return out;
 }
 
 uint64_t ClusterTable::TotalBytes() {

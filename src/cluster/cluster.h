@@ -188,6 +188,17 @@ class ClusterTable {
   // file counts/bytes, flush/compaction work, write-stall time).
   kv::DB::Stats GetStorageStats();
 
+  // One entry per region: shard id, the region store's directory and its
+  // full DB::Stats snapshot plus sticky background error (the /statusz
+  // per-region breakdown).
+  struct RegionStats {
+    int shard = 0;
+    std::string db_name;
+    Status background_error;
+    kv::DB::Stats stats;
+  };
+  std::vector<RegionStats> GetPerRegionStats();
+
  private:
   // Regions whose shard range intersects [range.start, range.end).
   std::vector<Region*> RoutingRegions(const KeyRange& range);
@@ -206,6 +217,11 @@ class ClusterTable {
   obs::Histogram* fanout_regions_ = nullptr;
   obs::Histogram* scan_micros_ = nullptr;
   obs::Histogram* wait_micros_ = nullptr;
+  // Per-region activity, indexed by shard; labels carry table + shard so a
+  // windowed view of the registry yields last-minute per-region scan/write
+  // rates (the hot-region signal). Empty when metrics are off.
+  std::vector<obs::Counter*> region_rows_scanned_;
+  std::vector<obs::Counter*> region_writes_;
 };
 
 // A simulated cluster: `num_servers` logical region servers sharing a

@@ -83,6 +83,35 @@ struct TManOptions {
   // means the system realtime clock.
   std::function<int64_t()> retention_clock;
 
+  // --- Telemetry plane (see DESIGN.md "Telemetry plane") ---
+
+  // TCP port of the embedded HTTP telemetry server (/metrics, /healthz,
+  // /statusz, /eventz, /tracez). -1 (the default) disables the server, the
+  // event log and the background reporter entirely; 0 binds an ephemeral
+  // port (query it with TMan::telemetry_port() — the test-friendly mode).
+  int telemetry_port = -1;
+
+  // Bind the telemetry server on all interfaces instead of loopback.
+  bool telemetry_bind_any = false;
+
+  // Queries slower than this keep their full TraceSpan tree in a bounded
+  // ring served at /tracez (EXPLAIN ANALYZE of the slowest calls). 0 (the
+  // default) disables capture and the per-query span allocations with it.
+  int64_t slow_query_micros = 0;
+
+  // Capacity of the slow-query trace ring (entries retained).
+  size_t slow_query_ring_capacity = 32;
+
+  // Capacity of the maintenance-event ring behind /eventz.
+  size_t event_log_capacity = 256;
+
+  // Background reporter cadence: every interval the reporter republishes
+  // the storage gauges and rotates the metrics window (so each window slot
+  // spans one interval; telemetry_window_slots slots make up the windowed
+  // view — the defaults give a sliding last-minute rate).
+  int telemetry_report_interval_seconds = 10;
+  int telemetry_window_slots = 6;
+
   kv::Options kv;
 };
 

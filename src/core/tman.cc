@@ -9,6 +9,7 @@
 #include "common/stopwatch.h"
 #include "core/filters.h"
 #include "core/rowkey.h"
+#include "kvstore/db_telemetry.h"
 #include "index/shape_encoding.h"
 
 namespace tman::core {
@@ -16,15 +17,6 @@ namespace tman::core {
 namespace {
 
 constexpr size_t kWriteChunk = 4096;  // rows per batch write
-
-// Root span of a traced query; null when tracing is off (tracing requires
-// a stats out-param to hand the tree back through).
-std::shared_ptr<obs::TraceSpan> MaybeTraceRoot(const QueryOptions& qopts,
-                                               const QueryStats* stats,
-                                               const char* name) {
-  if (!qopts.trace || stats == nullptr) return nullptr;
-  return std::make_shared<obs::TraceSpan>(name);
-}
 
 // Freezes a finished planning span with the plan's cost-model numbers.
 void FinishPlanningSpan(obs::TraceSpan* span, const QueryPlan& plan) {
@@ -50,23 +42,48 @@ void FinishPlanningSpan(obs::TraceSpan* span, const QueryPlan& plan) {
   }
 }
 
-// Ends the root, mirrors the final QueryStats numbers onto it, and hands
-// the tree to the caller via stats->trace.
-void FinishTrace(std::shared_ptr<obs::TraceSpan> root, QueryStats* stats) {
-  if (root == nullptr) return;
-  root->End();
-  root->Annotate("plan", stats->plan);
-  root->Annotate("candidates", static_cast<double>(stats->candidates));
-  root->Annotate("results", static_cast<double>(stats->results));
-  stats->trace = std::move(root);
+}  // namespace
+
+std::shared_ptr<obs::TraceSpan> TMan::MaybeTraceRoot(const QueryOptions& qopts,
+                                                     const QueryStats* stats,
+                                                     const char* name) const {
+  if ((qopts.trace && stats != nullptr) || trace_ring_ != nullptr) {
+    return std::make_shared<obs::TraceSpan>(name);
+  }
+  return nullptr;
 }
 
-}  // namespace
+void TMan::FinishTrace(const QueryOptions& qopts,
+                       std::shared_ptr<obs::TraceSpan> root, QueryStats* stats,
+                       const Stopwatch& total) {
+  if (root == nullptr) return;
+  root->End();
+  if (stats != nullptr) {
+    root->Annotate("plan", stats->plan);
+    root->Annotate("candidates", static_cast<double>(stats->candidates));
+    root->Annotate("results", static_cast<double>(stats->results));
+  }
+  if (trace_ring_ != nullptr &&
+      total.ElapsedMicros() >=
+          static_cast<double>(options_.slow_query_micros)) {
+    trace_ring_->Capture(*root);
+    if (slow_queries_metric_ != nullptr) slow_queries_metric_->Inc();
+  }
+  if (qopts.trace && stats != nullptr) stats->trace = std::move(root);
+}
 
 TMan::TMan(const TManOptions& options, const std::string& path)
     : options_(options), path_(path) {}
 
-TMan::~TMan() = default;
+TMan::~TMan() {
+  {
+    std::lock_guard<std::mutex> lock(reporter_mu_);
+    reporter_stop_ = true;
+  }
+  reporter_cv_.notify_all();
+  if (reporter_.joinable()) reporter_.join();
+  if (telemetry_ != nullptr) telemetry_->Stop();
+}
 
 Status TMan::Open(const TManOptions& options, const std::string& path,
                   std::unique_ptr<TMan>* out) {
@@ -81,6 +98,18 @@ Status TMan::Open(const TManOptions& options, const std::string& path,
 Status TMan::Init() {
   if (options_.bounds.width() <= 0 || options_.bounds.height() <= 0) {
     return Status::InvalidArgument("dataset bounds must be non-degenerate");
+  }
+  if (options_.telemetry_port >= 0 && options_.event_log_capacity > 0) {
+    // The listener is borrowed by every region store, so it (and the ring
+    // it writes into) must be created before the cluster and outlive it
+    // (member declaration order).
+    event_log_ = std::make_unique<obs::EventLog>(options_.event_log_capacity);
+    event_listener_ = std::make_unique<kv::EventLogListener>(event_log_.get());
+    options_.kv.listeners.push_back(event_listener_.get());
+  }
+  if (options_.slow_query_micros > 0) {
+    trace_ring_ =
+        std::make_unique<obs::TraceRing>(options_.slow_query_ring_capacity);
   }
   cluster_ = std::make_unique<cluster::Cluster>(path_, options_.num_servers,
                                                 options_.kv);
@@ -151,6 +180,8 @@ Status TMan::Init() {
     reencodes_metric_ = registry->GetCounter("tman_core_reencodes_total");
     rows_rewritten_metric_ =
         registry->GetCounter("tman_core_rows_rewritten_total");
+    slow_queries_metric_ =
+        registry->GetCounter("tman_core_slow_queries_total");
     redis_.BindMetrics(registry->GetCounter("tman_redis_hits_total"),
                        registry->GetCounter("tman_redis_misses_total"),
                        registry->GetCounter("tman_redis_ops_total"));
@@ -165,7 +196,31 @@ Status TMan::Init() {
   meta += ";tr_N=" + std::to_string(options_.tr.max_periods);
   std::string meta_key(1, '\0');
   meta_key += "config";
-  return meta_table_->Put(meta_key, meta);
+  s = meta_table_->Put(meta_key, meta);
+  if (!s.ok()) return s;
+
+  if (options_.telemetry_port >= 0) {
+    if (options_.kv.metrics != nullptr) {
+      options_.kv.metrics->EnableWindows(
+          options_.telemetry_window_slots,
+          options_.telemetry_report_interval_seconds);
+    }
+    telemetry_ = std::make_unique<obs::TelemetryServer>();
+    telemetry_->set_metrics(options_.kv.metrics);
+    if (event_log_ != nullptr) telemetry_->set_event_log(event_log_.get());
+    if (trace_ring_ != nullptr) telemetry_->set_trace_ring(trace_ring_.get());
+    telemetry_->set_status_source([this] { return StatusJson(); });
+    telemetry_->set_health_source(
+        [this](std::string* detail) { return Healthy(detail); });
+    telemetry_->set_refresh_hook([this] { PublishMetrics(); });
+    obs::TelemetryServer::ServerOptions server_opts;
+    server_opts.port = options_.telemetry_port;
+    server_opts.bind_any = options_.telemetry_bind_any;
+    s = telemetry_->Start(server_opts);
+    if (!s.ok()) return s;
+    reporter_ = std::thread([this] { ReporterLoop(); });
+  }
+  return Status::OK();
 }
 
 std::vector<geo::TimedPoint> TMan::Normalize(
@@ -596,7 +651,7 @@ Status TMan::TemporalRangeQuery(int64_t ts, int64_t te,
     stats->execution_ms += total.ElapsedMillis();
   }
   RecordQueryLatency(q_temporal_micros_, total);
-  FinishTrace(std::move(root), stats);
+  FinishTrace(qopts, std::move(root), stats, total);
   return Status::OK();
 }
 
@@ -630,7 +685,7 @@ Status TMan::SpatialRangeQuery(const geo::MBR& rect,
     stats->execution_ms += total.ElapsedMillis();
   }
   RecordQueryLatency(q_spatial_micros_, total);
-  FinishTrace(std::move(root), stats);
+  FinishTrace(qopts, std::move(root), stats, total);
   return Status::OK();
 }
 
@@ -666,7 +721,7 @@ Status TMan::SpatioTemporalRangeQuery(const geo::MBR& rect, int64_t ts,
     stats->execution_ms += total.ElapsedMillis();
   }
   RecordQueryLatency(q_st_micros_, total);
-  FinishTrace(std::move(root), stats);
+  FinishTrace(qopts, std::move(root), stats, total);
   return Status::OK();
 }
 
@@ -700,7 +755,7 @@ Status TMan::IDTemporalQuery(const std::string& oid, int64_t ts, int64_t te,
     stats->execution_ms += total.ElapsedMillis();
   }
   RecordQueryLatency(q_idt_micros_, total);
-  FinishTrace(std::move(root), stats);
+  FinishTrace(qopts, std::move(root), stats, total);
   return Status::OK();
 }
 
@@ -752,7 +807,7 @@ Status TMan::ThresholdSimilarityQuery(const traj::Trajectory& query,
     stats->execution_ms += total.ElapsedMillis();
   }
   RecordQueryLatency(q_sim_threshold_micros_, total);
-  FinishTrace(std::move(root), stats);
+  FinishTrace(qopts, std::move(root), stats, total);
   return Status::OK();
 }
 
@@ -832,7 +887,7 @@ Status TMan::TopKSimilarityQuery(const traj::Trajectory& query,
   out->reserve(out->size() + results.size());
   std::move(results.begin(), results.end(), std::back_inserter(*out));
   RecordQueryLatency(q_sim_topk_micros_, total);
-  FinishTrace(std::move(root), stats);
+  FinishTrace(qopts, std::move(root), stats, total);
   return Status::OK();
 }
 
@@ -904,7 +959,7 @@ Status TMan::TemporalRangeCount(int64_t ts, int64_t te, uint64_t* count,
     stats->execution_ms += total.ElapsedMillis();
   }
   RecordQueryLatency(q_count_micros_, total);
-  FinishTrace(std::move(root), stats);
+  FinishTrace(qopts, std::move(root), stats, total);
   return s;
 }
 
@@ -930,7 +985,7 @@ Status TMan::SpatialRangeCount(const geo::MBR& rect, uint64_t* count,
     stats->execution_ms += total.ElapsedMillis();
   }
   RecordQueryLatency(q_count_micros_, total);
-  FinishTrace(std::move(root), stats);
+  FinishTrace(qopts, std::move(root), stats, total);
   return s;
 }
 
@@ -959,7 +1014,7 @@ Status TMan::SpatioTemporalRangeCount(const geo::MBR& rect, int64_t ts,
     stats->execution_ms += total.ElapsedMillis();
   }
   RecordQueryLatency(q_count_micros_, total);
-  FinishTrace(std::move(root), stats);
+  FinishTrace(qopts, std::move(root), stats, total);
   return s;
 }
 
@@ -971,6 +1026,9 @@ uint64_t TMan::StorageBytes() {
 void TMan::PublishMetrics() {
   obs::MetricsRegistry* registry = options_.kv.metrics;
   if (registry == nullptr) return;
+  // Serialized so the reporter thread and scrape-triggered refreshes never
+  // interleave half-updated gauge sets.
+  std::lock_guard<std::mutex> lock(publish_mu_);
   const StorageStats s = GetStorageStats();
   registry->GetGauge("tman_storage_sstable_bytes")
       ->Set(static_cast<double>(s.sstable_bytes));
@@ -978,6 +1036,97 @@ void TMan::PublishMetrics() {
       ->Set(static_cast<double>(s.memtable_bytes));
   registry->GetGauge("tman_redis_keys")
       ->Set(static_cast<double>(redis_.KeyCount()));
+}
+
+
+std::string TMan::StatusJson() {
+  std::string out = "{";
+  out += "\"server\":\"tman\"";
+  out += ",\"build\":{\"compiler\":\"" + obs::JsonEscape(__VERSION__) +
+         "\"}";
+  out += ",\"uptime_seconds\":" +
+         std::to_string(uptime_.ElapsedMillis() / 1000.0);
+
+  const StorageStats agg = GetStorageStats();
+  out += ",\"storage\":{";
+  out += "\"sstable_bytes\":" + std::to_string(agg.sstable_bytes);
+  out += ",\"memtable_bytes\":" + std::to_string(agg.memtable_bytes);
+  out += ",\"flush_count\":" + std::to_string(agg.flush_count);
+  out += ",\"compaction_count\":" + std::to_string(agg.compaction_count);
+  out += ",\"stall_count\":" + std::to_string(agg.stall_count);
+  out += ",\"stall_micros\":" + std::to_string(agg.stall_micros);
+  out += "}";
+
+  if (trace_ring_ != nullptr) {
+    out += ",\"slow_queries\":{";
+    out += "\"threshold_micros\":" +
+           std::to_string(options_.slow_query_micros);
+    out += ",\"captured\":" + std::to_string(trace_ring_->total_captured());
+    out += "}";
+  }
+  if (event_log_ != nullptr) {
+    out += ",\"events\":{";
+    out += "\"appended\":" + std::to_string(event_log_->total_appended());
+    out += ",\"capacity\":" + std::to_string(event_log_->capacity());
+    out += "}";
+  }
+
+  out += ",\"tables\":[";
+  bool first_table = true;
+  for (cluster::ClusterTable* table :
+       {primary_, tr_table_, idt_table_, meta_table_}) {
+    if (table == nullptr) continue;
+    if (!first_table) out += ",";
+    first_table = false;
+    out += "{\"name\":\"" + obs::JsonEscape(table->name()) + "\"";
+    out += ",\"regions\":[";
+    bool first_region = true;
+    for (const cluster::ClusterTable::RegionStats& rs :
+         table->GetPerRegionStats()) {
+      if (!first_region) out += ",";
+      first_region = false;
+      out += kv::RenderDbStatsJson(rs.db_name, rs.background_error, rs.stats);
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool TMan::Healthy(std::string* detail) {
+  for (cluster::ClusterTable* table :
+       {primary_, tr_table_, idt_table_, meta_table_}) {
+    if (table == nullptr) continue;
+    for (const cluster::ClusterTable::RegionStats& rs :
+         table->GetPerRegionStats()) {
+      if (!rs.background_error.ok()) {
+        if (detail != nullptr) {
+          *detail = table->name() + "/shard" + std::to_string(rs.shard) +
+                    ": " + rs.background_error.ToString();
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void TMan::ReporterLoop() {
+  const auto interval = std::chrono::seconds(
+      std::max(1, options_.telemetry_report_interval_seconds));
+  std::unique_lock<std::mutex> lock(reporter_mu_);
+  while (!reporter_stop_) {
+    if (reporter_cv_.wait_for(lock, interval,
+                              [this] { return reporter_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    PublishMetrics();
+    if (options_.kv.metrics != nullptr) {
+      options_.kv.metrics->RotateWindow();
+    }
+    lock.lock();
+  }
 }
 
 }  // namespace tman::core

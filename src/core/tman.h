@@ -1,8 +1,11 @@
 #ifndef TMAN_CORE_TMAN_H_
 #define TMAN_CORE_TMAN_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cachestore/redis_like.h"
@@ -22,6 +25,10 @@
 #include "index/xz2_index.h"
 #include "index/xzstar_index.h"
 #include "index/xzt_index.h"
+#include "kvstore/event_listener.h"
+#include "obs/event_log.h"
+#include "obs/telemetry_server.h"
+#include "obs/trace.h"
 #include "traj/trajectory.h"
 
 namespace tman::core {
@@ -132,7 +139,28 @@ class TMan {
   // registry configured in TManOptions::kv.metrics. Event counters and
   // latency histograms update live and need no publish; call this right
   // before scraping so the gauges are fresh. No-op without a registry.
+  // Thread-safe and idempotent: the background reporter, the telemetry
+  // server's scrape hook and callers may all invoke it concurrently.
   void PublishMetrics();
+
+  // --- Telemetry plane (TManOptions::telemetry_port >= 0) ---
+
+  // Bound port of the embedded telemetry server, or -1 when disabled.
+  // With telemetry_port = 0 this is the ephemeral port the OS picked.
+  int telemetry_port() const {
+    return telemetry_ != nullptr ? telemetry_->port() : -1;
+  }
+  obs::TelemetryServer* telemetry() { return telemetry_.get(); }
+  obs::EventLog* event_log() { return event_log_.get(); }
+  obs::TraceRing* trace_ring() { return trace_ring_.get(); }
+
+  // The /statusz document: build info, uptime, storage gauges and the
+  // per-region DB::Stats breakdown of every table, as JSON.
+  std::string StatusJson();
+
+  // The /healthz predicate: true while no region store carries a sticky
+  // background error; on failure `detail` names the first broken region.
+  bool Healthy(std::string* detail);
 
  private:
   TMan(const TManOptions& options, const std::string& path);
@@ -180,8 +208,31 @@ class TMan {
   // Re-encode pass over elements with buffered shapes (§IV-C).
   Status ReencodeBufferedElements();
 
+  // Root span of a query: created when the caller asked for a trace (and
+  // passed stats to hand it back through) or when slow-query capture is
+  // armed; null otherwise, keeping the untraced fast path allocation-free.
+  std::shared_ptr<obs::TraceSpan> MaybeTraceRoot(const QueryOptions& qopts,
+                                                 const QueryStats* stats,
+                                                 const char* name) const;
+
+  // Ends the root, mirrors the final QueryStats onto it, captures it into
+  // the slow-query ring when the query ran past the threshold, and hands
+  // the tree to the caller via stats->trace when tracing was requested.
+  void FinishTrace(const QueryOptions& qopts,
+                   std::shared_ptr<obs::TraceSpan> root, QueryStats* stats,
+                   const Stopwatch& total);
+
+  // Background reporter body: republish gauges + rotate the metrics window
+  // every telemetry_report_interval_seconds until ~TMan signals stop.
+  void ReporterLoop();
+
   TManOptions options_;
   std::string path_;
+  // Members the region stores borrow (event listeners, compaction filter)
+  // are declared before cluster_ so they are destroyed after it: store
+  // threads may consult them until they join in ~Cluster.
+  std::unique_ptr<obs::EventLog> event_log_;
+  std::unique_ptr<kv::EventLogListener> event_listener_;
   // Declared before cluster_ so it is destroyed after it: compaction
   // threads owned by the cluster's stores may consult the filter until
   // they join in ~Cluster.
@@ -217,6 +268,19 @@ class TMan {
   obs::Histogram* q_count_micros_ = nullptr;
   obs::Counter* reencodes_metric_ = nullptr;
   obs::Counter* rows_rewritten_metric_ = nullptr;
+  obs::Counter* slow_queries_metric_ = nullptr;
+
+  // Telemetry plane (all unset when telemetry_port < 0). The server and
+  // reporter are declared after cluster_ and stopped in ~TMan before any
+  // member is torn down, so request handlers never race destruction.
+  std::unique_ptr<obs::TraceRing> trace_ring_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
+  Stopwatch uptime_;
+  std::mutex publish_mu_;  // serializes PublishMetrics gauge updates
+  std::thread reporter_;
+  std::mutex reporter_mu_;
+  std::condition_variable reporter_cv_;
+  bool reporter_stop_ = false;
 };
 
 }  // namespace tman::core

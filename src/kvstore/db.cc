@@ -232,18 +232,23 @@ DB::DB(const Options& options, std::string name)
 }
 
 DB::~DB() {
-  std::unique_lock<std::mutex> lock(mu_);
-  shutting_down_ = true;
-  while (bg_active_) bg_cv_.wait(lock);
-  // Persist any buffered writes so reopen sees them without WAL replay cost.
-  // Skipped when Recover() failed partway: the memtable then holds a
-  // partially-replayed WAL (and wal_ was never opened) — flushing it would
-  // persist exactly the state recovery refused to accept.
-  if (recovered_) {
-    if (imm_ != nullptr) FlushImmutable(nullptr);
-    if (mem_->num_entries() > 0) FlushActiveLocked();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    while (bg_active_) bg_cv_.wait(lock);
+    // Persist any buffered writes so reopen sees them without WAL replay
+    // cost. Skipped when Recover() failed partway: the memtable then holds
+    // a partially-replayed WAL (and wal_ was never opened) — flushing it
+    // would persist exactly the state recovery refused to accept.
+    if (recovered_) {
+      if (imm_ != nullptr) FlushImmutable(nullptr);
+      if (mem_->num_entries() > 0) FlushActiveLocked();
+    }
+    if (wal_ != nullptr) wal_->Close();
   }
-  if (wal_ != nullptr) wal_->Close();
+  // Listeners outlive the DB (Options contract), so the close-time flush
+  // events can still be delivered.
+  DrainEvents();
   // owned_pool_ (if any) joins its idle worker during member destruction;
   // no task can still be queued because bg_active_ is false.
 }
@@ -254,6 +259,7 @@ Status DB::Open(const Options& options, const std::string& name,
   std::unique_ptr<DB> db(new DB(options, name));
   Status s = db->Recover();
   if (!s.ok()) return s;
+  db->DrainEvents();  // flush/compaction events from WAL replay
   if (db->options_.background_flush) {
     if (db->options_.background_pool != nullptr) {
       db->bg_pool_ = db->options_.background_pool;
@@ -415,6 +421,7 @@ Status DB::Write(const WriteOptions& wo, WriteBatch* batch) {
   if (metrics_ != nullptr) {
     metrics_->write_micros->RecordMicros(watch.ElapsedMicros());
   }
+  DrainEvents();  // stall / seal events queued while this write held mu_
   return s;
 }
 
@@ -599,11 +606,14 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
       // write, so latency degrades smoothly instead of cliffing at the
       // stop trigger.
       MaybeScheduleBackground();
+      QueueStallBegin(WriteStallInfo::Cause::kL0Slowdown);
       const uint64_t start = NowMicros();
       lock.unlock();
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       lock.lock();
-      RecordStall(NowMicros() - start);
+      const uint64_t stalled = NowMicros() - start;
+      RecordStall(stalled);
+      QueueStallEnd(WriteStallInfo::Cause::kL0Slowdown, stalled);
       allow_delay = false;
       continue;
     }
@@ -617,17 +627,23 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
     if (imm_ != nullptr) {
       // The previous flush has not finished: hard stall.
       MaybeScheduleBackground();
+      QueueStallBegin(WriteStallInfo::Cause::kMemtableWait);
       const uint64_t start = NowMicros();
       bg_cv_.wait(lock);
-      RecordStall(NowMicros() - start);
+      const uint64_t stalled = NowMicros() - start;
+      RecordStall(stalled);
+      QueueStallEnd(WriteStallInfo::Cause::kMemtableWait, stalled);
       continue;
     }
     if (versions_->current()->NumFiles(0) >= options_.l0_stop_trigger) {
       // Too many L0 files: hard stall until a compaction retires some.
       MaybeScheduleBackground();
+      QueueStallBegin(WriteStallInfo::Cause::kL0Stop);
       const uint64_t start = NowMicros();
       bg_cv_.wait(lock);
-      RecordStall(NowMicros() - start);
+      const uint64_t stalled = NowMicros() - start;
+      RecordStall(stalled);
+      QueueStallEnd(WriteStallInfo::Cause::kL0Stop, stalled);
       continue;
     }
 
@@ -654,6 +670,14 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
     versions_->SetWalNumber(new_wal);
     imm_ = mem_;
     mem_ = std::make_shared<MemTable>(icmp_);
+    if (HasListeners()) {
+      MemtableSealInfo info;
+      info.db_name = name_;
+      info.memtable_bytes = imm_->ApproximateMemoryUsage();
+      info.entries = imm_->num_entries();
+      info.wal_number = imm_wal_number_;
+      QueueEvent([info](EventListener* l) { l->OnMemtableSealed(info); });
+    }
     MaybeScheduleBackground();
     // Loop: the fresh memtable has room.
   }
@@ -853,18 +877,20 @@ Status DB::MultiScan(const ReadOptions& ro,
 }
 
 Status DB::Flush() {
-  return RunExclusive([this]() {
+  Status s = RunExclusive([this]() {
     if (imm_ == nullptr && mem_->num_entries() == 0) return Status::OK();
-    Status s;
-    if (imm_ != nullptr) s = FlushImmutable(nullptr);
-    if (s.ok()) s = FlushActiveLocked();
-    if (s.ok()) s = CompactLoopLocked();
-    return s;
+    Status fs;
+    if (imm_ != nullptr) fs = FlushImmutable(nullptr);
+    if (fs.ok()) fs = FlushActiveLocked();
+    if (fs.ok()) fs = CompactLoopLocked();
+    return fs;
   });
+  DrainEvents();
+  return s;
 }
 
 Status DB::CompactAll() {
-  return RunExclusive([this]() {
+  Status result = RunExclusive([this]() {
     Status s;
     if (imm_ != nullptr) s = FlushImmutable(nullptr);
     if (s.ok()) s = FlushActiveLocked();
@@ -896,6 +922,8 @@ Status DB::CompactAll() {
     }
     return Status::OK();
   });
+  DrainEvents();
+  return result;
 }
 
 Status DB::IngestExternalFile(const IngestOptions& io,
@@ -941,7 +969,7 @@ Status DB::IngestExternalFile(const IngestOptions& io,
     return Status::InvalidArgument("external file is empty");
   }
 
-  return RunExclusive([&]() {
+  s = RunExclusive([&]() {
     // Buffered writes may cover the ingest range with *newer* sequence
     // numbers; flushing them first makes every live key visible to the
     // overlap check below.
@@ -1017,8 +1045,19 @@ Status DB::IngestExternalFile(const IngestOptions& io,
       metrics_->ingest_files->Inc();
       metrics_->ingest_rows->Inc(num_entries);
     }
+    if (HasListeners()) {
+      IngestJobInfo info;
+      info.db_name = name_;
+      info.file_path = file_path;
+      info.file_size = ext_size;
+      info.entries = num_entries;
+      info.level = target_level;
+      QueueEvent([info](EventListener* l) { l->OnIngestCompleted(info); });
+    }
     return Status::OK();
   });
+  DrainEvents();  // ingest event + any flush queued while making room
+  return s;
 }
 
 Status DB::Resume() {
@@ -1049,6 +1088,12 @@ Status DB::Resume() {
         if (metrics_ != nullptr) metrics_->recovery_resumes->Inc();
       } else {
         bg_error_ = s;  // still failing: stay bricked
+        if (HasListeners()) {
+          BackgroundErrorInfo info;
+          info.db_name = name_;
+          info.status = s;
+          QueueEvent([info](EventListener* l) { l->OnBackgroundError(info); });
+        }
       }
     }
   }
@@ -1056,6 +1101,8 @@ Status DB::Resume() {
   writers_.pop_front();
   if (!writers_.empty()) writers_.front()->cv.notify_one();
   MaybeScheduleBackground();
+  lock.unlock();
+  DrainEvents();
   return s;
 }
 
@@ -1081,7 +1128,19 @@ Status DB::WriteLevel0Table(const std::shared_ptr<MemTable>& mem,
     metrics_->flushes->Inc();
     metrics_->flush_micros->RecordMicros(watch.ElapsedMicros());
   }
-  return versions_->InstallVersion(0, {std::move(meta)}, {}, -1);
+  const uint64_t file_number = meta->number;
+  const uint64_t file_size = meta->file_size;
+  s = versions_->InstallVersion(0, {std::move(meta)}, {}, -1);
+  if (s.ok() && HasListeners()) {
+    FlushJobInfo info;
+    info.db_name = name_;
+    info.file_number = file_number;
+    info.file_size = file_size;
+    info.entries = mem->num_entries();
+    info.micros = static_cast<uint64_t>(watch.ElapsedMicros());
+    QueueEvent([info](EventListener* l) { l->OnFlushCompleted(info); });
+  }
+  return s;
 }
 
 Status DB::FlushImmutable(std::unique_lock<std::mutex>* lock) {
@@ -1102,6 +1161,16 @@ Status DB::FlushActiveLocked() {
   if (mem_->num_entries() == 0) return Status::OK();
   Status s = WriteLevel0Table(mem_, nullptr);
   if (!s.ok()) return s;
+  if (HasListeners()) {
+    // Explicit flushes retire the active memtable without an imm_ handoff;
+    // still a seal for listeners — every memtable retirement emits one.
+    MemtableSealInfo info;
+    info.db_name = name_;
+    info.memtable_bytes = mem_->ApproximateMemoryUsage();
+    info.entries = mem_->num_entries();
+    info.wal_number = wal_number_;
+    QueueEvent([info](EventListener* l) { l->OnMemtableSealed(info); });
+  }
   mem_ = std::make_shared<MemTable>(icmp_);
 
   // Rotate the WAL: flushed entries are durable in the SSTable.
@@ -1348,9 +1417,24 @@ Status DB::RunCompaction(const CompactionJob& job,
     }
   }
 
+  const uint64_t output_files = outputs.size();
   s = versions_->InstallVersion(output_level, std::move(outputs), removed,
                                 level);
   if (!s.ok()) return s;
+  if (HasListeners()) {
+    CompactionJobInfo info;
+    info.db_name = name_;
+    info.level = level;
+    info.output_level = output_level;
+    info.input_files = job.inputs_n.size() + job.inputs_np1.size();
+    info.output_files = output_files;
+    info.bytes_read = bytes_read;
+    info.bytes_written = bytes_written;
+    info.filter_dropped = filter_dropped;
+    info.filter_tombstoned = filter_tombstoned;
+    info.micros = static_cast<uint64_t>(watch.ElapsedMicros());
+    QueueEvent([info](EventListener* l) { l->OnCompactionCompleted(info); });
+  }
   RemoveObsoleteFilesLocked(lock);
   return Status::OK();
 }
@@ -1393,7 +1477,15 @@ void DB::BackgroundCall() {
         s = RunCompaction(job, &lock);
       }
     }
-    if (!s.ok()) bg_error_ = s;
+    if (!s.ok()) {
+      bg_error_ = s;
+      if (HasListeners()) {
+        BackgroundErrorInfo info;
+        info.db_name = name_;
+        info.status = s;
+        QueueEvent([info](EventListener* l) { l->OnBackgroundError(info); });
+      }
+    }
   }
   // Run one unit per call, then resubmit while work remains so DBs sharing
   // a pool interleave fairly; yield to exclusive (Flush/CompactAll/close)
@@ -1405,6 +1497,47 @@ void DB::BackgroundCall() {
     bg_active_ = false;
   }
   bg_cv_.notify_all();
+  lock.unlock();
+  DrainEvents();  // deliver this run's flush/compaction/error events
+}
+
+void DB::QueueEvent(std::function<void(EventListener*)> fn) {
+  pending_events_.push_back(std::move(fn));
+  events_pending_.store(true, std::memory_order_release);
+}
+
+void DB::DrainEvents() {
+  if (!HasListeners()) return;
+  // Common case (nothing queued) must stay off the DB mutex: Write calls
+  // this once per operation.
+  if (!events_pending_.load(std::memory_order_acquire)) return;
+  std::vector<std::function<void(EventListener*)>> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_events_.empty()) return;
+    events.swap(pending_events_);
+    events_pending_.store(false, std::memory_order_release);
+  }
+  for (const auto& fn : events) {
+    for (EventListener* listener : options_.listeners) fn(listener);
+  }
+}
+
+void DB::QueueStallBegin(WriteStallInfo::Cause cause) {
+  if (!HasListeners()) return;
+  WriteStallInfo info;
+  info.db_name = name_;
+  info.cause = cause;
+  QueueEvent([info](EventListener* l) { l->OnWriteStallBegin(info); });
+}
+
+void DB::QueueStallEnd(WriteStallInfo::Cause cause, uint64_t micros) {
+  if (!HasListeners()) return;
+  WriteStallInfo info;
+  info.db_name = name_;
+  info.cause = cause;
+  info.micros = micros;
+  QueueEvent([info](EventListener* l) { l->OnWriteStallEnd(info); });
 }
 
 void DB::RemoveObsoleteFilesLocked(std::unique_lock<std::mutex>* lock) {

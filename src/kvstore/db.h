@@ -1,6 +1,7 @@
 #ifndef TMAN_KVSTORE_DB_H_
 #define TMAN_KVSTORE_DB_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -15,6 +16,7 @@
 #include "common/status.h"
 #include "kvstore/dbformat.h"
 #include "kvstore/env.h"
+#include "kvstore/event_listener.h"
 #include "kvstore/iterator.h"
 #include "kvstore/log.h"
 #include "kvstore/memtable.h"
@@ -196,6 +198,14 @@ class DB {
   };
   Stats GetStats();
 
+  // Sticky background error (OK while healthy). Once a background flush or
+  // compaction fails, writes refuse with this status until Resume() clears
+  // it — the /healthz input.
+  Status background_error() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bg_error_;
+  }
+
  private:
   struct ApplyGroup;
 
@@ -343,6 +353,19 @@ class DB {
   void MaybeScheduleBackground();
   void BackgroundCall();  // entry point on the background pool
 
+  // --- Event delivery (Options::listeners) ---
+  //
+  // State changes queue a closure under mu_ at the point they commit;
+  // DrainEvents() swaps the queue out under mu_ and fires the listeners
+  // with no DB lock held, at public-API boundaries and at the end of each
+  // background run. Both are no-ops with no listeners registered.
+  bool HasListeners() const { return !options_.listeners.empty(); }
+  void QueueEvent(std::function<void(EventListener*)> fn);  // mu_ held
+  void DrainEvents();                                       // mu_ NOT held
+  // Stall-episode conveniences for MakeRoomForWrite (mu_ held).
+  void QueueStallBegin(WriteStallInfo::Cause cause);
+  void QueueStallEnd(WriteStallInfo::Cause cause, uint64_t micros);
+
   // Deletes on-disk files no longer referenced. Decisions are made under
   // mu_; when `lock` is non-null the I/O (scan + unlinks) runs unlocked.
   void RemoveObsoleteFilesLocked(std::unique_lock<std::mutex>* lock = nullptr);
@@ -386,6 +409,12 @@ class DB {
   int exclusive_waiters_ = 0;    // RunExclusive callers draining background
   Status bg_error_;              // sticky failure from background work
   std::set<uint64_t> pending_outputs_;  // files being written, GC-protected
+
+  // Events queued (under mu_) and not yet delivered to listeners.
+  // events_pending_ mirrors !pending_events_.empty() so the write path's
+  // per-op DrainEvents call is one relaxed load, not a mutex round-trip.
+  std::vector<std::function<void(EventListener*)>> pending_events_;
+  std::atomic<bool> events_pending_{false};
 
   // Counters (guarded by mu_).
   uint64_t flush_count_ = 0;

@@ -1,0 +1,33 @@
+#ifndef TMAN_KVSTORE_DB_TELEMETRY_H_
+#define TMAN_KVSTORE_DB_TELEMETRY_H_
+
+#include <string>
+
+#include "kvstore/db.h"
+
+namespace tman::obs {
+class TelemetryServer;
+}  // namespace tman::obs
+
+namespace tman::kv {
+
+// Renders a DB::Stats snapshot as a JSON object (no trailing newline) —
+// the /statusz building block shared by the bare-DB attach below and the
+// TMan-level status page, which nests one of these per region.
+std::string RenderDbStatsJson(const std::string& name,
+                              const Status& background_error,
+                              const DB::Stats& stats);
+
+// Convenience overload: snapshots `db` and renders it.
+std::string RenderDbStatsJson(DB* db);
+
+// Wires a bare kv::DB into a TelemetryServer: /statusz serves the DB's
+// stats snapshot and /healthz reflects its sticky background error. The
+// server's metrics/event-log/trace-ring sources are left untouched, so
+// callers can point those at whatever registry the DB records into. The DB
+// must outlive the server (Stop it before closing the DB).
+void AttachDbTelemetry(obs::TelemetryServer* server, DB* db);
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_DB_TELEMETRY_H_

@@ -1,0 +1,100 @@
+#include "kvstore/event_listener.h"
+
+namespace tman::kv {
+
+namespace {
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+const char* WriteStallCauseName(WriteStallInfo::Cause cause) {
+  switch (cause) {
+    case WriteStallInfo::Cause::kL0Slowdown:
+      return "l0_slowdown";
+    case WriteStallInfo::Cause::kMemtableWait:
+      return "memtable_wait";
+    case WriteStallInfo::Cause::kL0Stop:
+      return "l0_stop";
+  }
+  return "unknown";
+}
+
+void EventLogListener::OnFlushCompleted(const FlushJobInfo& info) {
+  obs::Event e;
+  e.type = "flush";
+  e.source = info.db_name;
+  e.fields = {{"file_number", U64(info.file_number)},
+              {"file_size", U64(info.file_size)},
+              {"entries", U64(info.entries)},
+              {"micros", U64(info.micros)}};
+  log_->Append(std::move(e));
+}
+
+void EventLogListener::OnCompactionCompleted(const CompactionJobInfo& info) {
+  obs::Event e;
+  e.type = "compaction";
+  e.source = info.db_name;
+  e.fields = {{"level", std::to_string(info.level)},
+              {"output_level", std::to_string(info.output_level)},
+              {"input_files", U64(info.input_files)},
+              {"output_files", U64(info.output_files)},
+              {"bytes_read", U64(info.bytes_read)},
+              {"bytes_written", U64(info.bytes_written)},
+              {"micros", U64(info.micros)}};
+  if (info.filter_dropped > 0) {
+    e.fields.emplace_back("filter_dropped", U64(info.filter_dropped));
+  }
+  if (info.filter_tombstoned > 0) {
+    e.fields.emplace_back("filter_tombstoned", U64(info.filter_tombstoned));
+  }
+  log_->Append(std::move(e));
+}
+
+void EventLogListener::OnWriteStallBegin(const WriteStallInfo& info) {
+  obs::Event e;
+  e.type = "write_stall_begin";
+  e.source = info.db_name;
+  e.fields = {{"cause", WriteStallCauseName(info.cause)}};
+  log_->Append(std::move(e));
+}
+
+void EventLogListener::OnWriteStallEnd(const WriteStallInfo& info) {
+  obs::Event e;
+  e.type = "write_stall_end";
+  e.source = info.db_name;
+  e.fields = {{"cause", WriteStallCauseName(info.cause)},
+              {"micros", U64(info.micros)}};
+  log_->Append(std::move(e));
+}
+
+void EventLogListener::OnBackgroundError(const BackgroundErrorInfo& info) {
+  obs::Event e;
+  e.type = "background_error";
+  e.source = info.db_name;
+  e.fields = {{"status", info.status.ToString()}};
+  log_->Append(std::move(e));
+}
+
+void EventLogListener::OnIngestCompleted(const IngestJobInfo& info) {
+  obs::Event e;
+  e.type = "ingest";
+  e.source = info.db_name;
+  e.fields = {{"file_path", info.file_path},
+              {"file_size", U64(info.file_size)},
+              {"entries", U64(info.entries)},
+              {"level", std::to_string(info.level)}};
+  log_->Append(std::move(e));
+}
+
+void EventLogListener::OnMemtableSealed(const MemtableSealInfo& info) {
+  obs::Event e;
+  e.type = "memtable_seal";
+  e.source = info.db_name;
+  e.fields = {{"memtable_bytes", U64(info.memtable_bytes)},
+              {"entries", U64(info.entries)},
+              {"wal_number", U64(info.wal_number)}};
+  log_->Append(std::move(e));
+}
+
+}  // namespace tman::kv

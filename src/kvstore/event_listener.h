@@ -1,0 +1,117 @@
+#ifndef TMAN_KVSTORE_EVENT_LISTENER_H_
+#define TMAN_KVSTORE_EVENT_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/event_log.h"
+
+namespace tman::kv {
+
+// Structured maintenance-event callbacks (the RocksDB EventListener model).
+// Listeners are registered through Options::listeners (borrowed pointers
+// that must outlive the DB) and observe the store's background lifecycle:
+// flushes, compactions, write-stall episodes, sticky background errors,
+// ingests and memtable seals.
+//
+// Delivery contract: events are queued while the DB mutex is held at the
+// point the state change commits, and delivered OUTSIDE all DB locks at the
+// next public-API boundary (the completing Write/Flush/ingest call or the
+// background worker's own drain). Each event is delivered exactly once to
+// every listener, in queue order per draining thread. Callbacks may call
+// back into the DB (e.g. GetStats) but must be fast — they run on write
+// and maintenance paths — and must be thread-safe, as concurrent drains
+// can overlap.
+
+struct FlushJobInfo {
+  std::string db_name;
+  uint64_t file_number = 0;
+  uint64_t file_size = 0;   // bytes of the new L0 table
+  uint64_t entries = 0;     // memtable entries written
+  uint64_t micros = 0;      // table build + install time
+};
+
+struct CompactionJobInfo {
+  std::string db_name;
+  int level = 0;         // input level
+  int output_level = 0;  // level + 1
+  uint64_t input_files = 0;
+  uint64_t output_files = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t filter_dropped = 0;      // compaction-filter expiries removed
+  uint64_t filter_tombstoned = 0;   // expiries rewritten as tombstones
+  uint64_t micros = 0;
+};
+
+struct WriteStallInfo {
+  // Why the writer was throttled (mirrors MakeRoomForWrite's branches).
+  enum class Cause {
+    kL0Slowdown,    // soft backpressure: 1ms slowdown sleep
+    kMemtableWait,  // hard stall: previous flush not finished
+    kL0Stop,        // hard stall: L0 at the stop trigger
+  };
+  std::string db_name;
+  Cause cause = Cause::kL0Slowdown;
+  uint64_t micros = 0;  // episode length; 0 in the Begin callback
+};
+
+struct BackgroundErrorInfo {
+  std::string db_name;
+  Status status;  // the error that just became sticky
+};
+
+struct IngestJobInfo {
+  std::string db_name;
+  std::string file_path;  // source path passed to IngestExternalFile
+  uint64_t file_size = 0;
+  uint64_t entries = 0;
+  int level = 0;  // level the file landed at
+};
+
+struct MemtableSealInfo {
+  std::string db_name;
+  uint64_t memtable_bytes = 0;  // approximate size at seal time
+  uint64_t entries = 0;
+  uint64_t wal_number = 0;  // WAL retired together with this memtable
+};
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  virtual void OnFlushCompleted(const FlushJobInfo& /*info*/) {}
+  virtual void OnCompactionCompleted(const CompactionJobInfo& /*info*/) {}
+  virtual void OnWriteStallBegin(const WriteStallInfo& /*info*/) {}
+  virtual void OnWriteStallEnd(const WriteStallInfo& /*info*/) {}
+  virtual void OnBackgroundError(const BackgroundErrorInfo& /*info*/) {}
+  virtual void OnIngestCompleted(const IngestJobInfo& /*info*/) {}
+  virtual void OnMemtableSealed(const MemtableSealInfo& /*info*/) {}
+};
+
+// Default listener: records every callback as a structured obs::Event in a
+// bounded ring — the /eventz data source. The log is borrowed and must
+// outlive the DBs it is attached to.
+class EventLogListener : public EventListener {
+ public:
+  explicit EventLogListener(obs::EventLog* log) : log_(log) {}
+
+  void OnFlushCompleted(const FlushJobInfo& info) override;
+  void OnCompactionCompleted(const CompactionJobInfo& info) override;
+  void OnWriteStallBegin(const WriteStallInfo& info) override;
+  void OnWriteStallEnd(const WriteStallInfo& info) override;
+  void OnBackgroundError(const BackgroundErrorInfo& info) override;
+  void OnIngestCompleted(const IngestJobInfo& info) override;
+  void OnMemtableSealed(const MemtableSealInfo& info) override;
+
+ private:
+  obs::EventLog* log_;
+};
+
+// Human-readable stall cause ("l0_slowdown", "memtable_wait", "l0_stop").
+const char* WriteStallCauseName(WriteStallInfo::Cause cause);
+
+}  // namespace tman::kv
+
+#endif  // TMAN_KVSTORE_EVENT_LISTENER_H_

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "kvstore/compression.h"
 
@@ -18,6 +19,7 @@ namespace tman::kv {
 
 class CompactionFilter;
 class Env;
+class EventListener;
 
 struct Options {
   // Size at which the memtable is flushed to an L0 SSTable.
@@ -119,6 +121,13 @@ struct Options {
   // registry aggregate naturally. nullptr disables recording entirely —
   // hot paths skip even the stopwatch reads.
   tman::obs::MetricsRegistry* metrics = nullptr;
+
+  // Maintenance-event listeners (flush/compaction/stall/bg-error/ingest
+  // callbacks; see kvstore/event_listener.h for the delivery contract).
+  // Borrowed pointers shared across DBs; must be thread-safe and outlive
+  // every DB they are attached to. Empty (the default) keeps the event
+  // paths zero-cost.
+  std::vector<EventListener*> listeners;
 };
 
 struct MultiScanPerf;

@@ -1,0 +1,104 @@
+#include "obs/event_log.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace tman::obs {
+
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (unsigned char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+EventLog::EventLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void EventLog::Append(Event e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  e.id = next_id_++;
+  if (e.ts_micros == 0) e.ts_micros = WallMicros();
+  ring_.push_back(std::move(e));
+  total_++;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Event>(ring_.begin(), ring_.end());
+}
+
+uint64_t EventLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string EventLog::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"capacity\": ";
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%llu",
+           static_cast<unsigned long long>(capacity_));
+  out += buf;
+  out += ", \"total\": ";
+  snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(total_));
+  out += buf;
+  out += ", \"events\": [";
+  bool first = true;
+  for (const Event& e : ring_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"id\": ";
+    snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(e.id));
+    out += buf;
+    out += ", \"ts_micros\": ";
+    snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(e.ts_micros));
+    out += buf;
+    out += ", \"type\": \"" + JsonEscape(e.type) + "\"";
+    out += ", \"source\": \"" + JsonEscape(e.source) + "\"";
+    for (const auto& [k, v] : e.fields) {
+      out += ", \"" + JsonEscape(k) + "\": \"" + JsonEscape(v) + "\"";
+    }
+    out += "}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+}  // namespace tman::obs

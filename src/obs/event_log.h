@@ -1,0 +1,63 @@
+#ifndef TMAN_OBS_EVENT_LOG_H_
+#define TMAN_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tman::obs {
+
+// One structured maintenance event (flush, compaction, stall, ...). Events
+// are small string records, not metrics: they answer "what happened and
+// when", the /eventz half of the telemetry plane, while counters answer
+// "how often".
+struct Event {
+  uint64_t id = 0;         // assigned by the log, monotonically increasing
+  int64_t ts_micros = 0;   // wall clock, assigned by the log when 0
+  std::string type;        // e.g. "flush", "compaction", "write_stall_begin"
+  std::string source;      // emitting store/table, e.g. a DB path
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+// Bounded in-memory ring of recent events. Appends are mutex-guarded (they
+// happen on maintenance paths, never on per-key hot paths) and O(1); when
+// full the oldest event is dropped — `total_appended` keeps counting so a
+// scraper can detect loss. Thread-safe.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 256);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  // Appends one event, assigning `id` and (if zero) `ts_micros`.
+  void Append(Event e);
+
+  // Oldest-first copy of the retained events.
+  std::vector<Event> Snapshot() const;
+
+  uint64_t total_appended() const;
+  size_t capacity() const { return capacity_; }
+
+  // {"capacity":N,"total":N,"events":[{"id":..,"ts_micros":..,"type":"..",
+  //  "source":"..","k":"v",...},...]} — the /eventz body.
+  std::string RenderJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  uint64_t next_id_ = 1;
+  uint64_t total_ = 0;
+  std::deque<Event> ring_;  // oldest first
+};
+
+// Minimal JSON string escaping (quotes, backslashes, control bytes) shared
+// by the JSON-producing telemetry surfaces.
+std::string JsonEscape(const std::string& in);
+
+}  // namespace tman::obs
+
+#endif  // TMAN_OBS_EVENT_LOG_H_

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -129,6 +130,16 @@ class Histogram {
 // RenderPrometheus() emits text exposition format (histograms as summaries
 // with quantile labels + _sum/_count/_min/_max); RenderJson() emits one
 // JSON object for machine consumption next to BENCH_*.json dumps.
+//
+// Sliding windows: EnableWindows(slots, slot_seconds) turns on a rotating
+// ring of cumulative snapshots. A periodic caller (TMan's background
+// reporter, or a test) invokes RotateWindow(); the windowed view of any
+// counter or histogram is then "live cumulative minus oldest retained
+// snapshot", i.e. the last ~slots*slot_seconds of activity. Recording hot
+// paths are untouched — windows cost only at rotate/scrape time. With
+// windows enabled, RenderPrometheus adds `<name>_window_rate` /
+// `<name>_window{quantile=...}` series and RenderJson adds a "window"
+// section; the cumulative series are unchanged.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -143,15 +154,61 @@ class MetricsRegistry {
   std::string RenderPrometheus() const;
   std::string RenderJson() const;
 
+  // Windowed delta of one counter since the oldest retained rotation.
+  struct WindowRate {
+    bool valid = false;       // false until at least one rotation happened
+    double span_seconds = 0;  // age of the oldest retained snapshot
+    uint64_t delta = 0;       // events inside the window
+    double rate_per_sec = 0;  // delta / span_seconds
+  };
+
+  // Turns on window tracking with `slots` retained snapshots rotated every
+  // `slot_seconds` (defaults: 6 x 10 s = last-minute view). Idempotent;
+  // changing the geometry drops retained slots.
+  void EnableWindows(int slots = 6, int slot_seconds = 10);
+  bool windows_enabled() const;
+  int window_slot_seconds() const;
+
+  // Captures the current cumulative values as the newest window slot and
+  // drops slots beyond the configured capacity. `now_micros` == 0 reads the
+  // steady clock; tests pass explicit timestamps. No-op when windows are
+  // off.
+  void RotateWindow(uint64_t now_micros = 0);
+
+  // Windowed views (valid=false / empty snapshot before the first
+  // rotation or when windows are off). `now_micros` must use the same
+  // clock as RotateWindow.
+  WindowRate CounterWindow(const std::string& name,
+                           uint64_t now_micros = 0) const;
+  Histogram::Snapshot HistogramWindow(const std::string& name) const;
+
   // Process-wide registry for tools/examples; libraries always take an
   // explicit registry pointer (null = metrics off).
   static MetricsRegistry* Default();
 
  private:
+  struct WindowSlot {
+    uint64_t ts_micros = 0;
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, Histogram::Snapshot> histograms;
+  };
+
+  static uint64_t NowMicros();
+
+  // Helpers that assume mu_ is held.
+  WindowRate CounterWindowLocked(const std::string& name, uint64_t live,
+                                 uint64_t now_micros) const;
+  Histogram::Snapshot HistogramWindowLocked(
+      const std::string& name, const Histogram::Snapshot& live) const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+
+  int window_capacity_ = 0;  // 0 = windows off
+  int window_slot_seconds_ = 10;
+  std::deque<WindowSlot> window_slots_;  // oldest first
 };
 
 }  // namespace tman::obs

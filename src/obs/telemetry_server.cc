@@ -1,0 +1,324 @@
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace tman::obs {
+
+namespace {
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+// Writes the full buffer, tolerating short writes; false on error/timeout.
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+Status TelemetryServer::Start(const ServerOptions& opts) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("telemetry server already running");
+  }
+  opts_ = opts;
+  if (opts_.num_workers < 1) opts_.num_workers = 1;
+  if (opts_.max_request_bytes < 64) opts_.max_request_bytes = 64;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("telemetry socket: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      opts_.bind_any ? htonl(INADDR_ANY) : htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(opts_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("telemetry bind port " +
+                           std::to_string(opts_.port) + ": " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("telemetry listen: " + err);
+  }
+  sockaddr_in bound;
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = opts_.port;
+  }
+
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&TelemetryServer::AcceptLoop, this);
+  workers_.reserve(static_cast<size_t>(opts_.num_workers));
+  for (int i = 0; i < opts_.num_workers; i++) {
+    workers_.emplace_back(&TelemetryServer::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void TelemetryServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the accept loop: shutdown makes a blocked accept() return.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_cv_.notify_all();
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Connections accepted but never picked up by a worker.
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  for (int fd : pending_fds_) ::close(fd);
+  pending_fds_.clear();
+}
+
+void TelemetryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // Transient accept failure (e.g. EMFILE); keep serving.
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    timeval tv;
+    tv.tv_sec = opts_.io_timeout_seconds;
+    tv.tv_usec = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    pending_fds_.push_back(fd);
+    queue_cv_.notify_one();
+  }
+}
+
+void TelemetryServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               !pending_fds_.empty();
+      });
+      if (pending_fds_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::HandleConnection(int fd) {
+  // Read until the end of the request head, a bound, a timeout, or EOF.
+  std::string req;
+  char buf[1024];
+  bool complete = false;
+  bool oversize = false;
+  while (req.size() < opts_.max_request_bytes) {
+    const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      break;  // EOF, timeout or error: respond to what we have (if parsable)
+    }
+    req.append(buf, static_cast<size_t>(r));
+    if (req.find("\r\n\r\n") != std::string::npos ||
+        req.find("\n\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+  }
+  if (req.size() >= opts_.max_request_bytes) oversize = true;
+
+  Response resp;
+  if (oversize) {
+    resp.code = 413;
+    resp.body = "request too large\n";
+  } else if (req.empty()) {
+    return;  // client connected and went away; nothing to answer
+  } else {
+    // Request line: METHOD SP PATH SP VERSION. Tolerate a head that ended
+    // with EOF instead of a blank line as long as the first line is whole.
+    const size_t eol = req.find_first_of("\r\n");
+    if (eol == std::string::npos && !complete) {
+      resp.code = 400;
+      resp.body = "malformed request\n";
+    } else {
+      const std::string line = req.substr(0, eol);
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                  : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos ||
+          sp2 == sp1 + 1) {
+        resp.code = 400;
+        resp.body = "malformed request line\n";
+      } else {
+        std::string method = line.substr(0, sp1);
+        std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        const size_t query = path.find('?');
+        if (query != std::string::npos) path.resize(query);
+        resp = Route(method, path);
+      }
+    }
+  }
+
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  char head[256];
+  snprintf(head, sizeof(head),
+           "HTTP/1.1 %d %s\r\n"
+           "Content-Type: %s\r\n"
+           "Content-Length: %zu\r\n"
+           "Connection: close\r\n"
+           "\r\n",
+           resp.code, ReasonPhrase(resp.code), resp.content_type,
+           resp.body.size());
+  if (WriteAll(fd, head, std::strlen(head))) {
+    WriteAll(fd, resp.body.data(), resp.body.size());
+  }
+}
+
+TelemetryServer::Response TelemetryServer::Route(const std::string& method,
+                                                 const std::string& path) {
+  Response resp;
+  if (method != "GET" && method != "HEAD") {
+    resp.code = 405;
+    resp.body = "only GET is supported\n";
+    return resp;
+  }
+  if (path == "/" || path == "/index") {
+    resp.body =
+        "tman telemetry endpoints:\n"
+        "  /metrics       Prometheus text exposition\n"
+        "  /metrics.json  metrics as JSON\n"
+        "  /healthz       liveness + sticky background-error flag\n"
+        "  /statusz       storage/cluster status document (JSON)\n"
+        "  /eventz        recent maintenance events (JSON)\n"
+        "  /tracez        slow-query EXPLAIN ANALYZE traces\n";
+    return resp;
+  }
+  if (path == "/metrics" || path == "/metrics.json") {
+    if (metrics_ == nullptr) {
+      resp.code = 404;
+      resp.body = "no metrics registry attached\n";
+      return resp;
+    }
+    if (refresh_hook_) refresh_hook_();
+    if (path == "/metrics") {
+      resp.body = metrics_->RenderPrometheus();
+    } else {
+      resp.content_type = "application/json";
+      resp.body = metrics_->RenderJson();
+    }
+    return resp;
+  }
+  if (path == "/healthz") {
+    std::string detail;
+    const bool healthy = health_source_ ? health_source_(&detail) : true;
+    if (healthy) {
+      resp.body = "ok\n";
+    } else {
+      resp.code = 503;
+      resp.body = detail.empty() ? "unhealthy\n" : detail;
+      if (!resp.body.empty() && resp.body.back() != '\n') resp.body += "\n";
+    }
+    return resp;
+  }
+  if (path == "/statusz") {
+    if (!status_source_) {
+      resp.code = 404;
+      resp.body = "no status source attached\n";
+      return resp;
+    }
+    if (refresh_hook_) refresh_hook_();
+    resp.content_type = "application/json";
+    resp.body = status_source_();
+    return resp;
+  }
+  if (path == "/eventz") {
+    if (event_log_ == nullptr) {
+      resp.code = 404;
+      resp.body = "no event log attached\n";
+      return resp;
+    }
+    resp.content_type = "application/json";
+    resp.body = event_log_->RenderJson();
+    return resp;
+  }
+  if (path == "/tracez") {
+    if (trace_ring_ == nullptr) {
+      resp.code = 404;
+      resp.body = "no trace ring attached\n";
+      return resp;
+    }
+    resp.body = trace_ring_->RenderText();
+    return resp;
+  }
+  resp.code = 404;
+  resp.body = "unknown endpoint " + path + "\n";
+  return resp;
+}
+
+}  // namespace tman::obs

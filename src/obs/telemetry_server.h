@@ -1,0 +1,135 @@
+#ifndef TMAN_OBS_TELEMETRY_SERVER_H_
+#define TMAN_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tman::obs {
+
+// Embedded HTTP/1.1 telemetry endpoint — the live half of the
+// observability plane. One accept thread plus a small worker pool serve
+// read-only GETs over raw POSIX sockets (loopback by default):
+//
+//   /metrics       Prometheus text exposition (cumulative + window series)
+//   /metrics.json  the same registry as JSON
+//   /healthz       cheap liveness; 503 + detail once a sticky health
+//                  source reports unhealthy (bg_error, degraded stores)
+//   /statusz       one JSON status document from the attached source
+//                  (per-region storage stats, build info, uptime)
+//   /eventz        recent maintenance events (EventLog ring, JSON)
+//   /tracez        slow-query EXPLAIN ANALYZE traces (TraceRing, text)
+//   /              plain-text index of the endpoints above
+//
+// All data sources are borrowed pointers/functions set before Start() and
+// must outlive the server (Stop() joins every thread, so destroying the
+// sources after Stop()/~TelemetryServer is safe). Requests are bounded in
+// size and time; malformed requests get 400/404/405 and never take the
+// server down. The server never writes to the store — it is a pure
+// observer.
+class TelemetryServer {
+ public:
+  struct ServerOptions {
+    int port = 0;           // 0 = ephemeral, read back via port()
+    bool bind_any = false;  // false = loopback only (default)
+    int num_workers = 2;
+    size_t max_request_bytes = 8 * 1024;
+    int io_timeout_seconds = 5;  // per-connection read/write timeout
+  };
+
+  TelemetryServer() = default;
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // Data sources (all optional; unset => the endpoint reports 404).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_event_log(EventLog* log) { event_log_ = log; }
+  void set_trace_ring(TraceRing* ring) { trace_ring_ = ring; }
+
+  // /statusz body producer (should return a JSON document).
+  void set_status_source(std::function<std::string()> fn) {
+    status_source_ = std::move(fn);
+  }
+
+  // Health probe: return false (and fill *detail) to make /healthz serve
+  // 503. Unset => always healthy.
+  void set_health_source(std::function<bool(std::string*)> fn) {
+    health_source_ = std::move(fn);
+  }
+
+  // Invoked before /metrics, /metrics.json and /statusz render so
+  // point-in-time gauges are fresh (TMan wires PublishMetrics here).
+  void set_refresh_hook(std::function<void()> fn) {
+    refresh_hook_ = std::move(fn);
+  }
+
+  // Binds and starts serving. Fails with IOError when the port is taken
+  // or the socket cannot be created. Start after Stop() is supported.
+  Status Start(const ServerOptions& opts);
+  Status Start(int port) {
+    ServerOptions o;
+    o.port = port;
+    return Start(o);
+  }
+
+  // Stops accepting, drains workers, closes every socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Actual bound port (after Start with port 0 this is the ephemeral one).
+  int port() const { return port_; }
+
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Response {
+    int code = 200;
+    const char* content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  Response Route(const std::string& method, const std::string& path);
+
+  MetricsRegistry* metrics_ = nullptr;
+  EventLog* event_log_ = nullptr;
+  TraceRing* trace_ring_ = nullptr;
+  std::function<std::string()> status_source_;
+  std::function<bool(std::string*)> health_source_;
+  std::function<void()> refresh_hook_;
+
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;  // accepted, waiting for a worker
+};
+
+}  // namespace tman::obs
+
+#endif  // TMAN_OBS_TELEMETRY_SERVER_H_

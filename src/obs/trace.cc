@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -98,6 +99,60 @@ void TraceSpan::RenderInto(std::string* out, int depth) const {
 std::string TraceSpan::Render() const {
   std::string out;
   RenderInto(&out, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRing
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::Capture(const TraceSpan& root, int64_t ts_micros) {
+  Entry e;
+  e.query = root.name();
+  e.duration_ms = root.duration_ms();
+  e.rendered = root.Render();
+  e.ts_micros = ts_micros != 0
+                    ? ts_micros
+                    : std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  e.id = next_id_++;
+  total_++;
+  ring_.push_back(std::move(e));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<TraceRing::Entry> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Entry>(ring_.begin(), ring_.end());
+}
+
+uint64_t TraceRing::total_captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string TraceRing::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[128];
+  snprintf(buf, sizeof(buf),
+           "slow query traces: %llu captured, %llu retained (capacity %llu)\n",
+           static_cast<unsigned long long>(total_),
+           static_cast<unsigned long long>(ring_.size()),
+           static_cast<unsigned long long>(capacity_));
+  out += buf;
+  for (const Entry& e : ring_) {
+    snprintf(buf, sizeof(buf),
+             "\n--- trace #%llu  ts_micros=%lld  duration=%.3f ms\n",
+             static_cast<unsigned long long>(e.id),
+             static_cast<long long>(e.ts_micros), e.duration_ms);
+    out += buf;
+    out += e.rendered;
+  }
   return out;
 }
 

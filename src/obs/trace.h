@@ -1,7 +1,10 @@
 #ifndef TMAN_OBS_TRACE_H_
 #define TMAN_OBS_TRACE_H_
 
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -86,6 +89,49 @@ class TraceSpan {
   std::vector<std::pair<std::string, double>> numbers_;
   std::vector<std::pair<std::string, std::string>> strings_;
   std::vector<std::unique_ptr<TraceSpan>> children_;
+};
+
+// Bounded ring of slow-query traces (the /tracez backing store). A query
+// whose total latency crosses TManOptions::slow_query_micros is captured
+// here: the span tree is rendered to its EXPLAIN ANALYZE text immediately
+// (so the ring owns plain strings, never live spans) and the oldest entry
+// is evicted when the ring is full. Thread-safe; capture happens at most
+// once per slow query, far off any hot path.
+class TraceRing {
+ public:
+  struct Entry {
+    uint64_t id = 0;        // monotonically increasing capture number
+    int64_t ts_micros = 0;  // wall-clock capture time
+    std::string query;      // root span name (query type)
+    double duration_ms = 0;
+    std::string rendered;   // full EXPLAIN ANALYZE tree
+  };
+
+  explicit TraceRing(size_t capacity = 32);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Renders `root` and stores the entry. `ts_micros` == 0 stamps the wall
+  // clock. The span tree is only read, never retained.
+  void Capture(const TraceSpan& root, int64_t ts_micros = 0);
+
+  // Oldest-first copy of the retained entries.
+  std::vector<Entry> Snapshot() const;
+
+  uint64_t total_captured() const;
+  size_t capacity() const { return capacity_; }
+
+  // Plain-text /tracez body: one header line per entry followed by its
+  // indented EXPLAIN ANALYZE tree.
+  std::string RenderText() const;
+
+ private:
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  uint64_t next_id_ = 1;
+  uint64_t total_ = 0;
+  std::deque<Entry> ring_;  // oldest first
 };
 
 }  // namespace tman::obs

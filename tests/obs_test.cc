@@ -241,5 +241,115 @@ TEST(TraceTest, RenderFormat) {
   EXPECT_LT(text.find("STRQ"), text.find("-> scan primary"));
 }
 
+
+// ---------------------------------------------------------------------------
+// Sliding windows (rotated by the telemetry reporter; timestamps injected
+// here so slot spans are deterministic)
+
+constexpr uint64_t kSec = 1000000;  // micros
+
+TEST(WindowTest, DisabledByDefault) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.windows_enabled());
+  registry.GetCounter("tman_w_ops_total")->Inc(5);
+  registry.RotateWindow(10 * kSec);  // no-op while disabled
+  EXPECT_FALSE(registry.CounterWindow("tman_w_ops_total", 20 * kSec).valid);
+  EXPECT_EQ(registry.RenderPrometheus().find("_window_rate"),
+            std::string::npos);
+}
+
+TEST(WindowTest, CounterDeltaAndRate) {
+  MetricsRegistry registry;
+  registry.EnableWindows(6, 10);
+  Counter* ops = registry.GetCounter("tman_w_ops_total");
+  ops->Inc(100);
+  registry.RotateWindow(10 * kSec);  // baseline snapshot: 100
+  ops->Inc(50);
+
+  const auto w = registry.CounterWindow("tman_w_ops_total", 20 * kSec);
+  ASSERT_TRUE(w.valid);
+  EXPECT_EQ(w.delta, 50u);
+  EXPECT_DOUBLE_EQ(w.span_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(w.rate_per_sec, 5.0);
+}
+
+TEST(WindowTest, OldSlotsFallOutOfTheWindow) {
+  MetricsRegistry registry;
+  registry.EnableWindows(2, 10);  // window spans at most 2 slots
+  Counter* ops = registry.GetCounter("tman_w_ops_total");
+  for (int i = 1; i <= 4; i++) {
+    ops->Inc(10);
+    registry.RotateWindow(static_cast<uint64_t>(i) * 10 * kSec);
+  }
+  // Oldest retained slot is the one from t=30s (value 30); the increments
+  // before it no longer count against the window.
+  ops->Inc(5);
+  const auto w = registry.CounterWindow("tman_w_ops_total", 50 * kSec);
+  ASSERT_TRUE(w.valid);
+  EXPECT_EQ(w.delta, 15u);  // 40+5 live - 30 baseline
+  EXPECT_DOUBLE_EQ(w.span_seconds, 20.0);
+}
+
+TEST(WindowTest, CounterBornAfterBaselineCountsFromZero) {
+  MetricsRegistry registry;
+  registry.EnableWindows(6, 10);
+  registry.RotateWindow(10 * kSec);
+  Counter* late = registry.GetCounter("tman_w_late_total");
+  late->Inc(7);
+  const auto w = registry.CounterWindow("tman_w_late_total", 20 * kSec);
+  ASSERT_TRUE(w.valid);
+  EXPECT_EQ(w.delta, 7u);
+}
+
+TEST(WindowTest, HistogramWindowIsolatesRecentSamples) {
+  MetricsRegistry registry;
+  registry.EnableWindows(6, 10);
+  Histogram* lat = registry.GetHistogram("tman_w_micros");
+  for (int i = 0; i < 1000; i++) lat->Record(100);  // old regime
+  registry.RotateWindow(10 * kSec);
+  for (int i = 0; i < 200; i++) lat->Record(100000);  // new regime
+
+  const Histogram::Snapshot w = registry.HistogramWindow("tman_w_micros");
+  EXPECT_EQ(w.count, 200u);
+  EXPECT_EQ(w.sum, 200u * 100000u);
+  // Quantiles of the window reflect only the new regime: the old 100us
+  // samples are subtracted out, so the median sits near 100ms, far above
+  // the cumulative histogram's median.
+  EXPECT_GT(w.Percentile(50), 50000.0);
+  const Histogram::Snapshot live = lat->TakeSnapshot();
+  EXPECT_LT(live.Percentile(50), 1000.0);
+}
+
+TEST(WindowTest, RenderExposesWindowSeries) {
+  MetricsRegistry registry;
+  registry.EnableWindows(6, 10);
+  registry.GetCounter("tman_w_ops_total")->Inc(30);
+  registry.GetHistogram("tman_w_micros")->Record(500);
+  registry.RotateWindow(10 * kSec);
+  registry.GetCounter("tman_w_ops_total")->Inc(30);
+  registry.GetHistogram("tman_w_micros")->Record(700);
+
+  const std::string prom = registry.RenderPrometheus();
+  EXPECT_NE(prom.find("tman_w_ops_window_rate "), std::string::npos);
+  EXPECT_NE(prom.find("tman_w_ops_window_seconds "), std::string::npos);
+  EXPECT_NE(prom.find("tman_w_micros_window{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tman_w_micros_window_count 1"), std::string::npos);
+
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"window\""), std::string::npos);
+  EXPECT_NE(json.find("\"slot_seconds\": 10"), std::string::npos);
+}
+
+TEST(WindowTest, GeometryChangeResetsSlots) {
+  MetricsRegistry registry;
+  registry.EnableWindows(6, 10);
+  registry.GetCounter("tman_w_ops_total")->Inc(10);
+  registry.RotateWindow(10 * kSec);
+  EXPECT_TRUE(registry.CounterWindow("tman_w_ops_total", 20 * kSec).valid);
+  registry.EnableWindows(3, 5);  // new geometry drops stale slots
+  EXPECT_FALSE(registry.CounterWindow("tman_w_ops_total", 20 * kSec).valid);
+}
+
 }  // namespace
 }  // namespace tman::obs
