@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -13,9 +14,12 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "kvstore/compaction_filter.h"
 #include "kvstore/db.h"
 #include "kvstore/options.h"
 #include "kvstore/scan_filter.h"
+#include "kvstore/write_batch.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 
 namespace tman::cluster {
@@ -31,17 +35,120 @@ struct KeyRange {
   std::string end;
 };
 
+// Whether `key` falls inside the half-open range.
+bool RangeContains(const KeyRange& range, const Slice& key);
+
+// Whether [a.start, a.end) and [b.start, b.end) share at least one key.
+bool RangesIntersect(const KeyRange& a, const KeyRange& b);
+
+// The thread-safe mutable key range a region currently owns. Shared between
+// the Region and its RegionOwnershipFilter: topology changes move the
+// boundary here, and the next rewriting compaction reclaims any rows that
+// migrated out (lazy reclamation — no stop-the-world copy on the write
+// path).
+class OwnedRange {
+ public:
+  explicit OwnedRange(KeyRange range) : range_(std::move(range)) {}
+
+  KeyRange get() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return range_;
+  }
+  void set(KeyRange range) {
+    std::lock_guard<std::mutex> lock(mu_);
+    range_ = std::move(range);
+  }
+  bool Contains(const Slice& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return RangeContains(range_, key);
+  }
+  bool IsFullKeyspace() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return range_.start.empty() && range_.end.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  KeyRange range_;
+};
+
+// Compaction filter installed on every region store: drops rows the region
+// no longer owns (they migrated to a sibling during a split/merge) and
+// delegates everything else to the table's inner filter (e.g. TTL
+// retention). While the owned range is the full keyspace and there is no
+// inner filter, CouldDropAnything() is false so trivial file moves stay
+// enabled — a never-split region compacts exactly as before.
+class RegionOwnershipFilter : public kv::CompactionFilter {
+ public:
+  RegionOwnershipFilter(std::shared_ptr<OwnedRange> owned,
+                        const kv::CompactionFilter* inner)
+      : owned_(std::move(owned)), inner_(inner) {}
+
+  const char* Name() const override { return "region-ownership"; }
+
+  bool ShouldDrop(int level, const Slice& user_key,
+                  const Slice& value) const override {
+    if (!owned_->Contains(user_key)) return true;
+    return inner_ != nullptr && inner_->ShouldDrop(level, user_key, value);
+  }
+
+  bool CouldDropAnything() const override {
+    if (inner_ != nullptr && inner_->CouldDropAnything()) return true;
+    return !owned_->IsFullKeyspace();
+  }
+
+ private:
+  std::shared_ptr<OwnedRange> owned_;
+  const kv::CompactionFilter* inner_;
+};
+
 // A region hosts one contiguous rowkey range of a table, backed by its own
-// LSM store (the HBase region analogue). TMan rowkeys start with a one-byte
-// shard prefix, and each shard value maps to exactly one region, so region
-// routing is the first key byte.
+// LSM store (the HBase region analogue). The owned range is dynamic: splits
+// shrink it, merges grow it, and the ownership compaction filter lazily
+// reclaims rows left behind by a boundary move.
 class Region {
  public:
-  Region(uint8_t shard, std::unique_ptr<kv::DB> db)
-      : shard_(shard), db_(std::move(db)) {}
+  Region(int id, std::string dir, std::shared_ptr<OwnedRange> owned,
+         std::unique_ptr<RegionOwnershipFilter> filter,
+         std::unique_ptr<kv::DB> db)
+      : id_(id),
+        dir_(std::move(dir)),
+        owned_(std::move(owned)),
+        filter_(std::move(filter)),
+        db_(std::move(db)) {}
 
-  uint8_t shard() const { return shard_; }
+  // Closes the store; a retired region also removes its directory.
+  ~Region();
+
+  // Stable region id, unique within the table across its whole lifetime
+  // (splits allocate fresh ids). Doubles as the "shard" label in metrics
+  // and scan breakdowns.
+  int id() const { return id_; }
   kv::DB* db() { return db_.get(); }
+  const std::string& dir() const { return dir_; }
+
+  KeyRange owned_range() const { return owned_->get(); }
+  void set_owned_range(KeyRange range) { owned_->set(std::move(range)); }
+
+  // Marks the backing directory for deletion when the last routing snapshot
+  // referencing this region is released (merge retires the absorbed side).
+  void Retire() { retired_.store(true, std::memory_order_relaxed); }
+
+  // Write/scan accounting, always on (the balancer's load signal even when
+  // no metrics registry is attached). The obs counters, when present, carry
+  // the same series into the windowed telemetry plane.
+  void NoteWrites(uint64_t n);
+  void NoteRowsScanned(uint64_t n);
+  uint64_t writes_total() const {
+    return writes_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t rows_scanned_total() const {
+    return rows_scanned_total_.load(std::memory_order_relaxed);
+  }
+  void AttachCounters(obs::Counter* writes, obs::Counter* rows_scanned) {
+    writes_counter_ = writes;
+    rows_scanned_counter_ = rows_scanned;
+  }
 
   // Executes a filtered scan inside the region (push-down execution).
   Status Scan(const KeyRange& range, const kv::ScanFilter* filter,
@@ -61,8 +168,51 @@ class Region {
                    kv::MultiScanPerf* perf);
 
  private:
-  uint8_t shard_;
+  int id_;
+  std::string dir_;
+  std::shared_ptr<OwnedRange> owned_;
+  // The filter must outlive the DB (Options::compaction_filter borrows it):
+  // declaration order destroys db_ first.
+  std::unique_ptr<RegionOwnershipFilter> filter_;
   std::unique_ptr<kv::DB> db_;
+  std::atomic<bool> retired_{false};
+  std::atomic<uint64_t> writes_total_{0};
+  std::atomic<uint64_t> rows_scanned_total_{0};
+  obs::Counter* writes_counter_ = nullptr;
+  obs::Counter* rows_scanned_counter_ = nullptr;
+};
+
+// One row of the routing table: the key range an entry covered when the
+// snapshot was built, plus the region serving it. The range is a copy (not
+// a live view of Region::owned_range) so an in-flight scan keeps clamping
+// against the boundaries it started with even while a split commits.
+struct RoutingEntry {
+  KeyRange range;
+  std::shared_ptr<Region> region;
+};
+
+// Immutable sorted routing table. The entries fully partition the keyspace:
+// entries[0].range.start == "", entries[last].range.end == "", and each
+// entry's end equals the next entry's start. Readers grab a shared_ptr
+// snapshot from the table's atomic slot (copy-on-write: splits/merges build
+// a new table and swap); no locks on the read or write data path.
+class RoutingTable {
+ public:
+  RoutingTable(uint64_t generation, std::vector<RoutingEntry> entries)
+      : generation_(generation), entries_(std::move(entries)) {}
+
+  uint64_t generation() const { return generation_; }
+  const std::vector<RoutingEntry>& entries() const { return entries_; }
+
+  // The unique entry whose range contains `key`.
+  const RoutingEntry& Find(const Slice& key) const;
+
+  // Entries whose range intersects [range.start, range.end), in key order.
+  std::vector<const RoutingEntry*> Intersecting(const KeyRange& range) const;
+
+ private:
+  uint64_t generation_;
+  std::vector<RoutingEntry> entries_;
 };
 
 // Per-region failure accounting for one fan-out scan. Every region task is
@@ -73,23 +223,35 @@ struct ScanOutcome {
   uint64_t regions_attempted = 0;
   uint64_t regions_failed = 0;  // still failing after retries
   uint64_t retries = 0;         // re-runs across all region tasks
-  std::vector<std::pair<int, Status>> region_errors;  // shard -> final error
+  std::vector<std::pair<int, Status>> region_errors;  // region id -> error
 };
 
-// A distributed sorted table: `num_shards` regions spread over the cluster's
-// region servers. Writes route by the shard byte; scans fan out to every
-// region whose range intersects the query window and run in parallel on the
-// cluster thread pool.
+// A distributed sorted table: a dynamic set of regions, each owning one
+// contiguous rowkey range, spread over the cluster's region servers. Writes
+// route through the routing-table snapshot; scans fan out to every region
+// whose range intersects the query window and run in parallel on the
+// cluster thread pool. SplitRegion/MergeRegions change the topology online:
+// concurrent reads keep their snapshot, concurrent writes are teed into the
+// moving range's new home, and the routing swap is atomic.
 class ClusterTable {
  public:
-  // When `metrics` is set, scan fan-out, per-region queue wait, scan wall
-  // time and rows streamed are published under tman_cluster_*.
-  ClusterTable(std::string name, std::vector<std::unique_ptr<Region>> regions,
-               ThreadPool* pool, obs::MetricsRegistry* metrics = nullptr);
+  // Opens (or creates) the table under `dir`. A ROUTING manifest in the
+  // directory restores a previously split/merged topology; without one,
+  // `initial_shards` regions are created with the legacy one-byte ranges
+  // ["", \x01), [\x01, \x02), ..., [\xNN, "") that reproduce the historical
+  // shard-byte placement, and the manifest is written. `base_options` is
+  // used for every region store; a caller-set compaction_filter becomes the
+  // inner filter behind each region's ownership filter.
+  static Status Open(std::string name, std::string dir,
+                     kv::Options base_options, int initial_shards,
+                     ThreadPool* pool, obs::MetricsRegistry* metrics,
+                     std::unique_ptr<ClusterTable>* out);
+
+  ~ClusterTable();
 
   // Per-region slice of one ParallelScan (trace / EXPLAIN ANALYZE input).
   struct RegionScanStat {
-    int shard = 0;
+    int shard = 0;          // region id
     uint64_t scanned = 0;   // rows the region iterator visited
     uint64_t matched = 0;   // rows that passed the filter into the sink
     double wait_ms = 0;     // queue wait before a pool thread picked it up
@@ -97,14 +259,17 @@ class ClusterTable {
   };
 
   const std::string& name() const { return name_; }
-  int num_shards() const { return static_cast<int>(regions_.size()); }
+  // Live region count (dynamic once the balancer splits/merges).
+  int num_shards() const;
+  // Monotone routing-table version; bumps on every split/merge.
+  uint64_t routing_generation() const;
 
   Status Put(const Slice& key, const Slice& value);
   Status Delete(const Slice& key);
   Status Get(const Slice& key, std::string* value);
 
-  // Groups the batch rows by shard and writes one batch per region, in
-  // parallel on the cluster thread pool (each region owns its own LSM
+  // Groups the batch rows by owning region and writes one batch per region,
+  // in parallel on the cluster thread pool (each region owns its own LSM
   // store, so cross-region writes never contend). With background flushes
   // enabled each write only pays WAL append + memtable insert; flush and
   // compaction latency moves off this path onto the maintenance pool.
@@ -115,15 +280,15 @@ class ClusterTable {
   // durability level a crash-safe online backfill needs).
   Status BatchPut(const std::vector<Row>& rows, const kv::WriteOptions& wo);
 
-  // Offline backfill: groups `rows` by shard, sorts each group, builds one
-  // SSTable per region with kv::SstFileWriter and installs it directly into
-  // the region store via DB::IngestExternalFile (move, not copy) — no WAL,
-  // no memtable, no compaction debt. Regions load in parallel on the
-  // cluster pool. Constraints inherited from ingestion: row keys must be
-  // unique and each region group's key range must not overlap live keys in
-  // that region (backfill disjoint ranges, e.g. historical days). On a
-  // per-region failure the remaining regions still load; the first error is
-  // returned.
+  // Offline backfill: groups `rows` by owning region, sorts each group,
+  // builds one SSTable per region with kv::SstFileWriter and installs it
+  // directly into the region store via DB::IngestExternalFile (move, not
+  // copy) — no WAL, no memtable, no compaction debt. Regions load in
+  // parallel on the cluster pool. Constraints inherited from ingestion: row
+  // keys must be unique and each region group's key range must not overlap
+  // live keys in that region (backfill disjoint ranges, e.g. historical
+  // days). On a per-region failure the remaining regions still load; the
+  // first error is returned.
   Status BulkLoad(const std::vector<Row>& rows);
 
   // Scans all `ranges` in parallel with the filter pushed down to the
@@ -170,6 +335,32 @@ class ClusterTable {
                              const kv::ScanFilter* filter,
                              std::vector<Row>* out, kv::ScanStats* stats);
 
+  // Splits the region at its approximate byte-weighted median key (sampled
+  // from the store's SSTable indexes after a flush). See SplitRegionAt.
+  Status SplitRegion(int region_id);
+
+  // Splits region `region_id` = [a, c) at `split_key` (must be strictly
+  // inside) into [a, split_key) staying put and [split_key, c) moving to a
+  // fresh region store. Online: concurrent writes to the moving half are
+  // teed and replayed, concurrent scans keep their routing snapshot (the
+  // source region still holds the moved rows until lazy reclamation), and
+  // the routing swap + ROUTING manifest commit are atomic. The write path
+  // is only gated for the two brief tee install/drain windows, never for
+  // the copy itself.
+  Status SplitRegionAt(int region_id, const std::string& split_key);
+
+  // Merges two adjacent regions: the right range is copied into the left
+  // region's store (after compacting away any stale out-of-range rows the
+  // left store still held), the left region's range grows to cover both,
+  // and the right region is retired — its directory is deleted once the
+  // last in-flight scan snapshot releases it. Argument order is free;
+  // adjacency is required.
+  Status MergeRegions(int region_id_a, int region_id_b);
+
+  // Compacts one region's store (the balancer's post-split lazy-reclaim
+  // hook: the ownership filter drops migrated rows during the rewrite).
+  Status CompactRegion(int region_id);
+
   // Region-task retry policy for ParallelScan/MultiScan. With the default
   // (max_retries == 0) failed tasks are never re-run and the scan path is
   // byte-identical to the no-retry build. A retried task that already
@@ -177,6 +368,11 @@ class ClusterTable {
   // streamed twice.
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
+
+  // Split/merge lifecycle events ("region_split", "region_merge") are
+  // appended here when set (the /eventz ring). Borrowed; must outlive the
+  // table.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
 
   Status Flush();
   Status CompactAll();
@@ -188,40 +384,121 @@ class ClusterTable {
   // file counts/bytes, flush/compaction work, write-stall time).
   kv::DB::Stats GetStorageStats();
 
-  // One entry per region: shard id, the region store's directory and its
-  // full DB::Stats snapshot plus sticky background error (the /statusz
-  // per-region breakdown).
+  // One entry per region, in key order: region id (the `shard` label), its
+  // owned key range, the store's directory, cumulative write/scan activity
+  // (the balancer's load signal) and the full DB::Stats snapshot plus
+  // sticky background error (the /statusz per-region breakdown).
   struct RegionStats {
-    int shard = 0;
+    int shard = 0;  // region id
+    KeyRange range;
     std::string db_name;
+    uint64_t writes_total = 0;
+    uint64_t rows_scanned_total = 0;
+    uint64_t sstable_bytes = 0;
     Status background_error;
     kv::DB::Stats stats;
   };
   std::vector<RegionStats> GetPerRegionStats();
 
+  // Topology-change counters (also exported as
+  // tman_cluster_region_{splits,merges}_total when metrics are attached).
+  uint64_t splits_performed() const {
+    return splits_performed_.load(std::memory_order_relaxed);
+  }
+  uint64_t merges_performed() const {
+    return merges_performed_.load(std::memory_order_relaxed);
+  }
+
  private:
-  // Regions whose shard range intersects [range.start, range.end).
-  std::vector<Region*> RoutingRegions(const KeyRange& range);
+  ClusterTable(std::string name, std::string dir, kv::Options base_options,
+               ThreadPool* pool, obs::MetricsRegistry* metrics);
+
+  // Writes teed while a key range migrates between regions (split: upper
+  // half to the new store; merge: right range into the left store). The
+  // tee lock also linearizes same-range DB writes with their tee append so
+  // replay order matches commit order.
+  struct MigrationTee {
+    KeyRange range;
+    kv::DB* target = nullptr;
+    std::mutex mu;
+    kv::WriteBatch deltas;
+    uint64_t rows = 0;
+  };
+
+  std::shared_ptr<const RoutingTable> Routing() const {
+    std::lock_guard<std::mutex> lock(routing_mu_);
+    return routing_;
+  }
+
+  void StoreRouting(std::shared_ptr<const RoutingTable> table) {
+    std::lock_guard<std::mutex> lock(routing_mu_);
+    routing_ = std::move(table);
+  }
+
+  // Builds a region (owned-range state, ownership filter chained over the
+  // table's inner filter, store open, metric handles) rooted at `dir_/dir`.
+  Status NewRegion(int id, const std::string& dir, KeyRange range,
+                   std::shared_ptr<Region>* out);
+
+  // Restores the topology from the ROUTING manifest, or creates the
+  // initial `initial_shards` one-byte-range layout and persists it. Sweeps
+  // region directories the manifest does not reference (torn splits).
+  Status LoadOrInit(int initial_shards);
+
+  // Atomically persists `table` as the ROUTING manifest (tmp + sync +
+  // rename) — the commit point a reopen recovers from.
+  Status PersistRouting(const RoutingTable& table);
+
+  // Write-path helper: routes one mutation through the snapshot, applies
+  // it, and tees it when it falls into a migrating range.
+  Status RoutedWrite(const Slice& key, const Slice& value, bool is_delete);
+
+  void EmitTopologyEvent(const char* type,
+                         std::vector<std::pair<std::string, std::string>>
+                             fields);
+
+  kv::Env* env() const;
 
   std::string name_;
-  std::vector<std::unique_ptr<Region>> regions_;
+  std::string dir_;
+  kv::Options base_options_;  // per-region store options (sans ownership filter)
   ThreadPool* pool_;
+  obs::MetricsRegistry* metrics_;
+  obs::EventLog* event_log_ = nullptr;
   RetryPolicy retry_;
   std::atomic<uint64_t> bulk_seq_{0};  // unique names for bulk-load temps
+
+  // The live routing snapshot (copy-on-write). Readers copy the
+  // shared_ptr under routing_mu_ (held only for the copy — an
+  // uncontended lock, unlike std::atomic<shared_ptr>, is TSan-visible
+  // on every toolchain); split/merge build a new table and publish it
+  // under admin_mu_.
+  mutable std::mutex routing_mu_;
+  std::shared_ptr<const RoutingTable> routing_;
+
+  // Shared by every writer (Put/Delete/BatchPut/BulkLoad), unique for the
+  // brief tee install/drain windows of a split/merge. migration_ is only
+  // written under the unique gate and only read under the shared gate.
+  std::shared_mutex write_gate_;
+  std::shared_ptr<MigrationTee> migration_;
+
+  // Serializes topology changes (one split/merge at a time per table).
+  std::mutex admin_mu_;
+  int next_region_id_ = 0;
+
+  std::atomic<uint64_t> splits_performed_{0};
+  std::atomic<uint64_t> merges_performed_{0};
 
   // Registry handles (all null = metrics off).
   obs::Counter* scans_ = nullptr;
   obs::Counter* region_retries_ = nullptr;
   obs::Counter* region_failures_ = nullptr;
   obs::Counter* rows_streamed_ = nullptr;
+  obs::Counter* region_splits_ = nullptr;
+  obs::Counter* region_merges_ = nullptr;
   obs::Histogram* fanout_regions_ = nullptr;
   obs::Histogram* scan_micros_ = nullptr;
   obs::Histogram* wait_micros_ = nullptr;
-  // Per-region activity, indexed by shard; labels carry table + shard so a
-  // windowed view of the registry yields last-minute per-region scan/write
-  // rates (the hot-region signal). Empty when metrics are off.
-  std::vector<obs::Counter*> region_rows_scanned_;
-  std::vector<obs::Counter*> region_writes_;
 };
 
 // A simulated cluster: `num_servers` logical region servers sharing a
@@ -248,6 +525,7 @@ class Cluster {
                      const kv::Options* options_override = nullptr);
   Status DropTable(const std::string& name);
   ClusterTable* GetTable(const std::string& name);
+  std::vector<std::string> TableNames();
 
   int num_servers() const { return num_servers_; }
   ThreadPool* pool() { return &pool_; }

@@ -1,0 +1,127 @@
+#include "cluster/region_balancer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cluster/cluster.h"
+
+namespace tman::cluster {
+
+RegionBalancer::RegionBalancer(std::vector<ClusterTable*> tables,
+                               RegionBalancerOptions options)
+    : tables_(std::move(tables)), options_(options) {}
+
+RegionBalancer::~RegionBalancer() { Stop(); }
+
+void RegionBalancer::Start() {
+  if (options_.interval_seconds <= 0 || thread_.joinable()) return;
+  thread_ = std::thread([this] {
+    const auto interval = std::chrono::duration<double>(
+        std::max(0.01, options_.interval_seconds));
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    while (!stop_) {
+      if (stop_cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+      lock.unlock();
+      Tick();
+      lock.lock();
+    }
+  });
+}
+
+void RegionBalancer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Status RegionBalancer::last_error() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return last_error_;
+}
+
+int RegionBalancer::Tick() {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  last_error_ = Status::OK();
+  int changes = 0;
+  for (ClusterTable* table : tables_) {
+    changes += TickTable(table);
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  return changes;
+}
+
+int RegionBalancer::TickTable(ClusterTable* table) {
+  const std::vector<ClusterTable::RegionStats> stats =
+      table->GetPerRegionStats();
+  std::unordered_map<int, uint64_t>& prev = last_writes_[table];
+
+  // Write delta per region since the previous pass; a region first seen now
+  // contributes its full cumulative count (tables start at zero anyway).
+  std::vector<uint64_t> delta(stats.size(), 0);
+  uint64_t total = 0;
+  std::unordered_map<int, uint64_t> next;
+  next.reserve(stats.size());
+  for (size_t i = 0; i < stats.size(); i++) {
+    const auto it = prev.find(stats[i].shard);
+    const uint64_t before = it == prev.end() ? 0 : it->second;
+    delta[i] = stats[i].writes_total - std::min(stats[i].writes_total, before);
+    total += delta[i];
+    next[stats[i].shard] = stats[i].writes_total;
+  }
+  prev = std::move(next);
+  if (total < options_.min_tick_writes) return 0;
+
+  // Split the hottest region when it dominates the table's write traffic.
+  size_t hot = 0;
+  for (size_t i = 1; i < stats.size(); i++) {
+    if (delta[i] > delta[hot]) hot = i;
+  }
+  const double hot_share = static_cast<double>(delta[hot]) / total;
+  if (static_cast<int>(stats.size()) < options_.max_regions &&
+      hot_share >= options_.split_share &&
+      delta[hot] >= options_.min_split_writes &&
+      stats[hot].sstable_bytes >= options_.min_split_bytes) {
+    Status s = table->SplitRegion(stats[hot].shard);
+    if (s.ok()) {
+      splits_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.reclaim_after_split) {
+        table->CompactRegion(stats[hot].shard);  // lazy-reclaim, best effort
+      }
+      return 1;
+    }
+    // A region too small to name an interior median is not an error — the
+    // thresholds just fired before enough distinct keys accumulated.
+    if (!s.IsNotFound() && last_error_.ok()) last_error_ = s;
+    return 0;
+  }
+
+  // Merge the coldest adjacent pair when both sides went quiet.
+  if (static_cast<int>(stats.size()) > options_.min_regions &&
+      stats.size() >= 2) {
+    size_t cold = stats.size();
+    uint64_t cold_delta = 0;
+    for (size_t i = 0; i + 1 < stats.size(); i++) {
+      const uint64_t pair = delta[i] + delta[i + 1];
+      if (cold == stats.size() || pair < cold_delta) {
+        cold = i;
+        cold_delta = pair;
+      }
+    }
+    const double cold_share = static_cast<double>(cold_delta) / total;
+    if (cold != stats.size() && cold_share <= options_.merge_share) {
+      Status s =
+          table->MergeRegions(stats[cold].shard, stats[cold + 1].shard);
+      if (s.ok()) {
+        merges_.fetch_add(1, std::memory_order_relaxed);
+        return 1;
+      }
+      if (last_error_.ok()) last_error_ = s;
+    }
+  }
+  return 0;
+}
+
+}  // namespace tman::cluster

@@ -1,0 +1,117 @@
+#ifndef TMAN_CLUSTER_REGION_BALANCER_H_
+#define TMAN_CLUSTER_REGION_BALANCER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tman::cluster {
+
+class ClusterTable;
+
+// Thresholds driving automatic region splits and merges. Shares are
+// fractions of a table's write delta since the previous balancing pass
+// (the same windowed-rate signal the telemetry plane exports), so the
+// policy adapts to absolute throughput: a region is "hot" relative to its
+// siblings, not against a fixed ops/sec number.
+struct RegionBalancerOptions {
+  bool enabled = false;
+
+  // Seconds between automatic passes on the balancer's own thread; <= 0
+  // disables the thread and the owner drives Tick() manually (benchmarks,
+  // tests). The balancer never runs on the stores' maintenance pool: a
+  // split flushes and compacts, which must not queue behind — or wait on —
+  // the flush jobs of the very region it is reshaping.
+  double interval_seconds = 10;
+
+  // A pass is a no-op unless the table saw at least this many writes since
+  // the previous pass (an idle table must not churn its topology).
+  uint64_t min_tick_writes = 256;
+
+  // Split the hottest region when its share of the table's write delta is
+  // at least `split_share` AND it absorbed at least `min_split_writes` of
+  // them AND its store holds at least `min_split_bytes` of SSTable data
+  // (median estimation needs real files to sample).
+  double split_share = 0.5;
+  uint64_t min_split_writes = 1024;
+  uint64_t min_split_bytes = 64 * 1024;
+
+  // Merge the coldest adjacent pair when its combined share is at most
+  // `merge_share`. At most one topology change per table per pass.
+  double merge_share = 0.02;
+
+  // Region-count guardrails per table.
+  int min_regions = 1;
+  int max_regions = 64;
+
+  // Compact the split source afterwards so the ownership filter reclaims
+  // the migrated upper half immediately instead of at the next natural
+  // compaction.
+  bool reclaim_after_split = true;
+};
+
+// Watches a set of tables and splits hot regions / merges cold adjacent
+// pairs per the options above. Load is measured as the delta of each
+// region's cumulative write counter between passes. Runs either on its own
+// thread (Start with interval_seconds > 0) or via manual Tick() calls.
+class RegionBalancer {
+ public:
+  RegionBalancer(std::vector<ClusterTable*> tables,
+                 RegionBalancerOptions options);
+  ~RegionBalancer();
+
+  RegionBalancer(const RegionBalancer&) = delete;
+  RegionBalancer& operator=(const RegionBalancer&) = delete;
+
+  // Starts the periodic thread (no-op when interval_seconds <= 0).
+  void Start();
+
+  // Stops and joins the periodic thread; idempotent, safe without Start.
+  void Stop();
+
+  // One balancing pass over every table. Returns the number of topology
+  // changes (splits + merges) performed. Thread-safe; concurrent callers
+  // serialize.
+  int Tick();
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  uint64_t splits() const { return splits_.load(std::memory_order_relaxed); }
+  uint64_t merges() const { return merges_.load(std::memory_order_relaxed); }
+
+  // First split/merge failure of the most recent pass (OK when all
+  // attempted changes landed). NotFound from median estimation on a
+  // too-small region is expected and not recorded here.
+  Status last_error() const;
+
+ private:
+  int TickTable(ClusterTable* table);
+
+  std::vector<ClusterTable*> tables_;
+  RegionBalancerOptions options_;
+
+  mutable std::mutex tick_mu_;  // serializes passes
+  // Per (table, region id): writes_total observed at the previous pass.
+  std::unordered_map<const ClusterTable*,
+                     std::unordered_map<int, uint64_t>>
+      last_writes_;
+  Status last_error_;  // guarded by tick_mu_
+
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> splits_{0};
+  std::atomic<uint64_t> merges_{0};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tman::cluster
+
+#endif  // TMAN_CLUSTER_REGION_BALANCER_H_

@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 
+#include "cluster/region_balancer.h"
 #include "common/retry.h"
 #include "index/shape_encoding.h"
 #include "index/tr_index.h"
@@ -62,6 +63,13 @@ struct TManOptions {
   // Cluster shape.
   int num_shards = 8;
   int num_servers = 5;
+
+  // Dynamic region management: with balancer.enabled the scan tables
+  // (primary, tr_idx, idt_idx) are watched by a cluster::RegionBalancer
+  // that splits write-hot regions at their median key and merges cold
+  // adjacent pairs, per the thresholds in the struct. Off by default — the
+  // initial num_shards layout then stays fixed, exactly as before.
+  cluster::RegionBalancerOptions balancer;
 
   // DP-features kept per trajectory (§IV-B: dp-feature column).
   size_t max_dp_features = 8;

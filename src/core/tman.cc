@@ -82,6 +82,7 @@ TMan::~TMan() {
   }
   reporter_cv_.notify_all();
   if (reporter_.joinable()) reporter_.join();
+  if (balancer_ != nullptr) balancer_->Stop();  // before the tables go away
   if (telemetry_ != nullptr) telemetry_->Stop();
 }
 
@@ -144,6 +145,19 @@ Status TMan::Init() {
     primary_->set_retry_policy(options_.region_retry);
     tr_table_->set_retry_policy(options_.region_retry);
     idt_table_->set_retry_policy(options_.region_retry);
+  }
+  if (event_log_ != nullptr) {
+    // Split/merge lifecycle events land in the same /eventz ring as the
+    // stores' flush/compaction events.
+    primary_->set_event_log(event_log_.get());
+    tr_table_->set_event_log(event_log_.get());
+    idt_table_->set_event_log(event_log_.get());
+  }
+  if (options_.balancer.enabled) {
+    balancer_ = std::make_unique<cluster::RegionBalancer>(
+        std::vector<cluster::ClusterTable*>{primary_, tr_table_, idt_table_},
+        options_.balancer);
+    balancer_->Start();
   }
 
   tr_index_ = std::make_unique<index::TRIndex>(options_.tr);
@@ -1039,6 +1053,23 @@ void TMan::PublishMetrics() {
 }
 
 
+namespace {
+
+// Hex rendering of a routing-boundary rowkey for /statusz. An empty string
+// stays empty: as a start it means -infinity, as an end +infinity.
+std::string HexKey(const std::string& key) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(key.size() * 2);
+  for (unsigned char c : key) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string TMan::StatusJson() {
   std::string out = "{";
   out += "\"server\":\"tman\"";
@@ -1071,6 +1102,14 @@ std::string TMan::StatusJson() {
     out += "}";
   }
 
+  if (balancer_ != nullptr) {
+    out += ",\"balancer\":{";
+    out += "\"ticks\":" + std::to_string(balancer_->ticks());
+    out += ",\"splits\":" + std::to_string(balancer_->splits());
+    out += ",\"merges\":" + std::to_string(balancer_->merges());
+    out += "}";
+  }
+
   out += ",\"tables\":[";
   bool first_table = true;
   for (cluster::ClusterTable* table :
@@ -1079,13 +1118,25 @@ std::string TMan::StatusJson() {
     if (!first_table) out += ",";
     first_table = false;
     out += "{\"name\":\"" + obs::JsonEscape(table->name()) + "\"";
+    out += ",\"routing_generation\":" +
+           std::to_string(table->routing_generation());
+    out += ",\"region_splits\":" + std::to_string(table->splits_performed());
+    out += ",\"region_merges\":" + std::to_string(table->merges_performed());
     out += ",\"regions\":[";
     bool first_region = true;
     for (const cluster::ClusterTable::RegionStats& rs :
          table->GetPerRegionStats()) {
       if (!first_region) out += ",";
       first_region = false;
-      out += kv::RenderDbStatsJson(rs.db_name, rs.background_error, rs.stats);
+      out += "{\"shard\":" + std::to_string(rs.shard);
+      out += ",\"key_range\":{\"start\":\"" + HexKey(rs.range.start) +
+             "\",\"end\":\"" + HexKey(rs.range.end) + "\"}";
+      out += ",\"writes_total\":" + std::to_string(rs.writes_total);
+      out += ",\"rows_scanned_total\":" +
+             std::to_string(rs.rows_scanned_total);
+      out += ",\"db\":" +
+             kv::RenderDbStatsJson(rs.db_name, rs.background_error, rs.stats);
+      out += "}";
     }
     out += "]}";
   }

@@ -10,6 +10,7 @@
 
 #include "cachestore/redis_like.h"
 #include "cluster/cluster.h"
+#include "cluster/region_balancer.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "core/executor.h"
@@ -132,6 +133,10 @@ class TMan {
   cache::RedisLikeStore* redis() { return &redis_; }
   uint64_t reencode_count() const { return reencode_count_; }
 
+  // The region balancer (null unless TManOptions::balancer.enabled).
+  cluster::RegionBalancer* balancer() { return balancer_.get(); }
+  cluster::ClusterTable* primary_table() { return primary_; }
+
   // Number of re-encoded shape-row rewrites performed so far.
   uint64_t rows_rewritten() const { return rows_rewritten_; }
 
@@ -242,6 +247,9 @@ class TMan {
   cluster::ClusterTable* tr_table_ = nullptr;
   cluster::ClusterTable* idt_table_ = nullptr;
   cluster::ClusterTable* meta_table_ = nullptr;
+  // Declared after cluster_ so it is destroyed (and its thread joined)
+  // before the tables it balances; ~TMan also stops it explicitly.
+  std::unique_ptr<cluster::RegionBalancer> balancer_;
 
   std::unique_ptr<index::TRIndex> tr_index_;
   std::unique_ptr<index::XZTIndex> xzt_index_;

@@ -33,6 +33,13 @@ class CompactionFilter {
   // from the table being written to `level`.
   virtual bool ShouldDrop(int level, const Slice& user_key,
                           const Slice& value) const = 0;
+
+  // Whether the filter could currently drop anything at all. Compactions
+  // consult this to re-enable trivial file moves while the filter is
+  // provably a no-op (e.g. a region-ownership filter whose owned range is
+  // the full keyspace and that wraps no inner filter). May change over the
+  // DB's lifetime; a stale `false` only costs a rewrite, never correctness.
+  virtual bool CouldDropAnything() const { return true; }
 };
 
 }  // namespace tman::kv

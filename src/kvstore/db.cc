@@ -926,6 +926,38 @@ Status DB::CompactAll() {
   return result;
 }
 
+Status DB::GetApproximateMedianKey(const Slice& start, const Slice& end,
+                                   std::string* median) {
+  ReadSnapshot snap = AcquireReadSnapshot();
+  std::vector<std::string> samples;
+  for (int level = 0; level < snap.version->num_levels(); level++) {
+    for (const FileMetaPtr& f : snap.version->LevelFiles(level)) {
+      if (!end.empty() && f->smallest.user_key().compare(end) >= 0) continue;
+      if (f->largest.user_key().compare(start) < 0) continue;
+      // Separator keys sample the file's interior; the file's own largest
+      // key anchors single-block tables that contribute no separator.
+      f->table->AppendIndexUserKeys(start, end, &samples);
+      const Slice largest = f->largest.user_key();
+      if (largest.compare(start) > 0 &&
+          (end.empty() || largest.compare(end) < 0)) {
+        samples.push_back(largest.ToString());
+      }
+    }
+  }
+  if (samples.size() < 2) {
+    return Status::NotFound("not enough keys in range to estimate a median");
+  }
+  std::sort(samples.begin(), samples.end());
+  samples.erase(std::unique(samples.begin(), samples.end()), samples.end());
+  if (samples.size() < 2) {
+    return Status::NotFound("range holds a single sampled key");
+  }
+  // Never return the first sample: a split at the range's smallest sampled
+  // key would leave an empty lower half.
+  *median = samples[std::max<size_t>(1, samples.size() / 2)];
+  return Status::OK();
+}
+
 Status DB::IngestExternalFile(const IngestOptions& io,
                               const std::string& file_path) {
   // Validate the external file and learn its key range before taking the
@@ -1264,7 +1296,8 @@ Status DB::RunCompaction(const CompactionJob& job,
   // entries flow through a rewriting merge, and a moved file could
   // otherwise carry expired rows to the bottom level forever.
   if (job.inputs_n.size() == 1 && job.inputs_np1.empty() && level > 0 &&
-      options_.compaction_filter == nullptr) {
+      (options_.compaction_filter == nullptr ||
+       !options_.compaction_filter->CouldDropAnything())) {
     return versions_->InstallVersion(output_level, {job.inputs_n[0]}, removed,
                                      level);
   }

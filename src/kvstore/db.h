@@ -138,6 +138,17 @@ class DB {
   // Compacts everything down to the last occupied level.
   Status CompactAll();
 
+  // Estimates the byte-weighted median user key of [start, end) (empty end
+  // = +infinity) by sampling the index-block separator keys of every
+  // SSTable overlapping the range — each separator stands for ~one data
+  // block, so the sample tracks bytes, not row counts. Only on-disk data is
+  // consulted; callers wanting memtable rows included flush first. Returns
+  // NotFound when the range holds too little data to name an interior key
+  // (the returned key is always strictly inside the range). No data-block
+  // I/O; runs off the pinned current version.
+  Status GetApproximateMedianKey(const Slice& start, const Slice& end,
+                                 std::string* median);
+
   // Clears a *transient* sticky background error (failed flush fsync,
   // ENOSPC, ...) by re-running the failed flush work inline against the
   // current memtable set. Returns OK once the DB is writable again (also

@@ -542,6 +542,17 @@ Iterator* Table::NewIterator(const ReadOptions& ro) const {
   return new TableIterator(this, ro);
 }
 
+void Table::AppendIndexUserKeys(const Slice& start, const Slice& end,
+                                std::vector<std::string>* out) const {
+  std::unique_ptr<Iterator> index_iter(index_block_->NewIterator(&icmp_));
+  for (index_iter->SeekToFirst(); index_iter->Valid(); index_iter->Next()) {
+    const Slice user_key = ExtractUserKey(index_iter->key());
+    if (user_key.compare(start) <= 0) continue;
+    if (!end.empty() && user_key.compare(end) >= 0) break;
+    out->push_back(user_key.ToString());
+  }
+}
+
 Status Table::InternalGet(const ReadOptions& ro, const Slice& k, void* arg,
                           void (*handle_result)(void*, const Slice&,
                                                 const Slice&)) {

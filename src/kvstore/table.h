@@ -117,6 +117,15 @@ class Table {
   // corruption found.
   Status VerifyChecksums(uint64_t* blocks_checked) const;
 
+  // Appends the user-key portion of every index-block separator key that
+  // falls inside (start, end) to *out (empty end = +infinity, both bounds
+  // exclusive). Each separator stands for roughly one data block of bytes,
+  // so the collected keys are an approximately size-weighted sample of the
+  // table's key distribution — the input for median-split-key estimation.
+  // Reads only the resident index block: no data-block I/O.
+  void AppendIndexUserKeys(const Slice& start, const Slice& end,
+                           std::vector<std::string>* out) const;
+
   // Table format version parsed from the footer magic (1 = legacy
   // crc-only trailers, 2 = compression-type + crc trailers).
   int format_version() const { return format_version_; }

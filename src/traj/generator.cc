@@ -55,6 +55,19 @@ DatasetSpec LorryLikeSpec() {
   return spec;
 }
 
+DatasetSpec CityHotspotSpec() {
+  DatasetSpec spec = TDriveLikeSpec();
+  spec.name = "cityhot";
+  // Rush-hour-like skew: most trips leave from a few Zipf-weighted centers
+  // (rank-1 takes ~46% of hotspot traffic at s=1.2 over 4 spots), melting
+  // one region of an initially balanced layout.
+  spec.hotspot_fraction = 0.9;
+  spec.hotspot_count = 4;
+  spec.hotspot_zipf_s = 1.2;
+  spec.hotspot_radius_meters = 2500;
+  return spec;
+}
+
 namespace {
 
 // One random-walk trip of roughly `diameter_meters` extent and `duration`
@@ -117,6 +130,33 @@ int64_t SampleDuration(Random* rnd, const DatasetSpec& spec) {
                                                             spec.short_max));
 }
 
+// Fixed hot-spot centers inside the core, derived from the workload seed so
+// two Generate() calls with the same (spec, seed) place them identically.
+std::vector<geo::Point> HotspotCenters(const DatasetSpec& spec,
+                                       uint64_t seed) {
+  Random rnd(seed ^ 0x686f7470);
+  std::vector<geo::Point> centers;
+  centers.reserve(static_cast<size_t>(spec.hotspot_count));
+  for (int i = 0; i < spec.hotspot_count; i++) {
+    centers.push_back(geo::Point{
+        rnd.UniformDouble(spec.core.min_lon, spec.core.max_lon),
+        rnd.UniformDouble(spec.core.min_lat, spec.core.max_lat)});
+  }
+  return centers;
+}
+
+// Cumulative Zipf(s) popularity over hotspot ranks: P(rank i) ~ 1/(i+1)^s.
+std::vector<double> ZipfCdf(int n, double s) {
+  std::vector<double> cdf(static_cast<size_t>(std::max(0, n)), 0.0);
+  double total = 0;
+  for (size_t i = 0; i < cdf.size(); i++) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[i] = total;
+  }
+  for (double& v : cdf) v /= total;
+  return cdf;
+}
+
 }  // namespace
 
 std::vector<Trajectory> Generate(const DatasetSpec& spec, size_t count,
@@ -124,6 +164,14 @@ std::vector<Trajectory> Generate(const DatasetSpec& spec, size_t count,
   Random rnd(seed ^ 0x74726a67);  // per-dataset deterministic stream
   std::vector<Trajectory> result;
   result.reserve(count);
+
+  const bool use_hotspots =
+      spec.hotspot_fraction > 0 && spec.hotspot_count > 0;
+  const std::vector<geo::Point> hotspots =
+      use_hotspots ? HotspotCenters(spec, seed) : std::vector<geo::Point>{};
+  const std::vector<double> hotspot_cdf =
+      use_hotspots ? ZipfCdf(spec.hotspot_count, spec.hotspot_zipf_s)
+                   : std::vector<double>{};
 
   const size_t num_objects =
       std::max<size_t>(1, count / static_cast<size_t>(
@@ -136,9 +184,25 @@ std::vector<Trajectory> Generate(const DatasetSpec& spec, size_t count,
 
     const bool roaming = rnd.Bernoulli(spec.roaming_fraction);
     const SpatialBounds& area = roaming ? spec.bounds : spec.core;
-    const geo::Point start{
-        rnd.UniformDouble(area.min_lon, area.max_lon),
-        rnd.UniformDouble(area.min_lat, area.max_lat)};
+    geo::Point start{rnd.UniformDouble(area.min_lon, area.max_lon),
+                     rnd.UniformDouble(area.min_lat, area.max_lat)};
+    if (!roaming && use_hotspots && rnd.Bernoulli(spec.hotspot_fraction)) {
+      // Zipf-pick a hot spot, scatter the origin uniformly within its
+      // radius (rejection-free: uniform angle + sqrt-radius in a disc).
+      const double u = rnd.NextDouble();
+      size_t rank = 0;
+      while (rank + 1 < hotspot_cdf.size() && u > hotspot_cdf[rank]) rank++;
+      const geo::Point& c = hotspots[rank];
+      const double ang = rnd.UniformDouble(0, 2 * kPi);
+      const double r_m =
+          spec.hotspot_radius_meters * std::sqrt(rnd.NextDouble());
+      const double cos_lat = std::max(0.1, std::cos(c.y * kPi / 180.0));
+      start.x = std::clamp(
+          c.x + std::cos(ang) * r_m / (kMetersPerDegree * cos_lat),
+          area.min_lon, area.max_lon);
+      start.y = std::clamp(c.y + std::sin(ang) * r_m / kMetersPerDegree,
+                           area.min_lat, area.max_lat);
+    }
 
     const int64_t duration = SampleDuration(&rnd, spec);
     const int64_t latest_start = spec.horizon_seconds > duration

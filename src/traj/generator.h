@@ -33,6 +33,17 @@ struct DatasetSpec {
   // Fraction of trips that roam the full boundary (inter-city lorries).
   double roaming_fraction = 0.0;
   int trajectories_per_object = 8;  // average trips per moving object
+  // City hot spots: with probability hotspot_fraction a non-roaming trip
+  // starts near one of hotspot_count fixed centers (train stations,
+  // business districts) instead of uniformly inside `core`. Which center
+  // follows a Zipf law with exponent hotspot_zipf_s — rank-1 absorbs most
+  // of the skewed traffic — and the origin scatters uniformly within
+  // hotspot_radius_meters of it. Centers derive deterministically from the
+  // Generate() seed. 0 (the default) keeps origins uniform.
+  double hotspot_fraction = 0.0;
+  int hotspot_count = 4;
+  double hotspot_zipf_s = 1.2;
+  double hotspot_radius_meters = 2500;
 };
 
 // Beijing taxi workload (~T-Drive): 1 week, boundary (110,35,125,45),
@@ -42,6 +53,10 @@ DatasetSpec TDriveLikeSpec();
 // Guangzhou lorry workload (~Lorry): 1 month, boundary (70,0,140,55),
 // 88% of trips < 2h, 99% < 14h, <1% inter-city roaming trips.
 DatasetSpec LorryLikeSpec();
+
+// TDriveLikeSpec with 90% of trips Zipf-concentrated on a handful of city
+// hot spots — the skewed ingest workload for the region balancer bench.
+DatasetSpec CityHotspotSpec();
 
 // Generates `count` trajectories deterministically from `seed`.
 std::vector<Trajectory> Generate(const DatasetSpec& spec, size_t count,
